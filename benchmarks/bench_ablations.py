@@ -1,0 +1,97 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper figure — these quantify the modelling decisions the framework
+makes, on resnet18 at the paper chip:
+
+* synchronized-transfer window (2 vs 16 messages of slack),
+* NoC link contention on/off,
+* core-level shared-ADC domains (the matrix unit's throughput limiter),
+* operator fusion on/off (the MNSIM2.0 data-path limitation the intro
+  motivates the ISA with),
+* weight duplication on/off (the performance-first parallelism source).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import paper_chip, simulate
+
+from .conftest import record
+
+_CAPTION = "design-choice ablations on resnet18 (latency vs default config)"
+
+_reports: dict = {}
+
+
+def _baseline_report():
+    return _run("default", paper_chip())
+
+
+def _run(tag: str, config):
+    if tag not in _reports:
+        _reports[tag] = simulate("resnet18", config)
+    return _reports[tag]
+
+
+def _variant(tag: str):
+    cfg = paper_chip()
+    if tag == "default":
+        return cfg
+    if tag == "window=2":
+        return dataclasses.replace(cfg, noc=dataclasses.replace(
+            cfg.noc, sync_window=2))
+    if tag == "window=16":
+        return dataclasses.replace(cfg, noc=dataclasses.replace(
+            cfg.noc, sync_window=16))
+    if tag == "no contention":
+        return dataclasses.replace(cfg, noc=dataclasses.replace(
+            cfg.noc, model_contention=False))
+    if tag == "shared ADC x4":
+        return dataclasses.replace(cfg, core=dataclasses.replace(
+            cfg.core, shared_adc_domains=4))
+    if tag == "no fusion":
+        return dataclasses.replace(cfg, compiler=dataclasses.replace(
+            cfg.compiler, operator_fusion=False))
+    if tag == "no duplication":
+        return dataclasses.replace(cfg, compiler=dataclasses.replace(
+            cfg.compiler, allow_duplication=False))
+    if tag == "bit-sliced":
+        return dataclasses.replace(cfg, crossbar=dataclasses.replace(
+            cfg.crossbar, bit_sliced=True))
+    raise KeyError(tag)
+
+
+ABLATIONS = ["default", "window=2", "window=16", "no contention",
+             "shared ADC x4", "no fusion", "no duplication", "bit-sliced"]
+
+
+@pytest.mark.parametrize("tag", ABLATIONS)
+def test_ablation(benchmark, tag):
+    report = benchmark.pedantic(
+        lambda: _run(tag, _variant(tag)), rounds=1, iterations=1)
+    base = _baseline_report()
+    record("Ablations", _CAPTION, tag, "latency",
+           report.cycles / base.cycles)
+    record("Ablations", _CAPTION, tag, "energy",
+           report.total_energy_pj / base.total_energy_pj)
+    assert report.cycles > 0
+
+
+def test_ablation_shapes():
+    """Direction checks for the knobs with a predictable sign."""
+    base = _baseline_report()
+    # Serializing all MVMs behind 4 ADC domains must cost latency.
+    assert _run("shared ADC x4", _variant("shared ADC x4")).cycles \
+        > base.cycles
+    # Removing duplication removes pixel-level parallelism.
+    assert _run("no duplication", _variant("no duplication")).cycles \
+        > base.cycles
+    # An ideal (contention-free) NoC can only help.
+    assert _run("no contention", _variant("no contention")).cycles \
+        <= base.cycles * 1.01
+    # Bit-slicing spreads each weight over 4 columns (8b / 2b cells):
+    # fewer duplicates, more ADC samples -> slower and hungrier.
+    sliced = _run("bit-sliced", _variant("bit-sliced"))
+    assert sliced.cycles > base.cycles
+    assert sliced.total_energy_pj > base.total_energy_pj

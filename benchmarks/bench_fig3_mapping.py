@@ -1,0 +1,58 @@
+"""Fig. 3 — comparison of mapping algorithms.
+
+Paper setup: 64 cores x 512 crossbars (128x128), ROB size 1; the four
+networks alexnet / googlenet / resnet18 / squeezenet under the
+utilization-first and performance-first mapping policies.  Reported:
+latency and energy normalized to utilization-first (per network).
+
+Paper result: performance-first is better on both axes, ~2x on average.
+"""
+
+import pytest
+
+from repro import paper_chip, simulate
+from repro.models import FIG3_MODELS
+
+from .conftest import record
+
+_CAPTION = ("mapping-policy comparison, normalized to utilization-first "
+            "(paper: performance-first ~0.5 on both axes)")
+
+#: cache so latency/energy come from one simulation per (net, mapping).
+_reports: dict = {}
+
+
+def _report(network: str, mapping: str):
+    key = (network, mapping)
+    if key not in _reports:
+        _reports[key] = simulate(network, paper_chip(rob_size=1),
+                                 mapping=mapping)
+    return _reports[key]
+
+
+@pytest.mark.parametrize("network", FIG3_MODELS)
+@pytest.mark.parametrize("mapping", ["utilization_first",
+                                     "performance_first"])
+def test_fig3_mapping(benchmark, network, mapping):
+    report = benchmark.pedantic(
+        lambda: _report(network, mapping), rounds=1, iterations=1)
+    base = _report(network, "utilization_first")
+    record("Fig. 3a", _CAPTION, network,
+           {"utilization_first": "util latency",
+            "performance_first": "perf latency"}[mapping],
+           report.cycles / base.cycles)
+    record("Fig. 3b", _CAPTION, network,
+           {"utilization_first": "util energy",
+            "performance_first": "perf energy"}[mapping],
+           report.total_energy_pj / base.total_energy_pj)
+    assert report.cycles > 0
+
+
+def test_fig3_shape_holds():
+    """Regression guard: performance-first wins latency AND energy on
+    every Fig. 3 network."""
+    for network in FIG3_MODELS:
+        perf = _report(network, "performance_first")
+        util = _report(network, "utilization_first")
+        assert perf.cycles < util.cycles, network
+        assert perf.total_energy_pj < util.total_energy_pj, network

@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the event kernel itself (simulator throughput).
+
+Not a paper figure — tracks the pure-Python substitute for SystemC so
+performance regressions in the kernel are visible separately from model
+changes.
+"""
+
+from repro.sim import Event, Fifo, Simulator
+
+
+def _timer_wheel_churn(n_events: int) -> int:
+    sim = Simulator()
+    counter = [0]
+
+    def tick(_):
+        counter[0] += 1
+
+    for i in range(n_events):
+        sim.call_after(i % 97, tick)
+    sim.run()
+    return counter[0]
+
+
+def test_kernel_event_throughput(benchmark):
+    processed = benchmark(_timer_wheel_churn, 20_000)
+    assert processed == 20_000
+
+
+def _process_ping_pong(rounds: int) -> int:
+    sim = Simulator()
+    ping, pong = Event(sim, "ping"), Event(sim, "pong")
+    count = [0]
+
+    def pinger():
+        for _ in range(rounds):
+            ping.notify()
+            yield pong
+            count[0] += 1
+
+    def ponger():
+        for _ in range(rounds):
+            yield ping
+            pong.notify()
+
+    sim.spawn(ponger())
+    sim.spawn(pinger())
+    sim.run()
+    return count[0]
+
+
+def test_kernel_process_switching(benchmark):
+    completed = benchmark(_process_ping_pong, 5_000)
+    assert completed == 5_000
+
+
+def _fifo_stream(items: int) -> int:
+    sim = Simulator()
+    fifo = Fifo(sim, 8)
+    received = [0]
+
+    def producer():
+        for i in range(items):
+            yield from fifo.put(i)
+            yield 1
+
+    def consumer():
+        for _ in range(items):
+            yield from fifo.get()
+            received[0] += 1
+            yield 2
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    return received[0]
+
+
+def test_kernel_fifo_throughput(benchmark):
+    received = benchmark(_fifo_stream, 5_000)
+    assert received == 5_000
+
+
+def test_end_to_end_simulation_rate(benchmark):
+    """Whole-stack rate: compile+simulate a small network."""
+    from repro import simulate, small_chip
+
+    report = benchmark.pedantic(
+        lambda: simulate("vgg8", small_chip()), rounds=1, iterations=1)
+    assert report.cycles > 0

@@ -1,0 +1,46 @@
+"""Benchmark-harness plumbing.
+
+Each bench module records the series a paper figure plots into
+:data:`FIGURES`; the terminal-summary hook prints them as the same
+rows/series the paper reports, normalized the same way, after the
+pytest-benchmark timing table.
+
+Set ``PIMSIM_BENCH_PAPER=1`` to run every figure at the paper's full
+64-core configuration and tile granularity (slower); the default keeps the
+same chip but the benchmark-friendly tile size.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+import pytest
+
+#: figure id -> {row label -> {column label -> value}} plus caption.
+FIGURES: "OrderedDict[str, dict]" = OrderedDict()
+
+
+def record(figure: str, caption: str, row: str, column: str,
+           value: float) -> None:
+    entry = FIGURES.setdefault(figure, {"caption": caption, "rows": {}})
+    entry["rows"].setdefault(row, {})[column] = value
+
+
+def full_scale() -> bool:
+    return os.environ.get("PIMSIM_BENCH_PAPER", "") == "1"
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter):
+    if not FIGURES:
+        return
+    from repro.analysis import series_table
+
+    tr = terminalreporter
+    tr.write_sep("=", "paper figure reproduction")
+    for figure, entry in FIGURES.items():
+        tr.write_line("")
+        tr.write_line(f"{figure}: {entry['caption']}")
+        tr.write_line(series_table(entry["rows"]))
+    tr.write_line("")

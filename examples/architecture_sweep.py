@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Hardware design-space exploration with Pareto analysis.
+
+Because the ISA decouples software from hardware, the same network
+recompiles automatically for every chip shape.  This sweeps a grid over
+mesh size, crossbar budget and ROB capacity with :mod:`repro.explore`,
+prints the full table, and extracts the latency/energy Pareto front —
+the exploration workflow the paper's configurability argument enables.
+
+    python examples/architecture_sweep.py [--model NAME]
+"""
+
+import argparse
+
+from repro import small_chip
+from repro.explore import explore
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="alexnet")
+    parser.add_argument("--cores", default="4,16")
+    parser.add_argument("--crossbars", default="128,256")
+    parser.add_argument("--rob", default="1,8")
+    args = parser.parse_args()
+
+    space = {
+        "chip.cores": [int(c) for c in args.cores.split(",")],
+        "core.crossbars_per_core": [int(x) for x in args.crossbars.split(",")],
+        "core.rob_size": [int(r) for r in args.rob.split(",")],
+    }
+    exploration = explore(args.model, small_chip(), space)
+
+    print(exploration.table())
+    print()
+    front = exploration.pareto()
+    print(f"Pareto front ({len(front)} of {len(exploration.points)} points):")
+    for point in front:
+        print(f"  {point.label()}: {point.latency:,} cycles, "
+              f"{point.energy / 1e6:.1f} uJ")
+    best = exploration.best_latency()
+    print(f"\nfastest design: {best.label()} "
+          f"({best.report.latency_ms:.3f} ms)")
+
+
+if __name__ == "__main__":
+    main()

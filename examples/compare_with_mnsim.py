@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Simulator-model comparison (the paper's Fig. 5 + Section IV-B).
+
+Runs the cycle-accurate synchronized-communication simulator and the
+MNSIM2.0-style ideal-asynchronous baseline on the same crossbar
+configuration.  Chain networks (VGG) agree closely; the residual adds of
+resnet-18 must synchronize two arrival paths, which the ideal-async model
+gets for free — so our simulation is substantially slower there, matching
+the paper's observation.
+
+    python examples/compare_with_mnsim.py [--models vgg8,vgg16,resnet18]
+"""
+
+import argparse
+
+from repro import mnsim_like_chip
+from repro.analysis import series_table
+from repro.runner import compare_with_baseline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--models", default="vgg8,resnet18")
+    args = parser.parse_args()
+
+    config = mnsim_like_chip()
+    rows: dict[str, dict[str, float]] = {}
+    for name in args.models.split(","):
+        cmp = compare_with_baseline(name.strip(), config)
+        rows[name] = {
+            "MNSIM2.0-style": 1.0,
+            "ours": cmp.latency_vs_baseline,
+        }
+        print(f"{name}: ours {cmp.ours.cycles:,} cycles vs baseline "
+              f"{cmp.baseline_cycles:,} "
+              f"(+{(cmp.latency_vs_baseline - 1) * 100:.0f}%)")
+        # Section IV-B's metric: communication-latency ratio of one layer.
+        conv_layers = [l for l in cmp.ours.layer_names() if "conv" in l]
+        if len(conv_layers) >= 2:
+            layer = sorted(conv_layers)[1]
+            print(f"  comm ratio of {layer}: "
+                  f"ours {cmp.ours.comm_ratio(layer):.0%} vs baseline "
+                  f"{cmp.baseline_comm_ratio.get(layer, 0.0):.0%}")
+
+    print()
+    print(series_table(rows, title="latency normalized to the baseline:"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Software-mapping exploration (the paper's Fig. 3 experiment).
+
+Compares the utilization-first and performance-first weight-mapping
+policies on the paper's four evaluation networks, reporting normalized
+latency and energy — the ISA's software/hardware decoupling means only the
+compiler flag changes between runs; the hardware model is untouched.
+
+    python examples/mapping_exploration.py [--paper] [--models a,b,...]
+"""
+
+import argparse
+
+from repro import paper_chip, small_chip
+from repro.analysis import series_table
+from repro.runner import compare_mappings
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper", action="store_true",
+                        help="64-core paper chip (slower)")
+    parser.add_argument("--models", default="alexnet,resnet18",
+                        help="comma-separated zoo model names")
+    parser.add_argument("--rob", type=int, default=1,
+                        help="ROB size (paper uses 1 for Fig. 3)")
+    args = parser.parse_args()
+
+    config = paper_chip() if args.paper else small_chip()
+    latency_rows: dict[str, dict[str, float]] = {}
+    energy_rows: dict[str, dict[str, float]] = {}
+
+    for name in args.models.split(","):
+        cmp = compare_mappings(name.strip(), config, rob_size=args.rob)
+        latency_rows[name] = {
+            "utilization-first": 1.0,
+            "performance-first": cmp.latency_ratio,
+        }
+        energy_rows[name] = {
+            "utilization-first": 1.0,
+            "performance-first": cmp.energy_ratio,
+        }
+        print(f"{name}: performance-first is "
+              f"{1 / cmp.latency_ratio:.2f}x faster, "
+              f"{1 / cmp.energy_ratio:.2f}x more energy-efficient")
+
+    print()
+    print(series_table(latency_rows,
+                       title="(a) latency, normalized to utilization-first:"))
+    print()
+    print(series_table(energy_rows,
+                       title="(b) energy, normalized to utilization-first:"))
+
+
+if __name__ == "__main__":
+    main()

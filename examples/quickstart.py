@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and simulate one network, inspect the outputs.
+
+Runs resnet18 (CIFAR resolution) on the 16-core ``small`` preset so it
+finishes in seconds; pass ``--paper`` for the 64-core chip of the paper's
+evaluation (Section IV-A).
+
+    python examples/quickstart.py [--paper] [--model NAME]
+"""
+
+import argparse
+import dataclasses
+
+from repro import simulate, paper_chip, small_chip, compile_model
+from repro.analysis import ascii_bars, comm_ratios, energy_breakdown, timeline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="resnet18")
+    parser.add_argument("--paper", action="store_true",
+                        help="use the paper's 64-core configuration")
+    args = parser.parse_args()
+
+    config = paper_chip() if args.paper else small_chip()
+
+    # 1. Compile only: inspect what the compiler produced.
+    compiled = compile_model(args.model, config)
+    print(compiled.program.summary())
+    print()
+
+    # Peek at the first instructions of the first core — the ISA at work.
+    first_core = compiled.program.cores_used[0]
+    print(compiled.program.program(first_core).listing(limit=12))
+    print()
+
+    # 2. Cycle-accurate simulation: latency, energy, power (Fig. 1 outputs).
+    report = simulate(args.model, config)
+    print(report.summary())
+    print()
+
+    # 3. Analysis: where do cycles and joules go?
+    print(ascii_bars(energy_breakdown(report), fmt="{:.1%}",
+                     title="energy by component:"))
+    print()
+    ratios = comm_ratios(report)
+    worst = dict(sorted(ratios.items(), key=lambda kv: -kv[1])[:8])
+    print(ascii_bars(worst, fmt="{:.2f}",
+                     title="highest communication-latency ratios:"))
+    print()
+
+    # 4. Pipeline timeline (re-run with tracing enabled).
+    traced_cfg = dataclasses.replace(
+        config, sim=dataclasses.replace(config.sim, trace=True))
+    from repro.arch import run_program
+    raw = run_program(compile_model(args.model, traced_cfg).program,
+                      traced_cfg)
+    print(timeline(raw.trace, raw.cycles, buckets=60))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Throughput mode: pipelining a stream of images through the chip.
+
+A single image pays the full pipeline fill (every layer waits for its
+first inputs); a stream overlaps image N+1's early layers with image N's
+late layers, so per-image cost approaches the bottleneck stage's rate.
+
+    python examples/throughput_pipeline.py [--model NAME] [--max-batch N]
+"""
+
+import argparse
+
+from repro import simulate, small_chip
+from repro.analysis import ascii_bars
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="vgg8")
+    parser.add_argument("--max-batch", type=int, default=8)
+    args = parser.parse_args()
+
+    config = small_chip()
+    single = simulate(args.model, config)
+    print(f"single-image latency: {single.cycles:,} cycles "
+          f"({single.latency_ms:.3f} ms)")
+    print()
+
+    per_image: dict[str, float] = {}
+    batch = 1
+    while batch <= args.max_batch:
+        report = simulate(args.model, config, batch=batch)
+        per_image[f"batch {batch}"] = report.cycles / batch
+        throughput = batch / report.seconds
+        print(f"batch {batch:>2}: {report.cycles:>12,} cycles total, "
+              f"{report.cycles / batch:>10,.0f}/image, "
+              f"{throughput:,.0f} images/s")
+        batch *= 2
+
+    print()
+    print(ascii_bars(per_image, fmt="{:,.0f}",
+                     title="cycles per image (lower = better pipelining):"))
+    steady = min(per_image.values())
+    print(f"\npipeline speedup at steady state: "
+          f"{single.cycles / steady:.2f}x over single-image latency")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Result analysis: breakdowns, normalization, text charts, reports."""
+
+from .breakdown import comm_ratios, energy_breakdown, nth_conv_layer, unit_breakdown
+from .charts import ascii_bars, normalize, series_table
+from .report import core_table, full_report, layer_table
+from .timeline import core_activity, timeline
+
+__all__ = [
+    "unit_breakdown",
+    "comm_ratios",
+    "energy_breakdown",
+    "nth_conv_layer",
+    "normalize",
+    "ascii_bars",
+    "series_table",
+    "full_report",
+    "layer_table",
+    "core_table",
+    "timeline",
+    "core_activity",
+]

@@ -1,0 +1,45 @@
+"""Latency and communication breakdowns of simulation reports."""
+
+from __future__ import annotations
+
+from ..runner.results import SimReport
+
+__all__ = ["unit_breakdown", "comm_ratios", "energy_breakdown", "nth_conv_layer"]
+
+
+def unit_breakdown(report: SimReport) -> dict[str, int]:
+    """Total busy cycles per execution-unit type across all layers."""
+    totals: dict[str, int] = {}
+    for busy in report.layer_busy.values():
+        for unit, cycles in busy.items():
+            totals[unit] = totals.get(unit, 0) + cycles
+    return totals
+
+
+def comm_ratios(report: SimReport) -> dict[str, float]:
+    """Per-layer communication-latency ratio (Section IV-B's metric)."""
+    return {layer: report.comm_ratio(layer)
+            for layer in report.layer_names()}
+
+
+def energy_breakdown(report: SimReport) -> dict[str, float]:
+    """Energy share per component category (sums to 1.0)."""
+    total = report.total_energy_pj
+    if total <= 0:
+        return {k: 0.0 for k in report.energy_pj}
+    return {k: v / total for k, v in report.energy_pj.items()}
+
+
+def nth_conv_layer(report: SimReport, n: int) -> str:
+    """Name of the n-th (1-based) convolution layer in a report.
+
+    Layer names follow the model builders (``conv2``, ``s1b1_conv1``,
+    ...); ordering is the compiler's topological order preserved in the
+    report metadata when available, else lexicographic.
+    """
+    ordered = report.meta.get("stage_homes")
+    names = list(ordered) if ordered else report.layer_names()
+    convs = [name for name in names if "conv" in name or "fc" in name]
+    if not 1 <= n <= len(convs):
+        raise IndexError(f"no {n}-th conv layer among {len(convs)}")
+    return convs[n - 1]

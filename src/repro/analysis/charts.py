@@ -1,0 +1,57 @@
+"""Text rendering of results: normalized tables and ASCII bar charts.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = ["normalize", "ascii_bars", "series_table"]
+
+
+def normalize(values: dict[str, float],
+              reference: str | None = None) -> dict[str, float]:
+    """Scale a named series so the reference entry (or the max) is 1.0."""
+    if not values:
+        return {}
+    ref = values[reference] if reference is not None else max(values.values())
+    if ref == 0:
+        raise ValueError("cannot normalize to a zero reference")
+    return {k: v / ref for k, v in values.items()}
+
+
+def ascii_bars(values: dict[str, float], *, width: int = 40,
+               fmt: str = "{:.3f}", title: str = "") -> str:
+    """Horizontal ASCII bar chart, one row per entry."""
+    lines = [title] if title else []
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    for key, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"  {key:<{label_w}}  {fmt.format(value):>8}  {bar}")
+    return "\n".join(lines)
+
+
+def series_table(rows: dict[str, dict[str, float]], *, fmt: str = "{:.3f}",
+                 title: str = "") -> str:
+    """Render named series as an aligned table (rows x columns).
+
+    ``rows`` maps row label -> {column label -> value}; column order is
+    taken from the first row.
+    """
+    lines = [title] if title else []
+    if not rows:
+        return "\n".join(lines + ["(no data)"])
+    columns = list(next(iter(rows.values())))
+    label_w = max(len(k) for k in rows)
+    col_w = max(8, *(len(c) + 2 for c in columns))
+    header = " " * (label_w + 2) + "".join(f"{c:>{col_w}}" for c in columns)
+    lines.append(header)
+    for label, cells in rows.items():
+        rendered = "".join(
+            f"{fmt.format(cells[c]) if c in cells else '-':>{col_w}}"
+            for c in columns)
+        lines.append(f"  {label:<{label_w}}{rendered}")
+    return "\n".join(lines)

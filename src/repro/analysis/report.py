@@ -1,0 +1,72 @@
+"""Full text report of a simulation run.
+
+``full_report(report)`` renders everything a user would want in one
+document: the headline numbers, per-layer latency/communication table,
+per-core utilization, energy decomposition, and NoC traffic — the
+expanded version of the latency/power/energy outputs in Fig. 1.
+"""
+
+from __future__ import annotations
+
+from ..runner.results import SimReport
+from .breakdown import energy_breakdown, unit_breakdown
+from .charts import ascii_bars
+
+__all__ = ["full_report", "layer_table", "core_table"]
+
+
+def layer_table(report: SimReport, *, limit: int | None = None) -> str:
+    """Per-layer busy-cycle table: matrix / vector / transfer + comm ratio."""
+    lines = [f"{'layer':<24}{'matrix':>12}{'vector':>12}{'transfer':>12}"
+             f"{'comm':>7}"]
+    layers = report.layer_names()
+    if limit is not None:
+        layers = layers[:limit]
+    for layer in layers:
+        busy = report.layer_busy[layer]
+        lines.append(
+            f"{layer:<24}{busy.get('matrix', 0):>12,}"
+            f"{busy.get('vector', 0):>12,}{busy.get('transfer', 0):>12,}"
+            f"{report.comm_ratio(layer):>7.0%}"
+        )
+    if limit is not None and len(report.layer_names()) > limit:
+        lines.append(f"... {len(report.layer_names()) - limit} more layers")
+    return "\n".join(lines)
+
+
+def core_table(report: SimReport) -> str:
+    """Per-core issue counts, stalls and unit busy shares."""
+    lines = [f"{'core':>5}{'issued':>10}{'halt':>12}{'rob stall':>12}"
+             f"{'matrix':>10}{'vector':>10}{'transfer':>10}"]
+    for core_id, stats in sorted(report.per_core.items()):
+        busy = stats.get("unit_busy", {})
+        halt = stats.get("halt_time")
+        lines.append(
+            f"{core_id:>5}{stats.get('issued', 0):>10,}"
+            f"{(halt if halt is not None else -1):>12,}"
+            f"{stats.get('rob_stall_cycles', 0):>12,}"
+            f"{busy.get('matrix', 0):>10,}{busy.get('vector', 0):>10,}"
+            f"{busy.get('transfer', 0):>10,}"
+        )
+    return "\n".join(lines)
+
+
+def full_report(report: SimReport, *, layer_limit: int | None = 40) -> str:
+    """The complete human-readable run report."""
+    sections = [
+        report.summary(),
+        "",
+        "== energy decomposition ==",
+        ascii_bars(energy_breakdown(report), fmt="{:.1%}"),
+        "",
+        "== unit activity (busy cycles, all cores) ==",
+        ascii_bars({k: float(v) for k, v in unit_breakdown(report).items()},
+                   fmt="{:,.0f}"),
+        "",
+        "== per-layer activity ==",
+        layer_table(report, limit=layer_limit),
+        "",
+        "== per-core activity ==",
+        core_table(report),
+    ]
+    return "\n".join(sections)

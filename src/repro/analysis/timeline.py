@@ -1,0 +1,51 @@
+"""ASCII activity timeline from an instruction-completion trace.
+
+Buckets the trace into fixed-width time windows per core and renders a
+Gantt-style strip per core: which unit dominated each window (``M``atrix,
+``V``ector, ``T``ransfer, ``S``calar), ``.`` for idle.  A quick visual
+answer to "where is the pipeline bubble?" without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+__all__ = ["timeline", "core_activity"]
+
+_UNIT_GLYPH = {"matrix": "M", "vector": "V", "transfer": "T", "scalar": "S"}
+
+
+def core_activity(trace: list[tuple[int, int, str, str]], total_cycles: int,
+                  *, buckets: int = 64) -> dict[int, list[str]]:
+    """Dominant unit per (core, time bucket) from a completion trace."""
+    if total_cycles <= 0:
+        raise ValueError("total_cycles must be positive")
+    if not trace:
+        return {}
+    width = max(1, total_cycles // buckets + (1 if total_cycles % buckets else 0))
+    counts: dict[int, list[dict[str, int]]] = {}
+    for cycle, core, unit, _text in trace:
+        rows = counts.setdefault(core, [dict() for _ in range(buckets)])
+        b = min(buckets - 1, cycle // width)
+        rows[b][unit] = rows[b].get(unit, 0) + 1
+    glyphs: dict[int, list[str]] = {}
+    for core, rows in counts.items():
+        glyphs[core] = [
+            _UNIT_GLYPH[max(row, key=row.get)] if row else "."
+            for row in rows
+        ]
+    return glyphs
+
+
+def timeline(trace: list[tuple[int, int, str, str]] | None,
+             total_cycles: int, *, buckets: int = 64) -> str:
+    """Render the per-core activity strips (requires a trace-enabled run)."""
+    if trace is None:
+        return ("(no trace recorded: enable it with sim.trace=True in the "
+                "architecture configuration)")
+    activity = core_activity(trace, total_cycles, buckets=buckets)
+    if not activity:
+        return "(empty trace)"
+    lines = [f"activity over {total_cycles:,} cycles "
+             f"(M=matrix V=vector T=transfer S=scalar .=idle):"]
+    for core in sorted(activity):
+        lines.append(f"  core {core:>3} |{''.join(activity[core])}|")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Cycle-accurate architecture models: cores, NoC, memory, energy."""
+
+from .chip import ChipModel, RawResult, run_program
+from .core import CoreModel
+from .energy import CATEGORIES, EnergyMeter
+from .flows import FlowChannel
+from .noc import GlobalMemory, MeshNoc, xy_route
+from .rob import ReorderBuffer, RobEntry
+from .units import MatrixUnit, ScalarUnit, TransferUnit, VectorUnit
+
+__all__ = [
+    "ChipModel",
+    "RawResult",
+    "run_program",
+    "CoreModel",
+    "ReorderBuffer",
+    "RobEntry",
+    "MatrixUnit",
+    "VectorUnit",
+    "TransferUnit",
+    "ScalarUnit",
+    "MeshNoc",
+    "GlobalMemory",
+    "xy_route",
+    "FlowChannel",
+    "EnergyMeter",
+    "CATEGORIES",
+]

@@ -1,0 +1,158 @@
+"""Chip model: cores + mesh NoC + global memory, and the run loop.
+
+:func:`run_program` is the simulator entry point: it instantiates the
+hardware described by the architecture configuration, loads the compiled
+chip program, runs the event kernel to completion and returns a
+:class:`RawResult` with cycles, energy and per-layer/per-core activity.
+
+Deadlocks (a protocol bug, e.g. hand-written programs with unmatched
+transfers) are detected when the event wheel drains with cores still
+unhalted, and reported with per-core program counters and flow states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ArchConfig, validate
+from ..isa import ChipProgram
+from ..sim import AllOf, DeadlockError, Simulator
+from .core import CoreModel
+from .energy import EnergyMeter
+from .flows import FlowChannel
+from .noc import GlobalMemory, MeshNoc
+
+__all__ = ["ChipModel", "RawResult", "run_program"]
+
+
+@dataclass
+class RawResult:
+    """Raw simulator outputs (wrapped by :mod:`repro.runner.results`)."""
+
+    cycles: int
+    energy_pj: dict[str, float]
+    #: layer -> unit -> busy cycles.
+    layer_busy: dict[str, dict[str, int]]
+    per_core: dict[int, dict]
+    noc: dict[str, int]
+    flow_stalls: int
+    meta: dict = field(default_factory=dict)
+    #: (cycle, core, unit, instruction) completion trace, when enabled.
+    trace: list[tuple[int, int, str, str]] | None = None
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_pj.values())
+
+
+class ChipModel:
+    """The simulated accelerator."""
+
+    def __init__(self, program: ChipProgram, config: ArchConfig) -> None:
+        validate(config)
+        self.program = program
+        self.config = config
+        self.sim = Simulator()
+        self.energy = EnergyMeter()
+        self.noc = MeshNoc(self.sim, config, self.energy)
+        self.gmem = GlobalMemory(self.sim, config, self.noc, self.energy)
+        self._flows: dict[int, FlowChannel] = {}
+        for flow_id, info in program.flows.items():
+            window = info.window or config.noc.sync_window
+            self._flows[flow_id] = FlowChannel(self.sim, info, self.noc, window)
+        self.cores: dict[int, CoreModel] = {
+            core_id: CoreModel(self, core_program)
+            for core_id, core_program in sorted(program.programs.items())
+        }
+        self._layer_busy: dict[str, dict[str, int]] = {}
+        self._finished = False
+        #: completion trace (cycle, core, unit, instruction repr) when
+        #: ``sim.trace`` is enabled; bounded by ``trace_limit``.
+        self.trace: list[tuple[int, int, str, str]] | None = (
+            [] if config.sim.trace else None)
+        self._trace_limit = 200_000
+
+    # -- hooks used by units ---------------------------------------------------
+
+    def flow(self, flow_id: int) -> FlowChannel:
+        return self._flows[flow_id]
+
+    def layer_busy(self, layer: str, unit: str, cycles: int) -> None:
+        if not layer:
+            layer = "<untagged>"
+        per_unit = self._layer_busy.setdefault(layer, {})
+        per_unit[unit] = per_unit.get(unit, 0) + cycles
+
+    def trace_event(self, core: int, unit: str, inst) -> None:
+        if self.trace is not None and len(self.trace) < self._trace_limit:
+            self.trace.append((self.sim.now, core, unit, repr(inst)))
+
+    # -- running ------------------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None) -> RawResult:
+        sim = self.sim
+        sim.spawn(self._completion_watcher(), "chip.watcher")
+        for core in self.cores.values():
+            core.start()
+        limit = max_cycles if max_cycles is not None else self.config.sim.max_cycles
+        sim.run(until=limit, detect_deadlock=False)
+        if not self._finished:
+            raise DeadlockError(self._diagnose(limit))
+        return self._collect()
+
+    def _completion_watcher(self):
+        yield AllOf(*[core.halted for core in self.cores.values()])
+        self._finished = True
+        self.sim.stop()
+
+    def _diagnose(self, limit: int | None) -> str:
+        stuck = [c for c in self.cores.values() if c.halt_time is None]
+        lines = []
+        if limit is not None and self.sim.now >= limit:
+            lines.append(f"simulation exceeded max_cycles={limit}")
+        else:
+            lines.append(f"simulation deadlocked at cycle {self.sim.now}")
+        lines.append(f"{len(stuck)}/{len(self.cores)} cores not halted:")
+        for core in stuck[:8]:
+            inflight = [repr(e.inst) for e in core.rob.entries if not e.done][:3]
+            lines.append(
+                f"  core {core.core_id}: issued={core.issued}/"
+                f"{len(core.program)} in-flight={inflight}"
+            )
+        waiting = [f for f in self._flows.values()
+                   if f.info.n_messages and f.outstanding]
+        for flowch in waiting[:8]:
+            lines.append(f"  pending {flowch!r}")
+        return "\n".join(lines)
+
+    def _collect(self) -> RawResult:
+        cycles = self.sim.now
+        seconds = cycles * self.config.sim.cycle_seconds
+        # No power gating: the whole core array leaks for the full run
+        # (this is why the paper's Fig. 3 energy ratios track its latency
+        # ratios so closely).
+        self.energy.add_leakage(self.config.energy, self.config.chip.n_cores,
+                                seconds)
+        return RawResult(
+            cycles=cycles,
+            energy_pj=self.energy.to_dict(),
+            layer_busy=self._layer_busy,
+            per_core={cid: core.stats() for cid, core in self.cores.items()},
+            noc={
+                "messages": self.noc.messages_sent,
+                "bytes": self.noc.bytes_sent,
+                "byte_hops": self.noc.byte_hops,
+                "gmem_read": self.gmem.bytes_read,
+                "gmem_written": self.gmem.bytes_written,
+                "hottest_links": self.noc.hottest_links(),
+            },
+            flow_stalls=sum(f.stall_cycles for f in self._flows.values()),
+            meta={"network": self.program.network, **self.program.meta},
+            trace=self.trace,
+        )
+
+
+def run_program(program: ChipProgram, config: ArchConfig, *,
+                max_cycles: int | None = None) -> RawResult:
+    """Simulate a compiled chip program to completion."""
+    return ChipModel(program, config).run(max_cycles=max_cycles)

@@ -1,0 +1,157 @@
+"""Core model: fetch / decode / dispatch front-end, ROB, execution units.
+
+The front-end issues the core's instruction stream in program order:
+
+1. fetch+decode (``fetch_width`` instructions per cycle),
+2. stall while the ROB is full (the ROB *is* the lookahead window — the
+   knob Fig. 4 sweeps),
+3. allocate a ROB entry and enqueue to the target execution unit.
+
+Hazards are enforced at unit issue, not dispatch: each unit holds an
+instruction until no *older* in-flight entry conflicts with it (RAW/WAR/
+WAW on registers or local memory, structural hazard on crossbar groups —
+see :meth:`~repro.arch.rob.ReorderBuffer.conflicts_before`), so
+independent younger instructions in other units keep flowing.  This is
+the paper's "dispatch unit which can identify the conflicts between
+instructions" working with the ROB to expose hardware parallelism.
+
+Branches resolve at dispatch (sources are hazard-checked first, so the
+register file is architecturally current); ``HALT`` stops issue and the
+core reports halted once its ROB drains.  Compiled programs are
+straight-line, but the branch path makes the core a complete interpreter
+for the ISA's scalar control flow (exercised by the ISA-level tests).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..isa import N_REGISTERS, Program, ScalarInst
+from ..sim import Event
+from .rob import ReorderBuffer
+from .units import MatrixUnit, ScalarUnit, TransferUnit, VectorUnit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .chip import ChipModel
+
+__all__ = ["CoreModel"]
+
+
+class CoreModel:
+    """One PIM core executing its compiled program."""
+
+    def __init__(self, chip: "ChipModel", program: Program) -> None:
+        self.chip = chip
+        self.sim = chip.sim
+        self.config = chip.config
+        self.core_id = program.core
+        self.program = program
+        self.groups = program.groups
+        self.regs = [0] * N_REGISTERS
+        self.rob = ReorderBuffer(chip.sim, chip.config.core.rob_size,
+                                 f"core{self.core_id}.rob")
+        self.units = {
+            "matrix": MatrixUnit(self),
+            "vector": VectorUnit(self),
+            "transfer": TransferUnit(self),
+            "scalar": ScalarUnit(self),
+        }
+        self.halted = Event(chip.sim, f"core{self.core_id}.halted")
+        self.halt_time: int | None = None
+        self.issued = 0
+        self.rob_stall_cycles = 0
+        self.hazard_stall_cycles = 0
+        self.queue_stall_cycles = 0
+
+    def start(self) -> None:
+        for unit in self.units.values():
+            unit.start()
+        self.sim.spawn(self._issue(), f"core{self.core_id}.issue")
+
+    # -- front-end ---------------------------------------------------------------
+
+    def _issue(self) -> Generator:
+        cfg = self.config.core
+        fill = cfg.decode_cycles + cfg.dispatch_cycles
+        if fill:
+            yield fill
+        insts = self.program.instructions
+        pc = 0
+        while 0 <= pc < len(insts):
+            inst = insts[pc]
+
+            if isinstance(inst, ScalarInst) and inst.op == "HALT":
+                break
+            if isinstance(inst, ScalarInst) and inst.is_control:
+                # Branch: wait for in-flight writers of its sources, then
+                # resolve against the architectural register file.
+                t0 = self.sim.now
+                while self.rob.has_conflict(inst):
+                    yield self.rob.completed
+                self.hazard_stall_cycles += self.sim.now - t0
+                pc = self._branch_target(inst, pc)
+                yield 1  # redirect bubble
+                continue
+
+            t0 = self.sim.now
+            while self.rob.full:
+                yield self.rob.slot_freed
+            self.rob_stall_cycles += self.sim.now - t0
+
+            entry = self.rob.allocate(inst)
+            unit = self.units[inst.unit]
+            t0 = self.sim.now
+            yield from unit.queue.put(entry)
+            self.queue_stall_cycles += self.sim.now - t0
+
+            self.issued += 1
+            pc += 1
+            if self.issued % cfg.fetch_width == 0:
+                yield 1
+
+        while not self.rob.empty:
+            yield self.rob.drained
+        self.halt_time = self.sim.now
+        self.halted.notify()
+
+    def _branch_target(self, inst: ScalarInst, pc: int) -> int:
+        if inst.op == "SJMP":
+            return inst.target
+        taken = (self.regs[inst.rs1] == self.regs[inst.rs2])
+        if inst.op == "SBNE":
+            taken = not taken
+        return inst.target if taken else pc + 1
+
+    # -- scalar ALU ------------------------------------------------------------
+
+    def execute_scalar(self, inst: ScalarInst) -> None:
+        """Architectural effect of a scalar instruction (called by the
+        scalar unit at completion)."""
+        if inst.op == "LI":
+            self.regs[inst.rd] = inst.imm
+        elif inst.op == "SADD":
+            self.regs[inst.rd] = self.regs[inst.rs1] + self.regs[inst.rs2]
+        elif inst.op == "SSUB":
+            self.regs[inst.rd] = self.regs[inst.rs1] - self.regs[inst.rs2]
+        elif inst.op == "SMUL":
+            self.regs[inst.rd] = self.regs[inst.rs1] * self.regs[inst.rs2]
+        elif inst.op == "SAND":
+            self.regs[inst.rd] = self.regs[inst.rs1] & self.regs[inst.rs2]
+        elif inst.op == "SOR":
+            self.regs[inst.rd] = self.regs[inst.rs1] | self.regs[inst.rs2]
+        # NOP / HALT: no architectural effect.
+
+    # -- reporting ----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "issued": self.issued,
+            "halt_time": self.halt_time,
+            "rob_stall_cycles": self.rob_stall_cycles,
+            "hazard_stall_cycles": self.hazard_stall_cycles,
+            "queue_stall_cycles": self.queue_stall_cycles,
+            "rob_peak": self.rob.occupancy.peak,
+            "unit_busy": {name: unit.busy_cycles
+                          for name, unit in self.units.items()},
+            "unit_ops": {name: unit.ops for name, unit in self.units.items()},
+        }

@@ -1,0 +1,66 @@
+"""Energy accounting.
+
+The meter accumulates picojoules per category as units execute; leakage is
+integrated over the final latency when the report is assembled.  Categories
+mirror the hardware inventory: crossbar reads, DACs, ADCs, vector ALU,
+scalar ALU, local memory, global memory, NoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EnergyMeter", "CATEGORIES"]
+
+CATEGORIES = ("xbar", "dac", "adc", "vector", "scalar",
+              "local_mem", "global_mem", "noc", "leakage")
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates dynamic energy per category (picojoules)."""
+
+    pj: dict[str, float] = field(default_factory=lambda: {c: 0.0 for c in CATEGORIES})
+
+    def add(self, category: str, picojoules: float) -> None:
+        self.pj[category] += picojoules
+
+    def mvm(self, energy_cfg, rows: int, cols: int, dac_phases: int,
+            count: int) -> None:
+        """Charge one MVM instruction: ``count`` input vectors through a
+        group of ``rows`` x ``cols`` active cells."""
+        self.add("xbar", energy_cfg.xbar_read_pj_per_cell * rows * cols * count)
+        self.add("dac", energy_cfg.dac_pj_per_conversion * rows * dac_phases * count)
+        self.add("adc", energy_cfg.adc_pj_per_sample * cols * dac_phases * count)
+
+    def vector_op(self, energy_cfg, length: int, mem_bytes: int) -> None:
+        self.add("vector", energy_cfg.vector_pj_per_element * length)
+        self.add("local_mem", energy_cfg.local_mem_pj_per_byte * mem_bytes)
+
+    def scalar_op(self, energy_cfg) -> None:
+        self.add("scalar", energy_cfg.scalar_pj_per_op)
+
+    def local_mem(self, energy_cfg, nbytes: int) -> None:
+        self.add("local_mem", energy_cfg.local_mem_pj_per_byte * nbytes)
+
+    def global_mem(self, energy_cfg, nbytes: int) -> None:
+        self.add("global_mem", energy_cfg.global_mem_pj_per_byte * nbytes)
+
+    def noc_traffic(self, energy_cfg, nbytes: int, hops: int) -> None:
+        self.add("noc", energy_cfg.noc_pj_per_byte_hop * nbytes * hops)
+
+    def add_leakage(self, energy_cfg, n_cores_used: int, seconds: float) -> None:
+        """Integrate static power over the run (charged once, at the end)."""
+        milliwatts = energy_cfg.chip_leakage_mw + energy_cfg.core_leakage_mw * n_cores_used
+        self.add("leakage", milliwatts * 1e-3 * seconds * 1e12)
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.pj.values())
+
+    @property
+    def dynamic_pj(self) -> float:
+        return self.total_pj - self.pj["leakage"]
+
+    def to_dict(self) -> dict[str, float]:
+        return dict(self.pj)

@@ -1,0 +1,132 @@
+"""Mesh network-on-chip and global memory models.
+
+The chip interconnect is a 2D mesh with dimension-ordered (XY) routing.
+A message occupies each link on its path in turn: per hop it arbitrates
+for the link (FIFO), pays the hop latency plus the serialization time of
+its payload, then moves on — a store-and-forward model that is slightly
+pessimistic versus wormhole switching but preserves the contention and
+backpressure behaviour the paper's synchronized-communication argument
+rests on (contrast: MNSIM2.0's instantaneous, infinitely-buffered model,
+reproduced in :mod:`repro.baseline`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+from ..config import ArchConfig
+from ..sim import Mutex, Resource, Simulator
+from .energy import EnergyMeter
+
+__all__ = ["MeshNoc", "GlobalMemory", "xy_route"]
+
+Coord = tuple[int, int]
+
+
+def xy_route(src: Coord, dst: Coord) -> list[tuple[Coord, Coord]]:
+    """Dimension-ordered route: X (columns) first, then Y (rows).
+
+    Returns the list of directed links ((from, to) coordinate pairs).
+    """
+    links: list[tuple[Coord, Coord]] = []
+    r, c = src
+    while c != dst[1]:
+        step = 1 if dst[1] > c else -1
+        links.append(((r, c), (r, c + step)))
+        c += step
+    while r != dst[0]:
+        step = 1 if dst[0] > r else -1
+        links.append(((r, c), (r + step, c)))
+        r += step
+    return links
+
+
+class MeshNoc:
+    """The chip's mesh interconnect."""
+
+    def __init__(self, sim: Simulator, config: ArchConfig,
+                 energy: EnergyMeter) -> None:
+        self.sim = sim
+        self.config = config
+        self.energy = energy
+        self._links: dict[tuple[Coord, Coord], Mutex] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.byte_hops = 0
+        #: traffic per directed link, for hotspot analysis.
+        self.link_bytes: dict[tuple[Coord, Coord], int] = {}
+
+    def _link(self, key: tuple[Coord, Coord]) -> Mutex:
+        if key not in self._links:
+            self._links[key] = Mutex(self.sim, f"link{key}")
+        return self._links[key]
+
+    def core_xy(self, core_id: int) -> Coord:
+        return self.config.core_xy(core_id)
+
+    def transmit(self, src_core: int, dst_core: int, nbytes: int) -> Generator:
+        """Coroutine: move ``nbytes`` from one core to another."""
+        yield from self.transmit_xy(self.core_xy(src_core),
+                                    self.core_xy(dst_core), nbytes)
+
+    def transmit_xy(self, src: Coord, dst: Coord, nbytes: int) -> Generator:
+        noc_cfg = self.config.noc
+        path = xy_route(src, dst)
+        serialization = math.ceil(nbytes / noc_cfg.link_bytes_per_cycle)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.byte_hops += nbytes * len(path)
+        self.energy.noc_traffic(self.config.energy, nbytes, len(path))
+        if not path:  # same node
+            return
+        for key in path:
+            self.link_bytes[key] = self.link_bytes.get(key, 0) + nbytes
+            if noc_cfg.model_contention:
+                link = self._link(key)
+                yield from link.acquire()
+                yield noc_cfg.hop_cycles + serialization
+                link.release()
+            else:
+                yield noc_cfg.hop_cycles + serialization
+
+    def hops(self, src_core: int, dst_core: int) -> int:
+        return len(xy_route(self.core_xy(src_core), self.core_xy(dst_core)))
+
+    def hottest_links(self, n: int = 8) -> list[tuple[str, int]]:
+        """The ``n`` busiest directed links as ("(r,c)->(r,c)", bytes)."""
+        ranked = sorted(self.link_bytes.items(), key=lambda kv: -kv[1])[:n]
+        return [(f"{a}->{b}", nbytes) for (a, b), nbytes in ranked]
+
+
+class GlobalMemory:
+    """The chip's global memory behind a bandwidth-limited port."""
+
+    def __init__(self, sim: Simulator, config: ArchConfig, noc: MeshNoc,
+                 energy: EnergyMeter) -> None:
+        self.sim = sim
+        self.config = config
+        self.noc = noc
+        self.energy = energy
+        self._port = Resource(sim, 1, "gmem.port")
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def access(self, core_id: int, nbytes: int, *, write: bool) -> Generator:
+        """Coroutine: one LOAD (read) or STORE (write) from a core.
+
+        Cost: mesh traversal to the memory access point, port arbitration,
+        access latency and payload serialization at the memory bandwidth.
+        """
+        chip = self.config.chip
+        core = self.noc.core_xy(core_id)
+        yield from self.noc.transmit_xy(core, chip.global_memory_xy, nbytes)
+        yield from self._port.acquire()
+        yield chip.global_memory_latency_cycles + math.ceil(
+            nbytes / chip.global_memory_bytes_per_cycle)
+        self._port.release()
+        self.energy.global_mem(self.config.energy, nbytes)
+        if write:
+            self.bytes_written += nbytes
+        else:
+            self.bytes_read += nbytes

@@ -1,0 +1,227 @@
+"""The four execution units of a core (Fig. 2b/2c).
+
+* :class:`MatrixUnit` — drives crossbar groups; MVMs to *different* groups
+  proceed concurrently (each group has its own converters), optionally
+  throttled by core-level shared-ADC domains; MVMs to the same group never
+  coexist (the dispatch stage's structural-hazard check guarantees it).
+* :class:`VectorUnit` — one SIMD operation at a time; latency is the max
+  of ALU time (``length / lanes``) and local-memory streaming time.
+* :class:`TransferUnit` — executes SEND/RECV against the windowed flow
+  channels and LOAD/STORE against global memory, strictly in order (a DMA
+  engine); its busy time *includes* synchronization stalls, which is what
+  the per-layer communication-latency ratio measures.
+* :class:`ScalarUnit` — functional execution of register ALU ops.
+
+Each unit pulls ROB entries from its issue queue, executes, charges energy
+and per-layer busy time, and marks the entry done.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Generator
+
+from ..isa import MvmInst, ScalarInst, TransferInst, VectorInst
+from ..sim import Fifo, Resource
+from .rob import RobEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import CoreModel
+
+__all__ = ["MatrixUnit", "VectorUnit", "TransferUnit", "ScalarUnit"]
+
+
+class _UnitBase:
+    """Common queue/bookkeeping for execution units."""
+
+    name = "?"
+
+    def __init__(self, core: "CoreModel") -> None:
+        self.core = core
+        self.sim = core.sim
+        # Queues never throttle below the ROB window: the ROB is the
+        # architectural lookahead limit (Fig. 4), the queue only stages.
+        depth = max(core.config.core.unit_queue_depth,
+                    core.config.core.rob_size)
+        self.queue = Fifo(core.sim, depth,
+                          f"core{core.core_id}.{self.name}.q")
+        self.busy_cycles = 0
+        self.ops = 0
+
+    def start(self) -> None:
+        self.sim.spawn(self._loop(), f"core{self.core.core_id}.{self.name}")
+
+    def _loop(self) -> Generator:
+        raise NotImplementedError
+
+    def _wait_ready(self, entry: RobEntry) -> Generator:
+        """Coroutine: block until no older in-flight instruction conflicts
+        with this one (issue-side hazard enforcement)."""
+        rob = self.core.rob
+        while rob.conflicts_before(entry):
+            yield rob.completed
+
+    def _account(self, entry: RobEntry, start: int) -> None:
+        elapsed = self.sim.now - start
+        self.busy_cycles += elapsed
+        self.ops += 1
+        self.core.chip.layer_busy(entry.inst.layer, self.name, elapsed)
+        self.core.chip.trace_event(self.core.core_id, self.name, entry.inst)
+        self.core.rob.mark_done(entry)
+
+
+class MatrixUnit(_UnitBase):
+    name = "matrix"
+
+    def __init__(self, core: "CoreModel") -> None:
+        super().__init__(core)
+        domains = core.config.core.shared_adc_domains
+        self._adc = (Resource(core.sim, domains,
+                              f"core{core.core_id}.adc") if domains else None)
+
+    def _loop(self) -> Generator:
+        while True:
+            entry = yield from self.queue.get()
+            yield from self._wait_ready(entry)
+            # Each MVM runs in its own child process so independent groups
+            # overlap; issue bandwidth is one MVM per cycle.
+            self.sim.spawn(self._execute(entry),
+                           f"core{self.core.core_id}.mvm")
+            yield 1
+
+    def _execute(self, entry: RobEntry) -> Generator:
+        inst = entry.inst
+        assert isinstance(inst, MvmInst)
+        start = self.sim.now
+        cfg = self.core.config
+        group = self.core.groups.get(inst.group)
+        if self._adc is not None:
+            yield from self._adc.acquire()
+        compute = inst.count * cfg.crossbar.mvm_cycles()
+        in_bytes = inst.count * group.rows * cfg.compiler.activation_bytes
+        out_bytes = inst.dst_bytes
+        stream = math.ceil(in_bytes / cfg.core.local_memory_read_bytes_per_cycle) \
+            + math.ceil(out_bytes / cfg.core.local_memory_write_bytes_per_cycle)
+        yield max(compute, stream)
+        if self._adc is not None:
+            self._adc.release()
+        meter = self.core.chip.energy
+        meter.mvm(cfg.energy, group.rows, group.cols,
+                  cfg.crossbar.dac_phases, inst.count)
+        meter.local_mem(cfg.energy, in_bytes + out_bytes)
+        self._account(entry, start)
+
+
+class VectorUnit(_UnitBase):
+    name = "vector"
+
+    def _loop(self) -> Generator:
+        cfg = self.core.config
+        lanes = cfg.core.vector_lanes
+        issue = cfg.core.vector_issue_cycles
+        read_bw = cfg.core.local_memory_read_bytes_per_cycle
+        write_bw = cfg.core.local_memory_write_bytes_per_cycle
+        while True:
+            entry = yield from self.queue.get()
+            yield from self._wait_ready(entry)
+            inst = entry.inst
+            assert isinstance(inst, VectorInst)
+            start = self.sim.now
+            read_bytes = inst.src_bytes * inst.n_sources
+            alu = math.ceil(inst.length / lanes)
+            stream = max(math.ceil(read_bytes / read_bw),
+                         math.ceil(inst.dst_bytes / write_bw))
+            yield issue + max(alu, stream)
+            self.core.chip.energy.vector_op(
+                cfg.energy, inst.length, read_bytes + inst.dst_bytes)
+            self._account(entry, start)
+
+
+class TransferUnit(_UnitBase):
+    """In-order transfer engine with per-flow virtual output channels.
+
+    RECV/LOAD/STORE execute serially in program order.  A SEND drains its
+    payload from local memory serially, but then parks in its *flow's* own
+    output queue, where a per-flow drainer pushes it through the credit
+    window and the mesh — so a send blocked on a lagging consumer (a skip
+    connection, a slow inception branch) never head-of-line-blocks traffic
+    to other consumers.  This mirrors per-destination output FIFOs in real
+    NoC interfaces and is what makes windowed synchronized transfers
+    deadlock-free on arbitrary DAGs (see DESIGN.md).
+    """
+
+    name = "transfer"
+
+    def __init__(self, core: "CoreModel") -> None:
+        super().__init__(core)
+        self._send_queues: dict[int, Fifo] = {}
+
+    def _send_queue(self, flow_id: int) -> Fifo:
+        if flow_id not in self._send_queues:
+            queue = Fifo(self.sim, None,
+                         f"core{self.core.core_id}.sendq{flow_id}")
+            self._send_queues[flow_id] = queue
+            self.sim.spawn(self._flow_drainer(flow_id, queue),
+                           f"core{self.core.core_id}.drain{flow_id}")
+        return self._send_queues[flow_id]
+
+    def _flow_drainer(self, flow_id: int, queue: Fifo) -> Generator:
+        chip = self.core.chip
+        channel = chip.flow(flow_id)
+        while True:
+            entry, issued_at = yield from queue.get()
+            yield from channel.send(entry.inst.bytes)
+            elapsed = self.sim.now - issued_at
+            self.busy_cycles += elapsed
+            chip.layer_busy(entry.inst.layer, self.name, elapsed)
+            chip.trace_event(self.core.core_id, self.name, entry.inst)
+            self.core.rob.mark_done(entry)
+
+    def _loop(self) -> Generator:
+        cfg = self.core.config
+        read_bw = cfg.core.local_memory_read_bytes_per_cycle
+        write_bw = cfg.core.local_memory_write_bytes_per_cycle
+        chip = self.core.chip
+        while True:
+            entry = yield from self.queue.get()
+            yield from self._wait_ready(entry)
+            inst = entry.inst
+            assert isinstance(inst, TransferInst)
+            start = self.sim.now
+            if inst.op == "SEND":
+                yield math.ceil(inst.bytes / read_bw)  # drain local memory
+                chip.energy.local_mem(cfg.energy, inst.bytes)
+                self.ops += 1
+                ok = self._send_queue(inst.flow).try_put((entry, self.sim.now))
+                assert ok  # send queues are unbounded
+                continue
+            if inst.op == "RECV":
+                yield from chip.flow(inst.flow).recv(inst.seq)
+                yield math.ceil(inst.bytes / write_bw)  # fill local memory
+            elif inst.op == "LOAD":
+                yield from chip.gmem.access(self.core.core_id, inst.bytes,
+                                            write=False)
+                yield math.ceil(inst.bytes / write_bw)
+            else:  # STORE
+                yield math.ceil(inst.bytes / read_bw)
+                yield from chip.gmem.access(self.core.core_id, inst.bytes,
+                                            write=True)
+            chip.energy.local_mem(cfg.energy, inst.bytes)
+            self._account(entry, start)
+
+
+class ScalarUnit(_UnitBase):
+    name = "scalar"
+
+    def _loop(self) -> Generator:
+        cfg = self.core.config
+        while True:
+            entry = yield from self.queue.get()
+            yield from self._wait_ready(entry)
+            inst = entry.inst
+            assert isinstance(inst, ScalarInst)
+            start = self.sim.now
+            yield max(1, cfg.core.scalar_cycles)
+            self.core.execute_scalar(inst)
+            self.core.chip.energy.scalar_op(cfg.energy)
+            self._account(entry, start)

@@ -1,0 +1,5 @@
+"""MNSIM2.0-style behaviour-level baseline (the Fig. 5 comparator)."""
+
+from .mnsim import DEFAULT_PE_PARALLELISM, BaselineResult, run_baseline
+
+__all__ = ["BaselineResult", "run_baseline", "DEFAULT_PE_PARALLELISM"]

@@ -1,0 +1,45 @@
+"""The PIMCOMP-style compiler: frontend, mapping, allocation, codegen."""
+
+from .allocator import AllocatorSet, CoreAllocator, Region
+from .batching import repeat_chip_program
+from .codegen import ACC_BYTES, generate_code
+from .frontend import CompileError, Pipeline, Stage, StageEdge, build_pipeline
+from .mapping import map_network, map_performance_first, map_utilization_first
+from .pipeline import CompilationResult, compile_network
+from .placement import Placement, Slice, StagePlan
+from .tiling import (
+    WeightTiling,
+    compute_levels,
+    n_tiles,
+    required_tile,
+    tile_pixel_range,
+    weight_tiling,
+)
+
+__all__ = [
+    "compile_network",
+    "repeat_chip_program",
+    "CompilationResult",
+    "build_pipeline",
+    "Pipeline",
+    "Stage",
+    "StageEdge",
+    "CompileError",
+    "map_network",
+    "map_utilization_first",
+    "map_performance_first",
+    "Placement",
+    "StagePlan",
+    "Slice",
+    "WeightTiling",
+    "weight_tiling",
+    "n_tiles",
+    "tile_pixel_range",
+    "required_tile",
+    "compute_levels",
+    "generate_code",
+    "ACC_BYTES",
+    "AllocatorSet",
+    "CoreAllocator",
+    "Region",
+]

@@ -1,0 +1,110 @@
+"""Per-core local-memory allocation.
+
+The code generator asks for named *regions* (input rings, accumulator
+scratch, output rings, partial-receive staging) on each core; the allocator
+hands out non-overlapping byte ranges with a simple bump pointer and fails
+loudly when a core's local memory is over-subscribed — listing the regions,
+so the user knows which buffer to shrink (smaller ``tile_pixels`` or
+``sync_window``).
+
+Ring regions expose ``slot(i)`` addressing: slot ``i % slots``.  Reusing a
+slot after ``slots`` tiles is safe because the dispatch stage's WAR/WAW
+hazard checks serialize any in-flight overlap, and program-level windowing
+keeps producers at most ``slots`` tiles ahead (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .frontend import CompileError
+
+__all__ = ["Region", "CoreAllocator", "AllocatorSet"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named byte range in one core's local memory, optionally a ring."""
+
+    name: str
+    base: int
+    slots: int
+    slot_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.slots * self.slot_bytes
+
+    @property
+    def end(self) -> int:
+        return self.base + self.total_bytes
+
+    def slot(self, index: int) -> int:
+        """Base address of ring slot ``index % slots``."""
+        return self.base + (index % self.slots) * self.slot_bytes
+
+    def range_of(self, index: int, bytes_used: int | None = None) -> tuple[int, int]:
+        """Byte range of one slot (clamped to the slot size)."""
+        used = self.slot_bytes if bytes_used is None else min(bytes_used, self.slot_bytes)
+        start = self.slot(index)
+        return start, start + used
+
+
+class CoreAllocator:
+    """Bump allocator for one core's local memory."""
+
+    def __init__(self, core: int, capacity: int) -> None:
+        self.core = core
+        self.capacity = capacity
+        self._next = 0
+        self.regions: dict[str, Region] = {}
+
+    def alloc(self, name: str, slot_bytes: int, slots: int = 1) -> Region:
+        """Reserve ``slots`` x ``slot_bytes``; names must be unique."""
+        if name in self.regions:
+            raise CompileError(f"core {self.core}: duplicate region {name!r}")
+        if slot_bytes <= 0 or slots <= 0:
+            raise CompileError(
+                f"core {self.core}: bad region {name!r} "
+                f"({slots} x {slot_bytes} bytes)"
+            )
+        region = Region(name=name, base=self._next, slots=slots,
+                        slot_bytes=slot_bytes)
+        self._next = region.end
+        if self._next > self.capacity:
+            listing = "\n    ".join(
+                f"{r.name}: {r.slots}x{r.slot_bytes}B" for r in self.regions.values()
+            )
+            raise CompileError(
+                f"core {self.core}: local memory over-subscribed "
+                f"({self._next} > {self.capacity} bytes) while allocating "
+                f"{name!r} ({slots}x{slot_bytes}B); existing regions:\n    {listing}"
+            )
+        self.regions[name] = region
+        return region
+
+    def get(self, name: str) -> Region:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise CompileError(f"core {self.core}: no region {name!r}") from None
+
+    @property
+    def bytes_used(self) -> int:
+        return self._next
+
+
+class AllocatorSet:
+    """Lazy per-core allocator collection."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._cores: dict[int, CoreAllocator] = {}
+
+    def core(self, core_id: int) -> CoreAllocator:
+        if core_id not in self._cores:
+            self._cores[core_id] = CoreAllocator(core_id, self.capacity)
+        return self._cores[core_id]
+
+    def usage(self) -> dict[int, int]:
+        return {cid: alloc.bytes_used for cid, alloc in self._cores.items()}

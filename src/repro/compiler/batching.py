@@ -1,0 +1,56 @@
+"""Batched inference: repeat a compiled program for N pipelined images.
+
+PIM inference accelerators amortize their pipeline fill over a stream of
+inputs.  :func:`repeat_chip_program` unrolls a compiled single-image chip
+program ``batch`` times: per-core streams are concatenated (one HALT at
+the very end), transfer sequence numbers continue across repetitions, and
+flow message counts scale — so consecutive images overlap in the hardware
+exactly as consecutive tiles of one image do, and throughput approaches
+steady-state pipeline rate rather than latency x N.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..isa import ChipProgram, FlowInfo, Program, ScalarInst, TransferInst
+
+__all__ = ["repeat_chip_program"]
+
+
+def repeat_chip_program(chip: ChipProgram, batch: int) -> ChipProgram:
+    """Unroll a sealed single-image program for ``batch`` images."""
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if batch == 1:
+        return chip
+
+    out = ChipProgram(network=f"{chip.network}x{batch}")
+    messages_per_image = {fid: info.n_messages
+                          for fid, info in chip.flows.items()}
+
+    for core_id, program in chip.programs.items():
+        body = [inst for inst in program.instructions
+                if not (isinstance(inst, ScalarInst) and inst.op == "HALT")]
+        repeated = Program(core=core_id, groups=program.groups,
+                           local_memory_used=program.local_memory_used)
+        for image in range(batch):
+            for inst in body:
+                if isinstance(inst, TransferInst) and inst.op in ("SEND",
+                                                                  "RECV"):
+                    inst = dataclasses.replace(
+                        inst,
+                        seq=inst.seq + image * messages_per_image[inst.flow],
+                        index=-1)
+                else:
+                    inst = dataclasses.replace(inst, index=-1)
+                repeated.append(inst)
+        out.programs[core_id] = repeated.seal()
+
+    out.flows = {
+        fid: dataclasses.replace(info, n_messages=info.n_messages * batch)
+        for fid, info in chip.flows.items()
+    }
+    out.layer_cores = dict(chip.layer_cores)
+    out.meta = {**chip.meta, "batch": batch}
+    return out

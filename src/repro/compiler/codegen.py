@@ -1,0 +1,655 @@
+"""Code generation: placement + pipeline -> per-core instruction streams.
+
+The generator walks *work items* — (stage, output tile) pairs — in a global
+dependency-level order (:func:`~repro.compiler.tiling.compute_levels`) and
+emits, on every participating core:
+
+1. input acquisition — ``RECV`` new producer tiles (or ``LOAD`` from global
+   memory; nothing for co-resident producers, whose output ring is read
+   directly through local memory),
+2. compute — per weight copy, per row block: one ``MVM`` through the
+   crossbar group, double-buffered into a ping-pong partial region, then a
+   ``VADD`` accumulation (so MVMs of adjacent row blocks overlap while the
+   accumulation chain stays ordered),
+3. gathering — cores holding only part of the weight matrix ``SEND`` their
+   (partial) results to the stage's home core, which ``VADD``-merges them —
+   the intra-layer communication that penalizes utilization-first mapping,
+4. post-ops — fused relu / pool on the home core's vector unit, writeback
+   into the stage's output ring,
+5. distribution — ``SEND`` the output tile to every remote consumer core
+   (``STORE`` to global memory for network outputs).
+
+Every emitted address comes from the :class:`~repro.compiler.allocator`
+regions, so the dispatch stage's hazard detection operates on a consistent
+memory map.  Timing-irrelevant layout details (exact cell offsets of
+non-contiguous column groups) are approximated by contiguous ranges; see
+DESIGN.md "codegen granularity".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import (
+    ChipProgram,
+    FlowInfo,
+    GroupTable,
+    MvmInst,
+    Program,
+    TransferInst,
+    VectorInst,
+)
+from .allocator import AllocatorSet, Region
+from .frontend import CompileError, Pipeline, Stage
+from .placement import Placement, StagePlan
+from .tiling import (
+    compute_levels,
+    edge_requirements,
+    edge_skews,
+    n_tiles,
+    required_tile,
+    tile_pixel_range,
+)
+
+__all__ = ["generate_code", "ACC_BYTES"]
+
+#: accumulator precision in the local memory (partial sums).
+ACC_BYTES = 4
+
+
+@dataclass(frozen=True)
+class _GroupRef:
+    """Resolved crossbar group + layout info for one (copy, row_block)."""
+
+    group_id: int
+    cols_cells: int
+    cell_offset: int
+    rows: int
+
+
+class _CodeGenerator:
+    def __init__(self, pipeline: Pipeline, placement: Placement, config) -> None:
+        self.pipeline = pipeline
+        self.placement = placement
+        self.config = config
+        self.tile_pixels = config.compiler.tile_pixels
+        self.act_bytes = config.compiler.activation_bytes
+        self.window = config.noc.sync_window
+
+        self.stages = {s.name: s for s in pipeline.stages}
+        self.levels = compute_levels(pipeline, self.tile_pixels)
+        self.reqs = edge_requirements(pipeline, self.tile_pixels)
+        self.skews = edge_skews(pipeline, self.tile_pixels)
+        self.home: dict[str, int | None] = {}
+        self.receivers: dict[str, list[int]] = {}
+        self.allocs = AllocatorSet(config.core.local_memory_bytes)
+        self.group_tables: dict[int, GroupTable] = {}
+        self.group_refs: dict[tuple[str, int, int, int], _GroupRef] = {}
+        self.in_regions: dict[tuple[str, int, int], Region] = {}
+        self.out_regions: dict[str, Region] = {}
+        self.acc_regions: dict[tuple[str, int], Region] = {}
+        self.part_regions: dict[tuple[str, int, int], Region] = {}
+        self.prec_regions: dict[tuple[str, int], Region] = {}
+        self.flows: dict[int, FlowInfo] = {}
+        self.flow_ids: dict[tuple, int] = {}
+        self.programs: dict[int, Program] = {}
+
+    # ------------------------------------------------------------------ setup
+
+    def _assign_homes(self) -> None:
+        """Home core per stage; aux stages land on their first producer's
+        home (free local handoff for that input)."""
+        for stage in self.pipeline:
+            if stage.kind == "input":
+                self.home[stage.name] = None
+            elif stage.kind == "compute":
+                self.home[stage.name] = self.placement.plan(stage.name).home_core
+            else:
+                home = None
+                for edge in stage.edges:
+                    home = self.home.get(edge.producer)
+                    if home is not None:
+                        break
+                self.home[stage.name] = 0 if home is None else home
+
+    def _assign_receivers(self) -> None:
+        for stage in self.pipeline:
+            if stage.kind == "input":
+                self.receivers[stage.name] = []
+            elif stage.kind == "compute":
+                self.receivers[stage.name] = self.placement.plan(stage.name).cores
+            else:
+                self.receivers[stage.name] = [self.home[stage.name]]
+
+    def _tile_bytes(self, stage: Stage, tile: int) -> int:
+        lo, hi = tile_pixel_range(stage, self.tile_pixels, tile)
+        return (hi - lo) * stage.out_channels * self.act_bytes
+
+    def _nominal_tile_bytes(self, stage: Stage) -> int:
+        px = min(self.tile_pixels, stage.out_pixels)
+        return px * stage.out_channels * self.act_bytes
+
+    def _edge_window(self, stage: Stage, edge_idx: int) -> int:
+        """Credit window / input-ring depth for one consumer edge.
+
+        Structural skew (skip connections, branch joins) plus the
+        configured ``sync_window`` of slack; full-input consumers buffer
+        the producer's entire output.
+        """
+        edge = stage.edges[edge_idx]
+        producer = self.stages[edge.producer]
+        p_tiles = n_tiles(producer, self.tile_pixels)
+        if edge.full_input:
+            return p_tiles
+        skew = self.skews.get((stage.name, edge_idx), 0)
+        # +4: the in-order-retire ROB lets a sender dispatch a few items
+        # past a credit-blocked SEND before jamming; the window must cover
+        # that lookahead on top of the structural skew.
+        return min(p_tiles, skew + self.window + 4)
+
+    def _out_ring_slots(self, stage: Stage) -> int:
+        """Output ring depth on the home core.
+
+        Must hold a tile until its last reader is done with it: remote
+        consumers are covered by their flow window (the SEND holds the
+        slot via WAR hazards), co-resident consumers read the ring
+        directly, so the depth must span the level-order distance between
+        the producer writing a tile and the consumer's item that reads it.
+        """
+        nt = n_tiles(stage, self.tile_pixels)
+        home = self.home[stage.name]
+        lv_p = self.levels[stage.name]
+        depth = max(2, self.window)
+        for consumer in self.pipeline:
+            for edge_idx, edge in enumerate(consumer.edges):
+                if edge.producer != stage.name:
+                    continue
+                if home not in self.receivers[consumer.name]:
+                    depth = max(depth, self._edge_window(consumer, edge_idx))
+                    continue
+                if edge.full_input:
+                    return nt
+                req = self.reqs[(consumer.name, edge_idx)]
+                lv_c = self.levels[consumer.name]
+                # max producer item ordered (by level) before consumer item t
+                p = 0
+                for t, req_t in enumerate(req):
+                    while p < nt and lv_p[p] <= lv_c[t]:
+                        p += 1
+                    depth = max(depth, (p - 1) - req_t + 2)
+        return min(nt, depth)
+
+    def _build_groups(self) -> None:
+        """Define crossbar groups per (stage, core, copy, row block)."""
+        for stage in self.pipeline.compute_stages:
+            plan = self.placement.plan(stage.name)
+            tiling = plan.tiling
+            global_off = self._global_cell_offsets(plan)
+            for core in plan.cores:
+                table = self.group_tables.setdefault(core, GroupTable(core))
+                local_off = self._local_cell_offsets(plan, core)
+                is_home = core == self.home[stage.name]
+                offsets = global_off if is_home else local_off
+                for copy in plan.copies_on(core):
+                    rows_cols: dict[int, list[int]] = {}
+                    for sl in plan.slices_on(core):
+                        if sl.copy != copy:
+                            continue
+                        for r in range(sl.row_lo, sl.row_hi):
+                            rows_cols.setdefault(r, []).extend(
+                                range(sl.col_lo, sl.col_hi))
+                    for r, col_blocks in sorted(rows_cols.items()):
+                        col_blocks = sorted(set(col_blocks))
+                        cols_cells = sum(tiling.block_cols(cb) for cb in col_blocks)
+                        group = table.define(
+                            layer=stage.name, copy=copy, row_block=r,
+                            n_crossbars=len(col_blocks),
+                            rows=tiling.block_rows(r), cols=cols_cells,
+                        )
+                        self.group_refs[(stage.name, core, copy, r)] = _GroupRef(
+                            group_id=group.group_id,
+                            cols_cells=cols_cells,
+                            cell_offset=offsets[col_blocks[0]],
+                            rows=tiling.block_rows(r),
+                        )
+
+    @staticmethod
+    def _global_cell_offsets(plan: StagePlan) -> dict[int, int]:
+        offsets, acc = {}, 0
+        for cb in range(plan.tiling.col_blocks):
+            offsets[cb] = acc
+            acc += plan.tiling.block_cols(cb)
+        return offsets
+
+    @staticmethod
+    def _local_cell_offsets(plan: StagePlan, core: int) -> dict[int, int]:
+        present: set[int] = set()
+        for sl in plan.slices_on(core):
+            present.update(range(sl.col_lo, sl.col_hi))
+        offsets, acc = {}, 0
+        for cb in sorted(present):
+            offsets[cb] = acc
+            acc += plan.tiling.block_cols(cb)
+        return offsets
+
+    def _cells_on(self, stage: Stage, core: int) -> int:
+        """Accumulator cells a core materializes for one output pixel.
+
+        With bit-sliced weights each logical channel accumulates
+        ``slices_per_weight`` physical partial products before the
+        shift-add merge, so home-core accumulators scale accordingly
+        (non-home counts are physical already via the tiling).
+        """
+        plan = self.placement.plan(stage.name)
+        if core == self.home[stage.name]:
+            return stage.out_channels * self.config.crossbar.slices_per_weight
+        return plan.col_cells_on(core)
+
+    def _allocate(self) -> None:
+        """Reserve all local-memory regions, deterministically."""
+        for stage in self.pipeline:
+            if stage.kind == "input":
+                continue
+            # input rings
+            for edge_idx, edge in enumerate(stage.edges):
+                producer = self.stages[edge.producer]
+                p_home = self.home[edge.producer]
+                slot_bytes = self._nominal_tile_bytes(producer)
+                slots = self._edge_window(stage, edge_idx)
+                for core in self.receivers[stage.name]:
+                    if producer.kind != "input" and p_home == core:
+                        continue  # co-resident: read the producer's out ring
+                    region = self.allocs.core(core).alloc(
+                        f"in:{stage.name}:{edge_idx}", slot_bytes, slots)
+                    self.in_regions[(stage.name, edge_idx, core)] = region
+            # compute scratch
+            if stage.kind == "compute":
+                plan = self.placement.plan(stage.name)
+                cpp = stage.compute_per_pixel
+                px = min(self.tile_pixels, stage.out_pixels)
+                for core in plan.cores:
+                    cells = self._cells_on(stage, core)
+                    self.acc_regions[(stage.name, core)] = self.allocs.core(core).alloc(
+                        f"acc:{stage.name}", px * cpp * cells * ACC_BYTES, 1)
+                    copy_px = -(-px // plan.copies)  # ceil
+                    for copy in plan.copies_on(core):
+                        refs = [ref for key, ref in self.group_refs.items()
+                                if key[0] == stage.name and key[1] == core
+                                and key[2] == copy]
+                        if not refs:
+                            continue
+                        max_gcols = max(ref.cols_cells for ref in refs)
+                        # One partial slot per row block (capped): MVMs of a
+                        # tile land in distinct slots and can all be in
+                        # flight at once — the ROB, not the buffer, bounds
+                        # the overlap (Fig. 4).  Eight slots exceed any
+                        # per-copy overlap a <=16-entry ROB can sustain.
+                        slots = min(len(refs), 8)
+                        self.part_regions[(stage.name, core, copy)] = (
+                            self.allocs.core(core).alloc(
+                                f"part:{stage.name}:{copy}",
+                                copy_px * cpp * max_gcols * ACC_BYTES, slots))
+                home = self.home[stage.name]
+                for partner in plan.cores:
+                    if partner == home:
+                        continue
+                    cells = self._cells_on(stage, partner)
+                    self.prec_regions[(stage.name, partner)] = (
+                        self.allocs.core(home).alloc(
+                            f"prec:{stage.name}:{partner}",
+                            px * cpp * cells * ACC_BYTES, 2))
+            # output ring on the home core
+            home = self.home[stage.name]
+            self.out_regions[stage.name] = self.allocs.core(home).alloc(
+                f"out:{stage.name}", self._nominal_tile_bytes(stage),
+                self._out_ring_slots(stage))
+
+    def _declare_flows(self) -> None:
+        """Flow ids for every remote producer->consumer-core stream and
+        every partial-gather stream."""
+        next_id = 0
+        for stage in self.pipeline:
+            if stage.kind == "input":
+                continue
+            for edge_idx, edge in enumerate(stage.edges):
+                producer = self.stages[edge.producer]
+                if producer.kind == "input":
+                    continue  # global-memory LOADs need no flow
+                p_home = self.home[edge.producer]
+                # Strided consumers may never touch the producer's last rows
+                # (e.g. 1x1 stride-2 projections): only ship what is needed.
+                last = n_tiles(stage, self.tile_pixels) - 1
+                needed = required_tile(stage, edge, producer,
+                                       self.tile_pixels, last) + 1
+                for core in self.receivers[stage.name]:
+                    if p_home == core:
+                        continue
+                    window = min(needed, self._edge_window(stage, edge_idx))
+                    info = FlowInfo(
+                        flow_id=next_id, src_core=p_home, dst_core=core,
+                        layer=stage.name,
+                        n_messages=needed,
+                        bytes_per_message=self._nominal_tile_bytes(producer),
+                        window=window,
+                    )
+                    self.flows[next_id] = info
+                    self.flow_ids[(stage.name, edge_idx, core)] = next_id
+                    next_id += 1
+            if stage.kind == "compute":
+                plan = self.placement.plan(stage.name)
+                home = self.home[stage.name]
+                px = min(self.tile_pixels, stage.out_pixels)
+                for partner in plan.cores:
+                    if partner == home:
+                        continue
+                    cells = self._cells_on(stage, partner)
+                    info = FlowInfo(
+                        flow_id=next_id, src_core=partner, dst_core=home,
+                        layer=stage.name,
+                        n_messages=n_tiles(stage, self.tile_pixels),
+                        bytes_per_message=px * stage.compute_per_pixel
+                        * cells * ACC_BYTES,
+                        window=2,  # matches the prec ping-pong staging ring
+                    )
+                    self.flows[next_id] = info
+                    self.flow_ids[(stage.name, "partial", partner)] = next_id
+                    next_id += 1
+
+    def _program(self, core: int) -> Program:
+        if core not in self.programs:
+            self.programs[core] = Program(core)
+        return self.programs[core]
+
+    # -------------------------------------------------------------- emission
+
+    def generate(self) -> ChipProgram:
+        self._assign_homes()
+        self._assign_receivers()
+        self._build_groups()
+        self._allocate()
+        self._declare_flows()
+
+        items: list[tuple[int, int, int, Stage]] = []
+        for stage in self.pipeline:
+            if stage.kind == "input":
+                continue
+            for tile in range(n_tiles(stage, self.tile_pixels)):
+                items.append((self.levels[stage.name][tile],
+                              stage.topo_index, tile, stage))
+        items.sort(key=lambda it: (it[0], it[1], it[2]))
+
+        for _level, _topo, tile, stage in items:
+            self._emit_inputs(stage, tile)
+            if stage.kind == "compute":
+                self._emit_compute(stage, tile)
+            else:
+                self._emit_aux(stage, tile)
+            self._emit_distribution(stage, tile)
+
+        chip = ChipProgram(network=self.pipeline.network)
+        for core, program in sorted(self.programs.items()):
+            program.groups = self.group_tables.get(core, GroupTable(core))
+            program.local_memory_used = self.allocs.core(core).bytes_used
+            chip.programs[core] = program.seal()
+        chip.flows = self.flows
+        chip.layer_cores = {
+            name: self.placement.plan(name).cores
+            for name in self.placement.plans
+        }
+        chip.meta = {
+            "policy": self.placement.policy,
+            "tile_pixels": self.tile_pixels,
+            "local_memory_usage": self.allocs.usage(),
+            "stage_homes": {k: v for k, v in self.home.items() if v is not None},
+            "n_stages": len(self.pipeline),
+            **self.placement.meta,
+        }
+        return chip
+
+    def _new_input_tiles(self, stage: Stage, edge_idx: int, tile: int) -> range:
+        edge = stage.edges[edge_idx]
+        producer = self.stages[edge.producer]
+        req = required_tile(stage, edge, producer, self.tile_pixels, tile)
+        prev = (required_tile(stage, edge, producer, self.tile_pixels, tile - 1)
+                if tile > 0 else -1)
+        return range(prev + 1, req + 1)
+
+    def _emit_inputs(self, stage: Stage, tile: int) -> None:
+        for core in self.receivers[stage.name]:
+            program = self._program(core)
+            for edge_idx, edge in enumerate(stage.edges):
+                producer = self.stages[edge.producer]
+                p_home = self.home[edge.producer]
+                if producer.kind != "input" and p_home == core:
+                    continue
+                region = self.in_regions[(stage.name, edge_idx, core)]
+                for q in self._new_input_tiles(stage, edge_idx, tile):
+                    nbytes = self._tile_bytes(producer, q)
+                    addr = region.slot(q)
+                    if producer.kind == "input":
+                        program.append(TransferInst(
+                            op="LOAD", peer=0, addr=addr, bytes=nbytes,
+                            flow=0, seq=q, layer=stage.name))
+                    else:
+                        program.append(TransferInst(
+                            op="RECV", peer=p_home, addr=addr, bytes=nbytes,
+                            flow=self.flow_ids[(stage.name, edge_idx, core)],
+                            seq=q, layer=stage.name))
+
+    def _input_src(self, stage: Stage, core: int, tile: int) -> tuple[int, int]:
+        """Byte range the matrix unit reads its input vectors from."""
+        edge = stage.edges[0]
+        producer = self.stages[edge.producer]
+        req = required_tile(stage, edge, producer, self.tile_pixels, tile)
+        p_home = self.home[edge.producer]
+        if producer.kind != "input" and p_home == core:
+            region = self.out_regions[edge.producer]
+        else:
+            region = self.in_regions[(stage.name, 0, core)]
+        return region.range_of(req)
+
+    def _emit_compute(self, stage: Stage, tile: int) -> None:
+        plan = self.placement.plan(stage.name)
+        home = self.home[stage.name]
+        lo, hi = tile_pixel_range(stage, self.tile_pixels, tile)
+        cpp = stage.compute_per_pixel
+        ppx = (hi - lo) * cpp
+
+        for core in plan.cores:
+            program = self._program(core)
+            acc = self.acc_regions[(stage.name, core)]
+            cells_core = self._cells_on(stage, core)
+            src_lo, src_hi = self._input_src(stage, core, tile)
+
+            # All MVMs of the tile first (they hit distinct crossbar groups
+            # and distinct partial-ring slots, so the ROB window directly
+            # sets how many overlap — the Fig. 4 effect), accumulation
+            # VADD chains after.
+            vadds: list[VectorInst] = []
+            for copy in plan.copies_on(core):
+                plo, phi = plan.pixel_share(copy, lo, hi)
+                if plo >= phi:
+                    continue
+                count = (phi - plo) * cpp
+                px_off = (plo - lo) * cpp
+                part = self.part_regions[(stage.name, core, copy)]
+                row_blocks = sorted(
+                    r for (name, c, k, r) in self.group_refs
+                    if name == stage.name and c == core and k == copy)
+                for r in row_blocks:
+                    ref = self.group_refs[(stage.name, core, copy, r)]
+                    nbytes = count * ref.cols_cells * ACC_BYTES
+                    part_lo, _ = part.range_of(r)
+                    program.append(MvmInst(
+                        group=ref.group_id,
+                        src=src_lo, src_bytes=src_hi - src_lo,
+                        dst=part_lo, dst_bytes=nbytes,
+                        count=count, layer=stage.name))
+                    acc_off = acc.base + (px_off * cells_core
+                                          + ref.cell_offset) * ACC_BYTES
+                    vadds.append(VectorInst(
+                        op="VADD", src1=part_lo, src2=acc_off, dst=acc_off,
+                        length=count * ref.cols_cells,
+                        src_bytes=nbytes, dst_bytes=nbytes,
+                        layer=stage.name))
+            program.extend(vadds)
+
+            if core != home:
+                nbytes = ppx * cells_core * ACC_BYTES
+                program.append(TransferInst(
+                    op="SEND", peer=home, addr=acc.base, bytes=nbytes,
+                    flow=self.flow_ids[(stage.name, "partial", core)],
+                    seq=tile, layer=stage.name))
+
+        # -- home: gather partials, post-ops, writeback -----------------------
+        program = self._program(home)
+        acc = self.acc_regions[(stage.name, home)]
+        for partner in plan.cores:
+            if partner == home:
+                continue
+            cells = self._cells_on(stage, partner)
+            nbytes = ppx * cells * ACC_BYTES
+            prec = self.prec_regions[(stage.name, partner)]
+            prec_lo, _ = prec.range_of(tile, nbytes)
+            program.append(TransferInst(
+                op="RECV", peer=partner, addr=prec_lo, bytes=nbytes,
+                flow=self.flow_ids[(stage.name, "partial", partner)],
+                seq=tile, layer=stage.name))
+            program.append(VectorInst(
+                op="VADD", src1=prec_lo, src2=acc.base, dst=acc.base,
+                length=ppx * cells, src_bytes=nbytes, dst_bytes=nbytes,
+                layer=stage.name))
+
+        self._emit_post_ops(stage, tile, program, acc, ppx, lo, hi)
+
+    def _emit_post_ops(self, stage: Stage, tile: int, program: Program,
+                       acc: Region, ppx: int, lo: int, hi: int) -> None:
+        out = self.out_regions[stage.name]
+        out_bytes = self._tile_bytes(stage, tile)
+        out_lo, _ = out.range_of(tile, out_bytes)
+        ch = stage.out_channels
+        pre_len = ppx * ch
+        wrote_out = False
+        for op in stage.post_ops:
+            if op == "relu":
+                program.append(VectorInst(
+                    op="VRELU", src1=acc.base, dst=acc.base, length=pre_len,
+                    src_bytes=pre_len * ACC_BYTES, dst_bytes=pre_len * ACC_BYTES,
+                    layer=stage.name))
+            elif op in ("maxpool", "avgpool"):
+                program.append(VectorInst(
+                    op="VMAXPOOL" if op == "maxpool" else "VAVGPOOL",
+                    src1=acc.base, dst=out_lo, length=(hi - lo) * ch,
+                    src_bytes=pre_len * ACC_BYTES, dst_bytes=out_bytes,
+                    layer=stage.name))
+                wrote_out = True
+        if not wrote_out:
+            program.append(VectorInst(
+                op="VMOV", src1=acc.base, dst=out_lo, length=(hi - lo) * ch,
+                src_bytes=(hi - lo) * ch * ACC_BYTES, dst_bytes=out_bytes,
+                layer=stage.name))
+
+    def _aux_input_range(self, stage: Stage, edge_idx: int, core: int,
+                         tile: int) -> tuple[int, int]:
+        """Byte range holding the input an aux op reads for this tile."""
+        edge = stage.edges[edge_idx]
+        producer = self.stages[edge.producer]
+        p_home = self.home[edge.producer]
+        if producer.kind != "input" and p_home == core:
+            region = self.out_regions[edge.producer]
+        else:
+            region = self.in_regions[(stage.name, edge_idx, core)]
+        if edge.full_input or stage.op in ("maxpool", "avgpool", "lrn"):
+            # window/reduction ops read across slots: conservative full ring.
+            return region.base, region.end
+        req = required_tile(stage, edge, producer, self.tile_pixels, tile)
+        return region.range_of(req)
+
+    def _emit_aux(self, stage: Stage, tile: int) -> None:
+        home = self.home[stage.name]
+        program = self._program(home)
+        lo, hi = tile_pixel_range(stage, self.tile_pixels, tile)
+        px = hi - lo
+        ch = stage.out_channels
+        out = self.out_regions[stage.name]
+        out_bytes = self._tile_bytes(stage, tile)
+        out_lo, _ = out.range_of(tile, out_bytes)
+        length = px * ch if len(stage.out_shape) == 3 else stage.out_elements
+
+        if stage.op == "add":
+            first_lo, first_hi = self._aux_input_range(stage, 0, home, tile)
+            src2_lo, _ = self._aux_input_range(stage, 1, home, tile)
+            program.append(VectorInst(
+                op="VADD", src1=first_lo, src2=src2_lo, dst=out_lo,
+                length=length, src_bytes=first_hi - first_lo,
+                dst_bytes=out_bytes, layer=stage.name))
+            for edge_idx in range(2, len(stage.edges)):
+                extra_lo, extra_hi = self._aux_input_range(stage, edge_idx, home, tile)
+                program.append(VectorInst(
+                    op="VADD", src1=extra_lo, src2=out_lo, dst=out_lo,
+                    length=length, src_bytes=extra_hi - extra_lo,
+                    dst_bytes=out_bytes, layer=stage.name))
+        elif stage.op == "concat":
+            offset = 0
+            for edge_idx, edge in enumerate(stage.edges):
+                producer = self.stages[edge.producer]
+                pch = producer.out_channels
+                src_lo, src_hi = self._aux_input_range(stage, edge_idx, home, tile)
+                program.append(VectorInst(
+                    op="VMOV", src1=src_lo, dst=out_lo + offset,
+                    length=px * pch, src_bytes=src_hi - src_lo,
+                    dst_bytes=px * pch * self.act_bytes, layer=stage.name))
+                offset += px * pch * self.act_bytes
+        elif stage.op in ("maxpool", "avgpool", "global_avgpool"):
+            src_lo, src_hi = self._aux_input_range(stage, 0, home, tile)
+            opname = "VAVGPOOL" if "avg" in stage.op else "VMAXPOOL"
+            program.append(VectorInst(
+                op=opname, src1=src_lo, dst=out_lo, length=length,
+                src_bytes=src_hi - src_lo, dst_bytes=out_bytes,
+                layer=stage.name))
+        elif stage.op in ("relu", "softmax", "lrn"):
+            opname = {"relu": "VRELU", "softmax": "VSOFTMAX", "lrn": "VLRN"}[stage.op]
+            src_lo, src_hi = self._aux_input_range(stage, 0, home, tile)
+            program.append(VectorInst(
+                op=opname, src1=src_lo, dst=out_lo, length=length,
+                src_bytes=src_hi - src_lo, dst_bytes=out_bytes,
+                layer=stage.name))
+        else:  # pragma: no cover - frontend keeps aux ops in sync
+            raise CompileError(f"codegen cannot lower aux op {stage.op!r}")
+
+        for op in stage.post_ops:
+            if op == "relu":
+                program.append(VectorInst(
+                    op="VRELU", src1=out_lo, dst=out_lo, length=length,
+                    src_bytes=out_bytes, dst_bytes=out_bytes, layer=stage.name))
+
+    def _emit_distribution(self, stage: Stage, tile: int) -> None:
+        home = self.home[stage.name]
+        program = self._program(home)
+        out = self.out_regions[stage.name]
+        out_bytes = self._tile_bytes(stage, tile)
+        out_lo, _ = out.range_of(tile, out_bytes)
+
+        for consumer in self.pipeline:
+            for edge_idx, edge in enumerate(consumer.edges):
+                if edge.producer != stage.name:
+                    continue
+                for core in self.receivers[consumer.name]:
+                    key = (consumer.name, edge_idx, core)
+                    if key not in self.flow_ids:
+                        continue  # co-resident
+                    if tile >= self.flows[self.flow_ids[key]].n_messages:
+                        continue  # consumer never needs this tile
+                    program.append(TransferInst(
+                        op="SEND", peer=core, addr=out_lo, bytes=out_bytes,
+                        flow=self.flow_ids[key], seq=tile, layer=stage.name))
+
+        if stage in self.pipeline.output_stages:
+            program.append(TransferInst(
+                op="STORE", peer=0, addr=out_lo, bytes=out_bytes,
+                flow=0, seq=tile, layer=stage.name))
+
+
+def generate_code(pipeline: Pipeline, placement: Placement, config) -> ChipProgram:
+    """Generate, seal and return the chip program."""
+    return _CodeGenerator(pipeline, placement, config).generate()

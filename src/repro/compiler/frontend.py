@@ -1,0 +1,274 @@
+"""Compiler frontend: network graph -> pipeline of schedulable stages.
+
+The frontend lowers the operator graph into a linear, topologically ordered
+list of :class:`Stage` objects:
+
+* ``input`` — the network input, resident in global memory;
+* ``compute`` — a conv/fc layer (the crossbar-mapped ops), optionally with
+  *fused* post-operators (relu, then a stride==kernel pool) executed by the
+  same core's vector unit — the flexibility the paper contrasts against
+  MNSIM2.0's fixed PE data-path;
+* ``aux`` — remaining ops (add, concat, standalone pools, lrn, softmax,
+  global_avgpool) executed on the vector unit of their *home* core.
+
+Identity-at-inference ops are folded away: ``flatten`` (pure reshape),
+``dropout`` (inference no-op) and ``batchnorm`` (folded into the preceding
+layer's weights, as deployments do).
+
+Each stage also records its *edges* — which stages feed it — together with
+the dependency geometry (kernel/stride/pad or full-input) that
+:mod:`repro.compiler.tiling` turns into tile-level dependence maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph import Graph, GraphError, Node, weight_shape
+
+__all__ = ["Stage", "StageEdge", "Pipeline", "build_pipeline", "CompileError"]
+
+#: ops folded away at inference time.
+_FOLDED_OPS = ("flatten", "dropout", "batchnorm")
+
+#: ops that become aux stages when not fused.
+_AUX_OPS = ("add", "concat", "maxpool", "avgpool", "global_avgpool",
+            "relu", "softmax", "lrn")
+
+
+class CompileError(ValueError):
+    """The compiler cannot lower this network onto this architecture."""
+
+
+@dataclass(frozen=True)
+class StageEdge:
+    """A producer->consumer data edge between stages.
+
+    ``kernel``/``stride``/``padding`` describe how the consumer's output
+    pixels map back onto producer pixels (1/1/0 for element-wise consumers);
+    ``full_input`` marks consumers that need the entire producer output
+    before any work (fc, global pools).
+    """
+
+    producer: str
+    kernel: int = 1
+    stride: int = 1
+    padding: int = 0
+    full_input: bool = False
+
+
+@dataclass
+class Stage:
+    """One schedulable unit of the lowered network."""
+
+    name: str
+    kind: str                       # "input" | "compute" | "aux"
+    op: str                         # anchor op ("conv", "fc", "add", ...)
+    out_shape: tuple[int, ...]
+    edges: list[StageEdge] = field(default_factory=list)
+    #: fused post-operator chain, e.g. ["relu", "maxpool"].
+    post_ops: list[str] = field(default_factory=list)
+    #: weight matrix (rows, cols); None for non-compute stages.
+    weight: tuple[int, int] | None = None
+    #: spatial compute amplification from a fused pool: each *output* pixel
+    #: of the stage requires this many pre-pool pixels through the crossbars.
+    compute_per_pixel: int = 1
+    #: attrs of the anchor node (kernel/stride/... for pools).
+    attrs: dict = field(default_factory=dict)
+    topo_index: int = -1
+
+    @property
+    def out_channels(self) -> int:
+        return self.out_shape[0]
+
+    @property
+    def out_pixels(self) -> int:
+        if len(self.out_shape) == 3:
+            return self.out_shape[1] * self.out_shape[2]
+        return 1
+
+    @property
+    def out_elements(self) -> int:
+        n = 1
+        for d in self.out_shape:
+            n *= d
+        return n
+
+    @property
+    def out_hw(self) -> tuple[int, int]:
+        if len(self.out_shape) == 3:
+            return self.out_shape[1], self.out_shape[2]
+        return 1, 1
+
+    def __repr__(self) -> str:
+        fused = f"+{'+'.join(self.post_ops)}" if self.post_ops else ""
+        return f"<Stage {self.name} {self.op}{fused} -> {self.out_shape}>"
+
+
+@dataclass
+class Pipeline:
+    """The lowered network: stages in topological order."""
+
+    network: str
+    stages: list[Stage]
+
+    def __post_init__(self) -> None:
+        self._by_name = {s.name: s for s in self.stages}
+        for index, stage in enumerate(self.stages):
+            stage.topo_index = index
+
+    def stage(self, name: str) -> Stage:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CompileError(f"no stage named {name!r}") from None
+
+    def consumers(self, name: str) -> list[Stage]:
+        return [s for s in self.stages
+                if any(e.producer == name for e in s.edges)]
+
+    @property
+    def compute_stages(self) -> list[Stage]:
+        return [s for s in self.stages if s.kind == "compute"]
+
+    @property
+    def output_stages(self) -> list[Stage]:
+        consumed = {e.producer for s in self.stages for e in s.edges}
+        return [s for s in self.stages
+                if s.kind != "input" and s.name not in consumed]
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def summary(self) -> str:
+        lines = [f"pipeline for {self.network!r}: {len(self.stages)} stages"]
+        for s in self.stages:
+            fused = "+" + "+".join(s.post_ops) if s.post_ops else ""
+            w = f" weights={s.weight[0]}x{s.weight[1]}" if s.weight else ""
+            ins = ", ".join(e.producer for e in s.edges)
+            lines.append(
+                f"  {s.name:<24} {s.kind:<7} {s.op}{fused:<16} "
+                f"out={s.out_shape}{w}  <- [{ins}]"
+            )
+        return "\n".join(lines)
+
+
+def _edge_geometry(node: Node) -> tuple[int, int, int, bool]:
+    """(kernel, stride, padding, full_input) of a consumer node."""
+    if node.op in ("conv", "maxpool", "avgpool"):
+        return (node.attr("kernel"), node.attr("stride", node.attr("kernel")),
+                node.attr("padding", 0), False)
+    if node.op in ("fc", "global_avgpool"):
+        return (1, 1, 0, True)
+    if node.op == "lrn":
+        # cross-channel window; spatially element-wise.
+        return (1, 1, 0, False)
+    return (1, 1, 0, False)
+
+
+def build_pipeline(graph: Graph, *, operator_fusion: bool = True) -> Pipeline:
+    """Lower a finalized graph into a stage pipeline.
+
+    Folding: flatten/dropout/batchnorm nodes disappear (consumers rewire to
+    their producer).  Fusion (when enabled): a relu whose single input is a
+    compute stage folds into that stage; a stride==kernel pool whose single
+    input is such a (possibly relu-fused) stage folds in as well, provided
+    the intermediate value has no other consumer.
+    """
+    order = graph.topological_order()
+
+    # Map each node to the stage that materializes its value.
+    alias: dict[str, str] = {}
+
+    def resolve(name: str) -> str:
+        while name in alias:
+            name = alias[name]
+        return name
+
+    consumer_count: dict[str, int] = {}
+    for node in order:
+        for inp in node.inputs:
+            consumer_count[inp] = consumer_count.get(inp, 0) + 1
+
+    stages: dict[str, Stage] = {}
+    stage_order: list[str] = []
+
+    for node in order:
+        if node.op == "input":
+            stage = Stage(node.name, "input", "input", node.output.shape)
+            stages[node.name] = stage
+            stage_order.append(node.name)
+            continue
+
+        if node.op in _FOLDED_OPS:
+            alias[node.name] = node.inputs[0]
+            continue
+
+        producers = [resolve(i) for i in node.inputs]
+
+        # -- fusion opportunities ------------------------------------------
+        if operator_fusion and node.op == "relu" and len(producers) == 1:
+            target = stages.get(producers[0])
+            if (target is not None and target.kind in ("compute", "aux")
+                    and consumer_count.get(node.inputs[0], 0) == 1
+                    and "maxpool" not in target.post_ops
+                    and "avgpool" not in target.post_ops):
+                target.post_ops.append("relu")
+                alias[node.name] = target.name
+                continue
+
+        if (operator_fusion and node.op in ("maxpool", "avgpool")
+                and len(producers) == 1
+                and node.attr("stride", node.attr("kernel")) == node.attr("kernel")
+                and node.attr("padding", 0) == 0):
+            target = stages.get(producers[0])
+            if (target is not None and target.kind == "compute"
+                    and consumer_count.get(node.inputs[0], 0) == 1
+                    and not any(p in ("maxpool", "avgpool") for p in target.post_ops)):
+                k = node.attr("kernel")
+                target.post_ops.append(node.op)
+                target.attrs[f"fused_{node.op}_kernel"] = k
+                target.compute_per_pixel *= k * k
+                target.out_shape = node.output.shape
+                alias[node.name] = target.name
+                continue
+
+        # -- materialized stage -------------------------------------------
+        edges = []
+        k, s, p, full = _edge_geometry(node)
+        for producer in producers:
+            edges.append(StageEdge(producer, kernel=k, stride=s, padding=p,
+                                   full_input=full))
+        if node.op in ("conv", "fc"):
+            stage = Stage(node.name, "compute", node.op, node.output.shape,
+                          edges=edges, weight=weight_shape(node),
+                          attrs=dict(node.attrs))
+        elif node.op in _AUX_OPS:
+            stage = Stage(node.name, "aux", node.op, node.output.shape,
+                          edges=edges, attrs=dict(node.attrs))
+        else:  # pragma: no cover - op registry and frontend kept in sync
+            raise CompileError(f"frontend cannot lower op {node.op!r}")
+        stages[node.name] = stage
+        stage_order.append(node.name)
+
+    pipeline = Pipeline(graph.name, [stages[n] for n in stage_order])
+    _check_pipeline(pipeline)
+    return pipeline
+
+
+def _check_pipeline(pipeline: Pipeline) -> None:
+    names = {s.name for s in pipeline.stages}
+    for stage in pipeline.stages:
+        for edge in stage.edges:
+            if edge.producer not in names:
+                raise CompileError(
+                    f"stage {stage.name!r} reads unknown producer "
+                    f"{edge.producer!r}"
+                )
+    if not any(s.kind == "compute" for s in pipeline.stages):
+        raise CompileError(
+            f"network {pipeline.network!r} has no crossbar-mapped layers"
+        )

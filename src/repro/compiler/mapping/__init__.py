@@ -1,0 +1,16 @@
+"""Weight-mapping policies (Section III-A of the paper)."""
+
+from .performance_first import map_performance_first
+from .utilization_first import map_utilization_first
+
+__all__ = ["map_utilization_first", "map_performance_first", "map_network"]
+
+
+def map_network(pipeline, config):
+    """Dispatch to the policy named in ``config.compiler.mapping``."""
+    policy = config.compiler.mapping
+    if policy == "utilization_first":
+        return map_utilization_first(pipeline, config)
+    if policy == "performance_first":
+        return map_performance_first(pipeline, config)
+    raise ValueError(f"unknown mapping policy {policy!r}")

@@ -1,0 +1,172 @@
+"""Performance-first mapping.
+
+From the paper: "we map the weights of one layer to unmapped cores,
+ensuring that each core only stores one layer's weights."
+
+On top of the one-layer-per-core rule this mapper applies PIMCOMP-style
+*weight duplication*: spare crossbars on a layer's core hold extra copies
+of its weight matrix, so different output pixels of one tile can run
+through different copies concurrently — the intra-core parallelism the
+ROB then exploits (Fig. 4).
+
+Placement rules:
+
+* whole matrix fits in one core -> one fresh core, plus as many whole
+  duplicates as spare crossbars / the duplication cap / the tile width allow;
+* matrix exceeds a core -> distribute column strips across several fresh
+  cores (no duplication); a strip taller than a core splits by rows, which
+  re-introduces partial-sum gathering (unavoidable for giant layers);
+* fresh cores exhausted -> fall back to the least-loaded core that still
+  has room (the one-layer-per-core guarantee degrades; recorded in the
+  placement metadata), never over-subscribing any core.
+"""
+
+from __future__ import annotations
+
+from ..frontend import CompileError, Pipeline
+from ..placement import Placement, Slice, StagePlan
+from ..tiling import weight_tiling
+
+__all__ = ["map_performance_first"]
+
+
+class _CoreBudget:
+    """Tracks crossbar occupancy; hands out fresh or least-loaded cores."""
+
+    def __init__(self, n_cores: int, capacity: int) -> None:
+        self.capacity = capacity
+        self.n_cores = n_cores
+        self.used: dict[int, int] = {}
+        self.degraded: list[str] = []
+
+    def fresh(self) -> int | None:
+        for candidate in range(self.n_cores):
+            if candidate not in self.used:
+                self.used[candidate] = 0
+                return candidate
+        return None
+
+    def with_room(self, tiles: int) -> int | None:
+        """Least-loaded core that still fits ``tiles`` crossbars."""
+        best, best_free = None, -1
+        for core, used in self.used.items():
+            free = self.capacity - used
+            if free >= tiles and free > best_free:
+                best, best_free = core, free
+        return best
+
+    def acquire(self, tiles: int, stage_name: str) -> int:
+        """A fresh core, else any core with room; never over-subscribes."""
+        core = self.fresh()
+        if core is not None and self.capacity - self.used[core] >= tiles:
+            return core
+        core = self.with_room(tiles)
+        if core is None:
+            raise CompileError(
+                f"stage {stage_name!r} needs {tiles} crossbars but no core "
+                f"has room ({self.n_cores} cores x {self.capacity}); "
+                f"performance-first cannot place the network"
+            )
+        self.degraded.append(stage_name)
+        return core
+
+    def free_on(self, core: int) -> int:
+        return self.capacity - self.used[core]
+
+    def charge(self, core: int, tiles: int) -> None:
+        self.used[core] = self.used.get(core, 0) + tiles
+        if self.used[core] > self.capacity:
+            raise AssertionError(
+                f"internal: core {core} over-subscribed by the mapper")
+
+
+def map_performance_first(pipeline: Pipeline, config) -> Placement:
+    capacity = config.core.crossbars_per_core
+    comp = config.compiler
+    budget = _CoreBudget(config.chip.n_cores, capacity)
+    placement = Placement(policy="performance_first")
+
+    # Pass 1 — place exactly one copy of every stage, each on its own
+    # fresh core where possible.  Duplication waits until everything has a
+    # home, so greedy replication can never starve a later layer.
+    stages = pipeline.compute_stages
+    for stage in stages:
+        tiling = weight_tiling(stage, config.crossbar.rows,
+                               config.crossbar.cols,
+                               config.crossbar.slices_per_weight)
+        per_copy = tiling.crossbars_per_copy
+        if per_copy <= capacity:
+            core = budget.acquire(per_copy, stage.name)
+            plan = StagePlan(stage=stage, tiling=tiling, copies=1)
+            plan.slices.append(Slice(
+                core=core, copy=0,
+                row_lo=0, row_hi=tiling.row_blocks,
+                col_lo=0, col_hi=tiling.col_blocks,
+            ))
+            budget.charge(core, per_copy)
+        else:
+            plan = StagePlan(stage=stage, tiling=tiling, copies=1)
+            _distribute_large(plan, tiling, budget)
+        placement.plans[stage.name] = plan
+
+    # Pass 2 — PIMCOMP-style replication: fill each single-core stage's
+    # spare crossbars with whole duplicates (copies never span cores).
+    if comp.allow_duplication:
+        for stage in stages:
+            plan = placement.plans[stage.name]
+            if len(plan.cores) != 1:
+                continue
+            core = plan.cores[0]
+            tiling = plan.tiling
+            per_copy = tiling.crossbars_per_copy
+            max_useful = max(1, min(comp.tile_pixels, stage.out_pixels))
+            extra = min(
+                budget.free_on(core) // per_copy,
+                comp.max_duplication - 1,
+                max_useful - 1,
+            )
+            for copy in range(1, 1 + max(0, extra)):
+                plan.slices.append(Slice(
+                    core=core, copy=copy,
+                    row_lo=0, row_hi=tiling.row_blocks,
+                    col_lo=0, col_hi=tiling.col_blocks,
+                ))
+                budget.charge(core, per_copy)
+                plan.copies += 1
+
+    placement.validate(capacity)
+    placement.meta["degraded_stages"] = budget.degraded
+    return placement
+
+
+def _distribute_large(plan: StagePlan, tiling, budget: _CoreBudget) -> None:
+    """Spread one copy of an over-sized matrix across multiple cores."""
+    if tiling.row_blocks <= budget.capacity:
+        # Strip-granular: whole column strips per core, never splitting a
+        # strip (partial sums stay core-local).
+        col = 0
+        while col < tiling.col_blocks:
+            core = budget.acquire(tiling.row_blocks, plan.stage.name)
+            room = budget.free_on(core) // tiling.row_blocks
+            take = min(room, tiling.col_blocks - col)
+            plan.slices.append(Slice(
+                core=core, copy=0,
+                row_lo=0, row_hi=tiling.row_blocks,
+                col_lo=col, col_hi=col + take,
+            ))
+            budget.charge(core, take * tiling.row_blocks)
+            col += take
+    else:
+        # A single strip exceeds a core: split rows (partial-sum traffic).
+        for col in range(tiling.col_blocks):
+            row = 0
+            while row < tiling.row_blocks:
+                core = budget.acquire(1, plan.stage.name)
+                take = min(tiling.row_blocks - row, budget.free_on(core))
+                plan.slices.append(Slice(
+                    core=core, copy=0,
+                    row_lo=row, row_hi=row + take,
+                    col_lo=col, col_hi=col + 1,
+                ))
+                budget.charge(core, take)
+                row += take

@@ -1,0 +1,50 @@
+"""One-call compiler driver: graph + config -> verified chip program."""
+
+from __future__ import annotations
+
+from ..config import ArchConfig, validate
+from ..graph import Graph
+from ..isa import ChipProgram, verify_program
+from .codegen import generate_code
+from .frontend import Pipeline, build_pipeline
+from .mapping import map_network
+from .placement import Placement
+
+__all__ = ["compile_network", "CompilationResult"]
+
+
+class CompilationResult:
+    """Everything the compiler produced, for inspection and simulation."""
+
+    def __init__(self, pipeline: Pipeline, placement: Placement,
+                 program: ChipProgram) -> None:
+        self.pipeline = pipeline
+        self.placement = placement
+        self.program = program
+
+    def summary(self) -> str:
+        return "\n".join([
+            self.pipeline.summary(),
+            "",
+            self.placement.summary(),
+            "",
+            self.program.summary(),
+        ])
+
+
+def compile_network(graph: Graph, config: ArchConfig, *,
+                    verify: bool = True) -> CompilationResult:
+    """Compile a network description for an architecture configuration.
+
+    Runs the full flow of Fig. 1: operator fusion, weight mapping
+    (per ``config.compiler.mapping``), scheduling and code generation,
+    then (by default) static verification of the resulting program.
+    """
+    validate(config)
+    pipeline = build_pipeline(graph,
+                              operator_fusion=config.compiler.operator_fusion)
+    placement = map_network(pipeline, config)
+    program = generate_code(pipeline, placement, config)
+    if verify:
+        verify_program(program, config)
+    return CompilationResult(pipeline, placement, program)

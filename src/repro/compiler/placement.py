@@ -1,0 +1,217 @@
+"""Placement data structures shared by the mapping policies.
+
+A *slice* is a rectangular block of crossbar tiles — one copy of part of a
+stage's weight matrix — living on one core.  A stage's placement is the set
+of slices (covering copy 0 completely; additional copies are whole
+duplicates used for pixel-level parallelism), plus derived views the code
+generator consumes: which cores compute the stage, which column blocks each
+core *owns* end-to-end (all row blocks present, so partial sums never leave
+the core), and which are split (partial contributions must travel to the
+stage's home core — the intra-layer communication that penalizes the
+utilization-first policy).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .frontend import CompileError, Stage
+from .tiling import WeightTiling
+
+__all__ = ["Slice", "StagePlan", "Placement"]
+
+
+@dataclass(frozen=True)
+class Slice:
+    """Crossbar tiles [row_lo,row_hi) x [col_lo,col_hi) of one copy,
+    resident on one core."""
+
+    core: int
+    copy: int
+    row_lo: int
+    row_hi: int
+    col_lo: int
+    col_hi: int
+
+    def __post_init__(self) -> None:
+        if self.row_lo >= self.row_hi or self.col_lo >= self.col_hi:
+            raise CompileError(f"empty slice {self}")
+
+    @property
+    def n_tiles(self) -> int:
+        return (self.row_hi - self.row_lo) * (self.col_hi - self.col_lo)
+
+
+@dataclass
+class StagePlan:
+    """Complete placement of one compute stage."""
+
+    stage: Stage
+    tiling: WeightTiling
+    copies: int
+    slices: list[Slice] = field(default_factory=list)
+
+    # -- derived views --------------------------------------------------------
+
+    @property
+    def cores(self) -> list[int]:
+        """Cores computing this stage, in first-appearance order."""
+        seen: list[int] = []
+        for sl in self.slices:
+            if sl.core not in seen:
+                seen.append(sl.core)
+        return seen
+
+    @property
+    def home_core(self) -> int:
+        """The aggregation/distribution core (most crossbar tiles wins)."""
+        if not self.slices:
+            raise CompileError(f"stage {self.stage.name!r} has no slices")
+        per_core: dict[int, int] = {}
+        for sl in self.slices:
+            per_core[sl.core] = per_core.get(sl.core, 0) + sl.n_tiles
+        best = max(per_core.values())
+        for core in self.cores:  # first-appearance tie-break: deterministic
+            if per_core[core] == best:
+                return core
+        raise AssertionError("unreachable")
+
+    def slices_on(self, core: int) -> list[Slice]:
+        return [sl for sl in self.slices if sl.core == core]
+
+    def copies_on(self, core: int) -> list[int]:
+        """Copy indices with at least one slice on this core."""
+        out: list[int] = []
+        for sl in self.slices:
+            if sl.core == core and sl.copy not in out:
+                out.append(sl.copy)
+        return out
+
+    def col_cells_on(self, core: int) -> int:
+        """Distinct weight columns (actual cells) present on a core."""
+        cols: set[int] = set()
+        for sl in self.slices_on(core):
+            cols.update(range(sl.col_lo, sl.col_hi))
+        return sum(self.tiling.block_cols(cb) for cb in cols)
+
+    def owned_col_blocks(self, core: int, copy: int) -> set[int]:
+        """Column blocks for which this core holds *all* row blocks of
+        ``copy`` — their outputs are complete without cross-core sums."""
+        rows_per_col: dict[int, set[int]] = {}
+        for sl in self.slices:
+            if sl.core != core or sl.copy != copy:
+                continue
+            for cb in range(sl.col_lo, sl.col_hi):
+                rows_per_col.setdefault(cb, set()).update(
+                    range(sl.row_lo, sl.row_hi))
+        full = set(range(self.tiling.row_blocks))
+        return {cb for cb, rows in rows_per_col.items() if rows == full}
+
+    def is_split(self) -> bool:
+        """Whether any copy has a column block spread across cores."""
+        for copy in range(self.copies):
+            cores_of_copy = {sl.core for sl in self.slices if sl.copy == copy}
+            if len(cores_of_copy) <= 1:
+                continue
+            owned = set()
+            for core in cores_of_copy:
+                owned |= self.owned_col_blocks(core, copy)
+            if owned != set(range(self.tiling.col_blocks)):
+                return True
+        return False
+
+    def validate(self) -> None:
+        """Every copy must tile the full matrix exactly once."""
+        for copy in range(self.copies):
+            covered: dict[tuple[int, int], int] = {}
+            for sl in self.slices:
+                if sl.copy != copy:
+                    continue
+                for r in range(sl.row_lo, sl.row_hi):
+                    for c in range(sl.col_lo, sl.col_hi):
+                        covered[(r, c)] = covered.get((r, c), 0) + 1
+            expected = self.tiling.row_blocks * self.tiling.col_blocks
+            if len(covered) != expected or any(v != 1 for v in covered.values()):
+                raise CompileError(
+                    f"stage {self.stage.name!r} copy {copy}: weight tiles "
+                    f"covered {len(covered)}/{expected} (duplicates: "
+                    f"{sum(1 for v in covered.values() if v > 1)})"
+                )
+
+    def pixel_share(self, copy: int, lo: int, hi: int) -> tuple[int, int]:
+        """Partition of a tile's pixel range [lo,hi) among copies.
+
+        Pixels are dealt to copies in contiguous chunks; returns the chunk
+        of ``copy`` (possibly empty -> lo == hi).
+        """
+        total = hi - lo
+        base = total // self.copies
+        extra = total % self.copies
+        start = lo + copy * base + min(copy, extra)
+        size = base + (1 if copy < extra else 0)
+        return start, start + size
+
+
+@dataclass
+class Placement:
+    """Placement of every compute stage of a network."""
+
+    policy: str
+    plans: dict[str, StagePlan] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def plan(self, stage_name: str) -> StagePlan:
+        try:
+            return self.plans[stage_name]
+        except KeyError:
+            raise CompileError(f"no placement for stage {stage_name!r}") from None
+
+    def crossbars_per_core(self) -> dict[int, int]:
+        """Physical crossbars claimed on each core."""
+        out: dict[int, int] = {}
+        for plan in self.plans.values():
+            for sl in plan.slices:
+                out[sl.core] = out.get(sl.core, 0) + sl.n_tiles
+        return out
+
+    def stages_per_core(self) -> dict[int, list[str]]:
+        out: dict[int, list[str]] = {}
+        for name, plan in self.plans.items():
+            for core in plan.cores:
+                out.setdefault(core, []).append(name)
+        return out
+
+    def validate(self, crossbars_per_core: int) -> None:
+        for plan in self.plans.values():
+            plan.validate()
+        for core, used in self.crossbars_per_core().items():
+            if used > crossbars_per_core:
+                raise CompileError(
+                    f"core {core} over-subscribed: {used} crossbars > "
+                    f"capacity {crossbars_per_core}"
+                )
+
+    def summary(self) -> str:
+        per_core = self.crossbars_per_core()
+        lines = [f"placement ({self.policy}): {len(self.plans)} stages on "
+                 f"{len(per_core)} cores"]
+        for name, plan in self.plans.items():
+            lines.append(
+                f"  {name:<24} copies={plan.copies} cores={plan.cores} "
+                f"tiles/copy={plan.tiling.crossbars_per_copy} "
+                f"{'SPLIT' if plan.is_split() else ''}"
+            )
+        return "\n".join(lines)
+
+
+def copies_that_fit(tiling: WeightTiling, spare_crossbars: int,
+                    max_copies: int, max_useful: int) -> int:
+    """How many whole duplicates fit in a crossbar budget."""
+    per_copy = tiling.crossbars_per_copy
+    by_space = max(1, spare_crossbars // per_copy) if per_copy <= spare_crossbars else 1
+    return max(1, min(by_space, max_copies, max_useful))
+
+
+def ceil_div(a: int, b: int) -> int:
+    return math.ceil(a / b)

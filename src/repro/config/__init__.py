@@ -1,0 +1,43 @@
+"""Architecture configuration files (schema, validation, presets)."""
+
+from .presets import (
+    PRESETS,
+    get_preset,
+    mnsim_like_chip,
+    paper_chip,
+    scaled,
+    small_chip,
+    tiny_chip,
+)
+from .schema import (
+    ArchConfig,
+    ChipConfig,
+    CompilerConfig,
+    ConfigError,
+    CoreConfig,
+    CrossbarConfig,
+    EnergyConfig,
+    NocConfig,
+    SimSettings,
+)
+from .validate import validate
+
+__all__ = [
+    "ArchConfig",
+    "ChipConfig",
+    "CoreConfig",
+    "CrossbarConfig",
+    "NocConfig",
+    "EnergyConfig",
+    "CompilerConfig",
+    "SimSettings",
+    "ConfigError",
+    "validate",
+    "paper_chip",
+    "small_chip",
+    "tiny_chip",
+    "mnsim_like_chip",
+    "scaled",
+    "PRESETS",
+    "get_preset",
+]

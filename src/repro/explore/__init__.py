@@ -1,0 +1,17 @@
+"""Design-space exploration: grid sweeps, Pareto fronts."""
+
+from .space import (
+    Exploration,
+    ExplorationPoint,
+    explore,
+    pareto_front,
+    with_param,
+)
+
+__all__ = [
+    "explore",
+    "Exploration",
+    "ExplorationPoint",
+    "pareto_front",
+    "with_param",
+]

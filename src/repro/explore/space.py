@@ -1,0 +1,144 @@
+"""Design-space exploration: grid sweeps and Pareto fronts.
+
+The framework's configurability argument (Fig. 1: users explore hardware
+designs by editing the architecture configuration file) packaged as an
+API: declare a grid over dotted configuration fields, sweep it, and
+extract the latency/energy Pareto front.
+
+>>> from repro.explore import explore
+>>> ex = explore("mlp", small_chip(), {"core.rob_size": [1, 8]})
+>>> len(ex.points)
+2
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..config import ArchConfig, scaled, validate
+from ..runner import SimReport, simulate
+
+__all__ = ["ExplorationPoint", "Exploration", "explore", "with_param",
+           "pareto_front"]
+
+
+def with_param(config: ArchConfig, path: str, value: Any) -> ArchConfig:
+    """Copy of ``config`` with one dotted field replaced.
+
+    ``"core.rob_size"`` addresses ``config.core.rob_size``; the special
+    path ``"chip.cores"`` rescales the mesh to a square of that many
+    cores.
+    """
+    if path == "chip.cores":
+        return scaled(config, cores=value)
+    section_name, _, fieldname = path.partition(".")
+    if not fieldname:
+        return validate(dataclasses.replace(config, **{section_name: value}))
+    section = getattr(config, section_name, None)
+    if section is None or not hasattr(section, fieldname):
+        raise KeyError(f"no configuration field {path!r}")
+    new_section = dataclasses.replace(section, **{fieldname: value})
+    return validate(dataclasses.replace(config, **{section_name: new_section}))
+
+
+@dataclass(frozen=True)
+class ExplorationPoint:
+    """One evaluated design point."""
+
+    params: tuple[tuple[str, Any], ...]
+    report: SimReport
+
+    @property
+    def latency(self) -> int:
+        return self.report.cycles
+
+    @property
+    def energy(self) -> float:
+        return self.report.total_energy_pj
+
+    def label(self) -> str:
+        return ", ".join(f"{k.split('.')[-1]}={v}" for k, v in self.params)
+
+
+def pareto_front(points: Iterable[ExplorationPoint],
+                 ) -> list[ExplorationPoint]:
+    """Non-dominated points for (minimize latency, minimize energy)."""
+    points = list(points)
+    front = []
+    for candidate in points:
+        dominated = any(
+            (other.latency <= candidate.latency
+             and other.energy <= candidate.energy
+             and (other.latency < candidate.latency
+                  or other.energy < candidate.energy))
+            for other in points
+        )
+        if not dominated:
+            front.append(candidate)
+    front.sort(key=lambda p: (p.latency, p.energy))
+    return front
+
+
+@dataclass
+class Exploration:
+    """Results of a grid sweep."""
+
+    network: str
+    points: list[ExplorationPoint] = field(default_factory=list)
+    failures: list[tuple[tuple[tuple[str, Any], ...], str]] = field(
+        default_factory=list)
+
+    def pareto(self) -> list[ExplorationPoint]:
+        return pareto_front(self.points)
+
+    def best_latency(self) -> ExplorationPoint:
+        return min(self.points, key=lambda p: p.latency)
+
+    def best_energy(self) -> ExplorationPoint:
+        return min(self.points, key=lambda p: p.energy)
+
+    def table(self) -> str:
+        """Aligned text table of every evaluated point."""
+        lines = [f"{'design point':<44}{'cycles':>14}{'energy (uJ)':>14}"
+                 f"{'pareto':>8}"]
+        front = set(id(p) for p in self.pareto())
+        for point in self.points:
+            lines.append(
+                f"{point.label():<44}{point.latency:>14,}"
+                f"{point.energy / 1e6:>14.2f}"
+                f"{'  *' if id(point) in front else '':>8}"
+            )
+        for params, message in self.failures:
+            label = ", ".join(f"{k.split('.')[-1]}={v}" for k, v in params)
+            lines.append(f"{label:<44}  failed: {message[:40]}")
+        return "\n".join(lines)
+
+
+def explore(network: str, base_config: ArchConfig,
+            space: dict[str, list], *,
+            mapping: str | None = None) -> Exploration:
+    """Sweep the cartesian grid of ``space`` and simulate every point.
+
+    Design points whose configuration cannot host the network (capacity
+    exhausted) are recorded under ``failures`` instead of aborting the
+    sweep.
+    """
+    exploration = Exploration(network=network if isinstance(network, str)
+                              else network.name)
+    names = list(space)
+    for combo in itertools.product(*(space[name] for name in names)):
+        params = tuple(zip(names, combo))
+        config = base_config
+        try:
+            for path, value in params:
+                config = with_param(config, path, value)
+            report = simulate(network, config, mapping=mapping)
+        except Exception as exc:
+            exploration.failures.append((params, str(exc).splitlines()[0]))
+            continue
+        exploration.points.append(ExplorationPoint(params=params,
+                                                   report=report))
+    return exploration

@@ -1,0 +1,34 @@
+"""Network-description IR: graph, operators, builder, serialization."""
+
+from .builder import GraphBuilder
+from .execute import execute, random_weights
+from .ir import Graph, GraphError, Node, Tensor
+from .ops import (
+    OPS,
+    conv_out_hw,
+    infer_shape,
+    is_elementwise,
+    is_weight_op,
+    weight_shape,
+)
+from .serialize import graph_from_dict, graph_to_dict, load_graph, save_graph
+
+__all__ = [
+    "Graph",
+    "Node",
+    "Tensor",
+    "GraphError",
+    "GraphBuilder",
+    "execute",
+    "random_weights",
+    "OPS",
+    "infer_shape",
+    "weight_shape",
+    "is_weight_op",
+    "is_elementwise",
+    "conv_out_hw",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+]

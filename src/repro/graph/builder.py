@@ -1,0 +1,118 @@
+"""Fluent builder for network descriptions.
+
+:class:`GraphBuilder` keeps a "current" node so chain-style networks read
+top-to-bottom, while still allowing explicit wiring for residual/inception
+topologies::
+
+    b = GraphBuilder("toy", input_shape=(3, 32, 32))
+    b.conv(16, kernel=3, padding=1).relu().maxpool(2)
+    trunk = b.current
+    left = b.conv(16, kernel=1, after=trunk)
+    right = b.conv(16, kernel=3, padding=1, after=trunk)
+    b.add(left, right).relu().global_avgpool().flatten().fc(10)
+    net = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .ir import Graph, GraphError, Node
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Incrementally constructs a :class:`~repro.graph.ir.Graph`."""
+
+    def __init__(self, name: str, input_shape: tuple[int, ...],
+                 input_name: str = "input") -> None:
+        self.graph = Graph(name)
+        self._counts: dict[str, int] = {}
+        self.current: str = input_name
+        self.graph.add(Node(input_name, "input", attrs={"shape": tuple(input_shape)}))
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _fresh_name(self, op: str, name: str | None) -> str:
+        if name is not None:
+            return name
+        self._counts[op] = self._counts.get(op, 0) + 1
+        return f"{op}{self._counts[op]}"
+
+    def _resolve(self, after: str | None) -> str:
+        return self.current if after is None else after
+
+    def op(self, op: str, *, inputs: list[str], name: str | None = None,
+           **attrs: Any) -> str:
+        """Add an arbitrary node; returns its name and makes it current."""
+        node_name = self._fresh_name(op, name)
+        self.graph.add(Node(node_name, op, inputs=list(inputs), attrs=attrs))
+        self.current = node_name
+        return node_name
+
+    # -- single-input layers ----------------------------------------------------
+
+    def conv(self, out_channels: int, kernel: int, *, stride: int = 1,
+             padding: int = 0, after: str | None = None,
+             name: str | None = None) -> str:
+        return self.op("conv", inputs=[self._resolve(after)], name=name,
+                       out_channels=out_channels, kernel=kernel,
+                       stride=stride, padding=padding)
+
+    def fc(self, out_features: int, *, after: str | None = None,
+           name: str | None = None) -> str:
+        return self.op("fc", inputs=[self._resolve(after)], name=name,
+                       out_features=out_features)
+
+    def relu(self, *, after: str | None = None, name: str | None = None) -> str:
+        return self.op("relu", inputs=[self._resolve(after)], name=name)
+
+    def maxpool(self, kernel: int, *, stride: int | None = None, padding: int = 0,
+                ceil_mode: bool = False, after: str | None = None,
+                name: str | None = None) -> str:
+        return self.op("maxpool", inputs=[self._resolve(after)], name=name,
+                       kernel=kernel, stride=stride or kernel, padding=padding,
+                       ceil_mode=ceil_mode)
+
+    def avgpool(self, kernel: int, *, stride: int | None = None, padding: int = 0,
+                after: str | None = None, name: str | None = None) -> str:
+        return self.op("avgpool", inputs=[self._resolve(after)], name=name,
+                       kernel=kernel, stride=stride or kernel, padding=padding)
+
+    def global_avgpool(self, *, after: str | None = None,
+                       name: str | None = None) -> str:
+        return self.op("global_avgpool", inputs=[self._resolve(after)], name=name)
+
+    def flatten(self, *, after: str | None = None, name: str | None = None) -> str:
+        return self.op("flatten", inputs=[self._resolve(after)], name=name)
+
+    def softmax(self, *, after: str | None = None, name: str | None = None) -> str:
+        return self.op("softmax", inputs=[self._resolve(after)], name=name)
+
+    def lrn(self, *, after: str | None = None, name: str | None = None) -> str:
+        return self.op("lrn", inputs=[self._resolve(after)], name=name)
+
+    def dropout(self, *, after: str | None = None, name: str | None = None) -> str:
+        return self.op("dropout", inputs=[self._resolve(after)], name=name)
+
+    def batchnorm(self, *, after: str | None = None, name: str | None = None) -> str:
+        return self.op("batchnorm", inputs=[self._resolve(after)], name=name)
+
+    # -- multi-input layers -------------------------------------------------------
+
+    def add(self, *branches: str, name: str | None = None) -> str:
+        if len(branches) < 2:
+            raise GraphError("add() needs at least two branch names")
+        return self.op("add", inputs=list(branches), name=name)
+
+    def concat(self, *branches: str, name: str | None = None) -> str:
+        if len(branches) < 2:
+            raise GraphError("concat() needs at least two branch names")
+        return self.op("concat", inputs=list(branches), name=name)
+
+    # -- finish ---------------------------------------------------------------------
+
+    def build(self) -> Graph:
+        """Finalize (cycle check + shape inference) and return the graph."""
+        return self.graph.finalize()

@@ -1,0 +1,164 @@
+"""Functional reference execution of network descriptions.
+
+A numpy golden model for the graph IR: given an input tensor and a set of
+weights, compute every node's value.  The cycle-accurate simulator is a
+*timing/energy* model (like the paper's); this executor supplies the
+*semantics* side — users can check a hand-built network computes what they
+meant, and the test suite uses it to pin the IR's operator definitions
+(shape inference and value semantics must agree).
+
+Weights are a dict ``{node_name: array}``: conv weights shaped
+``(out_channels, in_channels, k, k)``, fc weights ``(out_features,
+in_features)``.  :func:`random_weights` fabricates a deterministic set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ir import Graph, GraphError, Node
+from .ops import weight_shape
+
+__all__ = ["execute", "random_weights"]
+
+
+def random_weights(graph: Graph, *, seed: int = 0,
+                   scale: float = 0.1) -> dict[str, np.ndarray]:
+    """Deterministic random weights for every conv/fc node."""
+    rng = np.random.default_rng(seed)
+    weights: dict[str, np.ndarray] = {}
+    for node in graph.topological_order():
+        if node.op == "conv":
+            k = node.attr("kernel")
+            shape = (node.attr("out_channels"), node.attr("in_channels"), k, k)
+            weights[node.name] = rng.normal(0.0, scale, shape)
+        elif node.op == "fc":
+            shape = (node.attr("out_features"), node.attr("in_features"))
+            weights[node.name] = rng.normal(0.0, scale, shape)
+    return weights
+
+
+def _pool_windows(x: np.ndarray, kernel: int, stride: int, padding: int,
+                  pad_value: float, ceil_mode: bool) -> np.ndarray:
+    """(C, OH, OW, k, k) view of all pooling windows (copies, not strides)."""
+    c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)),
+                   constant_values=pad_value)
+    from .ops import conv_out_hw
+    oh, ow = conv_out_hw(h, w, kernel, stride, padding, ceil_mode)
+    # ceil mode may read past the edge: pad on the far side as needed
+    need_h = (oh - 1) * stride + kernel
+    need_w = (ow - 1) * stride + kernel
+    ph = max(0, need_h - x.shape[1])
+    pw = max(0, need_w - x.shape[2])
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, ph), (0, pw)), constant_values=pad_value)
+    out = np.empty((c, oh, ow, kernel, kernel), dtype=x.dtype)
+    for i in range(oh):
+        for j in range(ow):
+            out[:, i, j] = x[:, i * stride:i * stride + kernel,
+                             j * stride:j * stride + kernel]
+    return out
+
+
+def _conv(node: Node, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    k = node.attr("kernel")
+    stride = node.attr("stride", 1)
+    padding = node.attr("padding", 0)
+    out_ch = node.attr("out_channels")
+    if weight.shape != (out_ch, x.shape[0], k, k):
+        raise GraphError(
+            f"node {node.name!r}: weight shape {weight.shape} does not "
+            f"match ({out_ch}, {x.shape[0]}, {k}, {k})"
+        )
+    windows = _pool_windows(x, k, stride, padding, 0.0, False)
+    # windows: (Cin, OH, OW, k, k); weight: (Cout, Cin, k, k)
+    return np.einsum("cijkl,ockl->oij", windows, weight)
+
+
+def execute(graph: Graph, input_value: np.ndarray,
+            weights: dict[str, np.ndarray] | None = None,
+            ) -> dict[str, np.ndarray]:
+    """Evaluate every node; returns ``{node_name: value}``.
+
+    ``weights`` defaults to :func:`random_weights(graph)`.
+    """
+    if weights is None:
+        weights = random_weights(graph)
+    values: dict[str, np.ndarray] = {}
+    for node in graph.topological_order():
+        inputs = [values[name] for name in node.inputs]
+        values[node.name] = _eval_node(node, inputs, weights, input_value)
+        expected = node.output.shape
+        if values[node.name].shape != expected:
+            raise GraphError(
+                f"node {node.name!r}: executor produced "
+                f"{values[node.name].shape}, shape inference said {expected}"
+            )
+    return values
+
+
+def _eval_node(node: Node, inputs: list[np.ndarray],
+               weights: dict[str, np.ndarray],
+               input_value: np.ndarray) -> np.ndarray:
+    op = node.op
+    if op == "input":
+        value = np.asarray(input_value, dtype=float)
+        if value.shape != node.output.shape:
+            raise GraphError(
+                f"input value shape {value.shape} does not match the "
+                f"network's {node.output.shape}"
+            )
+        return value
+    if op == "conv":
+        if node.name not in weights:
+            raise GraphError(f"no weights provided for {node.name!r}")
+        return _conv(node, inputs[0], weights[node.name])
+    if op == "fc":
+        if node.name not in weights:
+            raise GraphError(f"no weights provided for {node.name!r}")
+        return weights[node.name] @ inputs[0]
+    if op == "relu":
+        return np.maximum(inputs[0], 0.0)
+    if op == "maxpool":
+        windows = _pool_windows(
+            inputs[0], node.attr("kernel"),
+            node.attr("stride", node.attr("kernel")),
+            node.attr("padding", 0), -np.inf,
+            bool(node.attr("ceil_mode", False)))
+        return windows.max(axis=(3, 4))
+    if op == "avgpool":
+        windows = _pool_windows(
+            inputs[0], node.attr("kernel"),
+            node.attr("stride", node.attr("kernel")),
+            node.attr("padding", 0), 0.0, False)
+        return windows.mean(axis=(3, 4))
+    if op == "global_avgpool":
+        return inputs[0].mean(axis=(1, 2), keepdims=True)
+    if op == "add":
+        out = inputs[0]
+        for other in inputs[1:]:
+            out = out + other
+        return out
+    if op == "concat":
+        return np.concatenate(inputs, axis=0)
+    if op == "flatten":
+        return inputs[0].reshape(-1)
+    if op == "softmax":
+        shifted = inputs[0] - inputs[0].max()
+        e = np.exp(shifted)
+        return e / e.sum()
+    if op == "lrn":
+        # cross-channel normalization (AlexNet constants)
+        x = inputs[0]
+        square = x ** 2
+        acc = np.zeros_like(x)
+        n, alpha, beta, k = 5, 1e-4, 0.75, 2.0
+        for c in range(x.shape[0]):
+            lo, hi = max(0, c - n // 2), min(x.shape[0], c + n // 2 + 1)
+            acc[c] = square[lo:hi].sum(axis=0)
+        return x / (k + alpha * acc) ** beta
+    if op in ("dropout", "batchnorm"):
+        return inputs[0]  # identity at inference (bn assumed folded)
+    raise GraphError(f"executor cannot evaluate op {op!r}")  # pragma: no cover

@@ -1,0 +1,202 @@
+"""Network-description intermediate representation.
+
+The original framework consumes ONNX files; this IR carries the same
+information the compiler needs — a DAG of operators with inferred tensor
+shapes — without the ONNX container.  :mod:`repro.graph.serialize` provides
+a JSON round-trip so networks can still live in description *files*.
+
+Shapes are channel-first: feature maps are ``(channels, height, width)``;
+flattened activations are ``(features,)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Tensor", "Node", "Graph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Malformed network description (bad wiring, shapes, or attributes)."""
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """A value flowing along a graph edge."""
+
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(d <= 0 for d in self.shape):
+            raise GraphError(f"invalid tensor shape {self.shape}")
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def __repr__(self) -> str:
+        return f"Tensor{self.shape}"
+
+
+@dataclass
+class Node:
+    """One operator instance.
+
+    ``inputs`` are names of producer nodes (order matters for ops like
+    ``add``/``concat``).  ``output`` is filled in by shape inference.
+    """
+
+    name: str
+    op: str
+    inputs: list[str] = field(default_factory=list)
+    attrs: dict[str, Any] = field(default_factory=dict)
+    output: Tensor | None = None
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        return self.attrs.get(key, default)
+
+    def __repr__(self) -> str:
+        shape = self.output.shape if self.output else "?"
+        return f"<{self.op} {self.name} -> {shape}>"
+
+
+class Graph:
+    """A DAG of operators with single-output nodes.
+
+    Construction is incremental (:meth:`add`); :meth:`finalize` runs cycle
+    detection and shape inference and freezes the topological order.
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self.nodes: dict[str, Node] = {}
+        self._order: list[str] | None = None
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, node: Node) -> Node:
+        """Insert a node; inputs may be forward references until finalize."""
+        if node.name in self.nodes:
+            raise GraphError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        self._order = None
+        return node
+
+    # -- structure -----------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise GraphError(f"no node named {name!r} in graph {self.name!r}") from None
+
+    def consumers(self, name: str) -> list[Node]:
+        """All nodes that read the output of ``name``."""
+        return [n for n in self.nodes.values() if name in n.inputs]
+
+    def producers(self, name: str) -> list[Node]:
+        """The input nodes of ``name`` in declared order."""
+        return [self.node(i) for i in self.node(name).inputs]
+
+    @property
+    def input_nodes(self) -> list[Node]:
+        return [n for n in self.nodes.values() if n.op == "input"]
+
+    @property
+    def output_nodes(self) -> list[Node]:
+        """Nodes whose value nobody consumes (the network outputs)."""
+        consumed = {i for n in self.nodes.values() for i in n.inputs}
+        return [n for n in self.nodes.values() if n.name not in consumed]
+
+    def topological_order(self) -> list[Node]:
+        """Nodes in dependency order; inputs first.  Requires finalize()."""
+        if self._order is None:
+            raise GraphError(f"graph {self.name!r} not finalized")
+        return [self.nodes[name] for name in self._order]
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.topological_order())
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- finalization ---------------------------------------------------------
+
+    def finalize(self) -> "Graph":
+        """Validate wiring, topologically sort, and infer all shapes."""
+        from .ops import infer_shape  # late import: ops registry needs Tensor
+
+        for node in self.nodes.values():
+            for inp in node.inputs:
+                if inp not in self.nodes:
+                    raise GraphError(
+                        f"node {node.name!r} reads undefined input {inp!r}"
+                    )
+            if node.op != "input" and not node.inputs:
+                raise GraphError(f"non-input node {node.name!r} has no inputs")
+            if node.op == "input" and node.inputs:
+                raise GraphError(f"input node {node.name!r} must not have inputs")
+
+        order = self._toposort()
+        self._order = [n.name for n in order]
+        for node in order:
+            inputs = [self.nodes[i].output for i in node.inputs]
+            if any(t is None for t in inputs):
+                raise GraphError(f"shape inference reached {node.name!r} early")
+            node.output = infer_shape(node, inputs)  # type: ignore[arg-type]
+        if not self.input_nodes:
+            raise GraphError(f"graph {self.name!r} has no input node")
+        return self
+
+    def _toposort(self) -> list[Node]:
+        indegree = {name: len(node.inputs) for name, node in self.nodes.items()}
+        # Stable order: seed with insertion order of zero-indegree nodes.
+        ready = [name for name in self.nodes if indegree[name] == 0]
+        order: list[Node] = []
+        consumers: dict[str, list[str]] = {name: [] for name in self.nodes}
+        for node in self.nodes.values():
+            for inp in node.inputs:
+                consumers[inp].append(node.name)
+        while ready:
+            name = ready.pop(0)
+            order.append(self.nodes[name])
+            for consumer in consumers[name]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self.nodes):
+            stuck = sorted(n for n, d in indegree.items() if d > 0)
+            raise GraphError(
+                f"graph {self.name!r} has a cycle involving: {', '.join(stuck[:8])}"
+            )
+        return order
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable table of the network (op, shape, params)."""
+        from .ops import weight_shape
+
+        lines = [f"network {self.name!r}: {len(self.nodes)} nodes"]
+        total_params = 0
+        for node in self.topological_order():
+            wshape = weight_shape(node)
+            params = wshape[0] * wshape[1] if wshape else 0
+            total_params += params
+            extra = f" weights={wshape[0]}x{wshape[1]}" if wshape else ""
+            lines.append(
+                f"  {node.name:<24} {node.op:<12} -> {node.output.shape}{extra}"
+            )
+        lines.append(f"  total weight parameters: {total_params:,}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<Graph {self.name!r} nodes={len(self.nodes)}>"

@@ -1,0 +1,205 @@
+"""Operator registry: attribute validation and shape inference.
+
+Every operator the compiler understands is declared here.  Each entry
+provides a shape-inference function mapping input tensors (and node attrs)
+to the output tensor; :func:`infer_shape` dispatches on ``node.op``.
+
+Supported operators (the union of what alexnet / googlenet / resnet18 /
+squeezenet / VGG need):
+
+``input``, ``conv``, ``fc``, ``maxpool``, ``avgpool``, ``global_avgpool``,
+``relu``, ``add``, ``concat``, ``flatten``, ``softmax``, ``lrn``,
+``dropout``, ``batchnorm``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from .ir import GraphError, Node, Tensor
+
+__all__ = [
+    "infer_shape",
+    "weight_shape",
+    "is_weight_op",
+    "is_elementwise",
+    "OPS",
+    "conv_out_hw",
+]
+
+
+def _require(cond: bool, node: Node, message: str) -> None:
+    if not cond:
+        raise GraphError(f"node {node.name!r} ({node.op}): {message}")
+
+
+def _one_input(node: Node, inputs: list[Tensor]) -> Tensor:
+    _require(len(inputs) == 1, node, f"expects 1 input, got {len(inputs)}")
+    return inputs[0]
+
+
+def _chw(node: Node, t: Tensor) -> tuple[int, int, int]:
+    _require(t.rank == 3, node, f"expects a (C,H,W) input, got {t.shape}")
+    return t.shape  # type: ignore[return-value]
+
+
+def conv_out_hw(h: int, w: int, kernel: int, stride: int, padding: int,
+                ceil_mode: bool = False) -> tuple[int, int]:
+    """Output spatial size of a convolution/pooling window."""
+    rounder = math.ceil if ceil_mode else math.floor
+    oh = rounder((h + 2 * padding - kernel) / stride) + 1
+    ow = rounder((w + 2 * padding - kernel) / stride) + 1
+    return int(oh), int(ow)
+
+
+# -- shape functions ----------------------------------------------------------
+
+def _input_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    _require(not inputs, node, "input takes no inputs")
+    shape = node.attr("shape")
+    _require(shape is not None, node, "input requires a 'shape' attr")
+    return Tensor(tuple(shape))
+
+
+def _conv_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    c, h, w = _chw(node, _one_input(node, inputs))
+    out_ch = node.attr("out_channels")
+    kernel = node.attr("kernel")
+    stride = node.attr("stride", 1)
+    padding = node.attr("padding", 0)
+    _require(out_ch and out_ch > 0, node, "requires positive 'out_channels'")
+    _require(kernel and kernel > 0, node, "requires positive 'kernel'")
+    _require(stride > 0, node, "stride must be positive")
+    _require(padding >= 0, node, "padding must be >= 0")
+    in_ch = node.attr("in_channels")
+    if in_ch is not None:
+        _require(in_ch == c, node, f"in_channels={in_ch} but input has {c} channels")
+    else:
+        node.attrs["in_channels"] = c  # recorded for weight_shape()
+    oh, ow = conv_out_hw(h, w, kernel, stride, padding)
+    _require(oh > 0 and ow > 0, node,
+             f"window {kernel}/{stride}/{padding} collapses {h}x{w} input")
+    return Tensor((out_ch, oh, ow))
+
+
+def _fc_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    t = _one_input(node, inputs)
+    out_features = node.attr("out_features")
+    _require(out_features and out_features > 0, node, "requires positive 'out_features'")
+    _require(t.rank == 1, node, f"fc expects a flat input, got {t.shape}; add a flatten")
+    in_features = node.attr("in_features")
+    if in_features is not None:
+        _require(in_features == t.size, node,
+                 f"in_features={in_features} but input has {t.size} elements")
+    else:
+        node.attrs["in_features"] = t.size  # recorded for weight_shape()
+    return Tensor((out_features,))
+
+
+def _pool_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    c, h, w = _chw(node, _one_input(node, inputs))
+    kernel = node.attr("kernel")
+    stride = node.attr("stride", kernel)
+    padding = node.attr("padding", 0)
+    _require(kernel and kernel > 0, node, "requires positive 'kernel'")
+    oh, ow = conv_out_hw(h, w, kernel, stride, padding,
+                         ceil_mode=bool(node.attr("ceil_mode", False)))
+    _require(oh > 0 and ow > 0, node, f"pool window collapses {h}x{w} input")
+    return Tensor((c, oh, ow))
+
+
+def _global_pool_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    c, _h, _w = _chw(node, _one_input(node, inputs))
+    return Tensor((c, 1, 1))
+
+
+def _same_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    return _one_input(node, inputs)
+
+
+def _add_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    _require(len(inputs) >= 2, node, f"expects >= 2 inputs, got {len(inputs)}")
+    first = inputs[0]
+    for other in inputs[1:]:
+        _require(other.shape == first.shape, node,
+                 f"mismatched add shapes {first.shape} vs {other.shape}")
+    return first
+
+
+def _concat_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    _require(len(inputs) >= 2, node, f"expects >= 2 inputs, got {len(inputs)}")
+    shapes = [t.shape for t in inputs]
+    _require(all(len(s) == 3 for s in shapes), node, "concat expects (C,H,W) inputs")
+    hw = shapes[0][1:]
+    _require(all(s[1:] == hw for s in shapes), node,
+             f"concat inputs disagree on spatial size: {shapes}")
+    return Tensor((sum(s[0] for s in shapes), *hw))
+
+
+def _flatten_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    return Tensor((_one_input(node, inputs).size,))
+
+
+OPS: dict[str, Callable[[Node, list[Tensor]], Tensor]] = {
+    "input": _input_shape,
+    "conv": _conv_shape,
+    "fc": _fc_shape,
+    "maxpool": _pool_shape,
+    "avgpool": _pool_shape,
+    "global_avgpool": _global_pool_shape,
+    "relu": _same_shape,
+    "softmax": _same_shape,
+    "lrn": _same_shape,
+    "dropout": _same_shape,
+    "batchnorm": _same_shape,
+    "add": _add_shape,
+    "concat": _concat_shape,
+    "flatten": _flatten_shape,
+}
+
+
+def infer_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    """Validate ``node`` against its inputs and return its output tensor."""
+    try:
+        fn = OPS[node.op]
+    except KeyError:
+        raise GraphError(
+            f"node {node.name!r} uses unknown op {node.op!r}; "
+            f"known ops: {sorted(OPS)}"
+        ) from None
+    return fn(node, inputs)
+
+
+def is_weight_op(node: Node) -> bool:
+    """Whether this op owns a weight matrix mapped onto crossbars."""
+    return node.op in ("conv", "fc")
+
+
+def is_elementwise(node: Node) -> bool:
+    """Ops the vector unit executes element-by-element."""
+    return node.op in ("relu", "add", "softmax", "lrn", "batchnorm", "dropout")
+
+
+def weight_shape(node: Node) -> tuple[int, int] | None:
+    """The (rows, cols) of the op's weight matrix in crossbar terms.
+
+    Convolution weights are im2col-unrolled: rows = K*K*C_in, cols = C_out.
+    Returns ``None`` for ops without weights.
+    """
+    if node.op == "conv":
+        out_ch = node.attr("out_channels")
+        kernel = node.attr("kernel")
+        in_ch = node.attr("in_channels")
+        if in_ch is None:
+            raise GraphError(
+                f"node {node.name!r}: weight_shape needs 'in_channels' "
+                f"(set during finalize or explicitly)"
+            )
+        return (kernel * kernel * in_ch, out_ch)
+    if node.op == "fc":
+        in_features = node.attr("in_features")
+        if in_features is None:
+            raise GraphError(f"node {node.name!r}: weight_shape needs 'in_features'")
+        return (in_features, node.attr("out_features"))
+    return None

@@ -1,0 +1,60 @@
+"""JSON (de)serialization of network descriptions.
+
+This is our stand-in for the paper's ONNX network-description file: the
+same graph the compiler consumes, as a portable text file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .ir import Graph, GraphError, Node
+
+__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    """Export a finalized (or raw) graph as a JSON-ready dict."""
+    nodes = []
+    # Preserve insertion order; it is a valid construction order on reload.
+    for node in graph.nodes.values():
+        entry: dict = {"name": node.name, "op": node.op}
+        if node.inputs:
+            entry["inputs"] = list(node.inputs)
+        if node.attrs:
+            entry["attrs"] = dict(node.attrs)
+        nodes.append(entry)
+    return {"format": _FORMAT_VERSION, "name": graph.name, "nodes": nodes}
+
+
+def graph_from_dict(data: dict) -> Graph:
+    """Rebuild and finalize a graph from :func:`graph_to_dict` output."""
+    if not isinstance(data, dict) or "nodes" not in data:
+        raise GraphError("network description must be an object with a 'nodes' list")
+    version = data.get("format", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise GraphError(f"unsupported network description format {version}")
+    graph = Graph(data.get("name", "network"))
+    for entry in data["nodes"]:
+        try:
+            name, op = entry["name"], entry["op"]
+        except (TypeError, KeyError):
+            raise GraphError(f"malformed node entry: {entry!r}") from None
+        attrs = dict(entry.get("attrs", {}))
+        if "shape" in attrs and isinstance(attrs["shape"], list):
+            attrs["shape"] = tuple(attrs["shape"])
+        graph.add(Node(name, op, inputs=list(entry.get("inputs", [])), attrs=attrs))
+    return graph.finalize()
+
+
+def save_graph(graph: Graph, path: str | Path) -> None:
+    """Write the network description to a JSON file."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Load and finalize a network description from a JSON file."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,60 @@
+"""The PIM instruction set: instructions, groups, programs, codecs."""
+
+from .asm import AsmError, assemble, assemble_line, disassemble, disassemble_line
+from .encode import (
+    WORD_BYTES,
+    EncodingError,
+    decode,
+    decode_bytes,
+    encode,
+    encode_bytes,
+)
+from .groups import Group, GroupError, GroupTable
+from .instructions import (
+    SCALAR_OPS,
+    TRANSFER_OPS,
+    VECTOR_OPS,
+    Instruction,
+    MemRange,
+    MvmInst,
+    ScalarInst,
+    TransferInst,
+    VectorInst,
+    ranges_overlap,
+)
+from .program import ChipProgram, FlowInfo, Program, ProgramError
+from .verify import N_REGISTERS, VerificationError, verify_program
+
+__all__ = [
+    "Instruction",
+    "MvmInst",
+    "VectorInst",
+    "TransferInst",
+    "ScalarInst",
+    "VECTOR_OPS",
+    "TRANSFER_OPS",
+    "SCALAR_OPS",
+    "MemRange",
+    "ranges_overlap",
+    "Group",
+    "GroupTable",
+    "GroupError",
+    "Program",
+    "ChipProgram",
+    "FlowInfo",
+    "ProgramError",
+    "encode",
+    "decode",
+    "encode_bytes",
+    "decode_bytes",
+    "WORD_BYTES",
+    "EncodingError",
+    "assemble",
+    "disassemble",
+    "assemble_line",
+    "disassemble_line",
+    "AsmError",
+    "verify_program",
+    "VerificationError",
+    "N_REGISTERS",
+]

@@ -1,0 +1,111 @@
+"""Textual assembly for instruction streams.
+
+The format is deliberately regular — ``OPCODE key=value ...`` with an
+optional ``; layer=<tag>`` comment — so programs dump and reload without a
+grammar. Example::
+
+    MVM group=3 src=1024 src_bytes=512 dst=8192 dst_bytes=128 count=4 ; layer=conv1
+    VADD src1=8192 src2=8320 dst=8192 length=128 src_bytes=128 dst_bytes=128
+    SEND peer=2 addr=8192 bytes=128 flow=5 seq=0
+    HALT
+"""
+
+from __future__ import annotations
+
+from .instructions import (
+    SCALAR_OPS,
+    TRANSFER_OPS,
+    VECTOR_OPS,
+    Instruction,
+    MvmInst,
+    ScalarInst,
+    TransferInst,
+    VectorInst,
+)
+
+__all__ = ["assemble_line", "disassemble_line", "assemble", "disassemble", "AsmError"]
+
+
+class AsmError(ValueError):
+    """Unparseable assembly text."""
+
+
+_INT_FIELDS = {
+    "MVM": ("group", "src", "src_bytes", "dst", "dst_bytes", "count"),
+    "VECTOR": ("src1", "src2", "dst", "length", "src_bytes", "dst_bytes"),
+    "TRANSFER": ("peer", "addr", "bytes", "flow", "seq"),
+    "SCALAR": ("rd", "rs1", "rs2", "imm", "target"),
+}
+
+
+def disassemble_line(inst: Instruction) -> str:
+    """Render one instruction as a canonical assembly line."""
+    if isinstance(inst, MvmInst):
+        op, names = "MVM", _INT_FIELDS["MVM"]
+    elif isinstance(inst, VectorInst):
+        op, names = inst.op, _INT_FIELDS["VECTOR"]
+    elif isinstance(inst, TransferInst):
+        op, names = inst.op, _INT_FIELDS["TRANSFER"]
+    elif isinstance(inst, ScalarInst):
+        op, names = inst.op, _INT_FIELDS["SCALAR"]
+    else:
+        raise AsmError(f"cannot disassemble {type(inst).__name__}")
+    parts = [op] + [f"{n}={getattr(inst, n)}" for n in names if getattr(inst, n)]
+    if inst.layer:
+        parts.append(f"; layer={inst.layer}")
+    return " ".join(parts)
+
+
+def assemble_line(line: str) -> Instruction | None:
+    """Parse one assembly line; returns None for blanks/comments."""
+    text = line.strip()
+    if not text or text.startswith("#") or text.startswith(";"):
+        return None
+    layer = ""
+    if ";" in text:
+        text, _, comment = text.partition(";")
+        comment = comment.strip()
+        if comment.startswith("layer="):
+            layer = comment[len("layer="):]
+        text = text.strip()
+    tokens = text.split()
+    op = tokens[0].upper()
+    fields: dict[str, int] = {}
+    for token in tokens[1:]:
+        if "=" not in token:
+            raise AsmError(f"bad token {token!r} in line {line!r}")
+        key, _, value = token.partition("=")
+        try:
+            fields[key] = int(value)
+        except ValueError:
+            raise AsmError(f"non-integer value in {token!r}") from None
+    try:
+        if op == "MVM":
+            return MvmInst(layer=layer, **fields)
+        if op in VECTOR_OPS:
+            return VectorInst(op=op, layer=layer, **fields)
+        if op in TRANSFER_OPS:
+            return TransferInst(op=op, layer=layer, **fields)
+        if op in SCALAR_OPS:
+            return ScalarInst(op=op, layer=layer, **fields)
+    except TypeError as exc:
+        raise AsmError(f"bad fields for {op}: {exc}") from None
+    raise AsmError(f"unknown opcode {op!r} in line {line!r}")
+
+
+def disassemble(instructions: list[Instruction]) -> str:
+    """Render an instruction list as assembly text."""
+    return "\n".join(disassemble_line(inst) for inst in instructions)
+
+
+def assemble(text: str) -> list[Instruction]:
+    """Parse assembly text into an instruction list."""
+    out = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        try:
+            inst = assemble_line(line)
+        except AsmError as exc:
+            raise AsmError(f"line {lineno}: {exc}") from None
+        if inst is not None:
+            out.append(inst)
+    return out

@@ -1,0 +1,131 @@
+"""Binary encoding of instructions.
+
+Instructions encode to fixed-width 192-bit words (three 64-bit words, 24
+bytes) — comfortable field widths without variable-length decode logic.
+The layer tag and stream index are *not* encoded: like debug info in a
+conventional toolchain, they travel in program metadata, not in the
+instruction word.
+
+Word layout (bit offsets from LSB of the 192-bit integer):
+
+====== ======================================================
+bits   field
+====== ======================================================
+0-1    instruction class (0=matrix, 1=vector, 2=transfer, 3=scalar)
+2-7    opcode index within the class
+8-191  class-specific fields, packed per the tables below
+====== ======================================================
+"""
+
+from __future__ import annotations
+
+from .instructions import (
+    SCALAR_OPS,
+    TRANSFER_OPS,
+    VECTOR_OPS,
+    Instruction,
+    MvmInst,
+    ScalarInst,
+    TransferInst,
+    VectorInst,
+)
+
+__all__ = ["encode", "decode", "encode_bytes", "decode_bytes", "WORD_BYTES", "EncodingError"]
+
+WORD_BYTES = 24
+_WORD_BITS = WORD_BYTES * 8
+
+_CLASS_IDS = {"matrix": 0, "vector": 1, "transfer": 2, "scalar": 3}
+_CLASS_NAMES = {v: k for k, v in _CLASS_IDS.items()}
+
+_VECTOR_OP_LIST = sorted(VECTOR_OPS)
+_VECTOR_OP_IDS = {op: i for i, op in enumerate(_VECTOR_OP_LIST)}
+_TRANSFER_OP_IDS = {op: i for i, op in enumerate(TRANSFER_OPS)}
+_SCALAR_OP_IDS = {op: i for i, op in enumerate(SCALAR_OPS)}
+
+#: (field name, bit width) per class, packed LSB-first after the 8-bit header.
+_FIELDS: dict[str, tuple[tuple[str, int], ...]] = {
+    "matrix": (("group", 20), ("src", 26), ("src_bytes", 26),
+               ("dst", 26), ("dst_bytes", 26), ("count", 20)),
+    "vector": (("src1", 26), ("src2", 26), ("dst", 26),
+               ("length", 24), ("src_bytes", 26), ("dst_bytes", 26)),
+    "transfer": (("peer", 16), ("addr", 26), ("bytes", 26),
+                 ("flow", 26), ("seq", 26)),
+    "scalar": (("rd", 6), ("rs1", 6), ("rs2", 6),
+               ("imm", 40), ("target", 26)),
+}
+
+
+class EncodingError(ValueError):
+    """A field value does not fit its encoding width."""
+
+
+def _opcode_of(inst: Instruction) -> int:
+    if isinstance(inst, MvmInst):
+        return 0
+    if isinstance(inst, VectorInst):
+        return _VECTOR_OP_IDS[inst.op]
+    if isinstance(inst, TransferInst):
+        return _TRANSFER_OP_IDS[inst.op]
+    if isinstance(inst, ScalarInst):
+        return _SCALAR_OP_IDS[inst.op]
+    raise EncodingError(f"cannot encode {type(inst).__name__}")
+
+
+def encode(inst: Instruction) -> int:
+    """Pack an instruction into a 192-bit integer word."""
+    class_id = _CLASS_IDS[inst.unit]
+    word = class_id | (_opcode_of(inst) << 2)
+    offset = 8
+    for name, width in _FIELDS[inst.unit]:
+        value = getattr(inst, name)
+        if not 0 <= value < (1 << width):
+            raise EncodingError(
+                f"{type(inst).__name__}.{name}={value} does not fit "
+                f"in {width} bits"
+            )
+        word |= value << offset
+        offset += width
+    assert offset <= _WORD_BITS
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Unpack a 192-bit integer word back into an instruction."""
+    if not 0 <= word < (1 << _WORD_BITS):
+        raise EncodingError(f"word out of range: {word:#x}")
+    class_id = word & 0b11
+    opcode = (word >> 2) & 0b111111
+    unit = _CLASS_NAMES[class_id]
+    fields: dict[str, int] = {}
+    offset = 8
+    for name, width in _FIELDS[unit]:
+        fields[name] = (word >> offset) & ((1 << width) - 1)
+        offset += width
+    if unit == "matrix":
+        return MvmInst(**fields)
+    if unit == "vector":
+        try:
+            op = _VECTOR_OP_LIST[opcode]
+        except IndexError:
+            raise EncodingError(f"bad vector opcode {opcode}") from None
+        return VectorInst(op=op, **fields)
+    if unit == "transfer":
+        if opcode >= len(TRANSFER_OPS):
+            raise EncodingError(f"bad transfer opcode {opcode}")
+        return TransferInst(op=TRANSFER_OPS[opcode], **fields)
+    if opcode >= len(SCALAR_OPS):
+        raise EncodingError(f"bad scalar opcode {opcode}")
+    return ScalarInst(op=SCALAR_OPS[opcode], **fields)
+
+
+def encode_bytes(inst: Instruction) -> bytes:
+    """Encode to the 24-byte little-endian machine word."""
+    return encode(inst).to_bytes(WORD_BYTES, "little")
+
+
+def decode_bytes(data: bytes) -> Instruction:
+    """Decode a 24-byte little-endian machine word."""
+    if len(data) != WORD_BYTES:
+        raise EncodingError(f"expected {WORD_BYTES} bytes, got {len(data)}")
+    return decode(int.from_bytes(data, "little"))

@@ -1,0 +1,165 @@
+"""Per-core instruction streams and the whole-chip program.
+
+A :class:`Program` is one core's instruction list plus its group table and
+local-memory layout metadata.  A :class:`ChipProgram` bundles the per-core
+programs with chip-wide flow metadata (which SEND matches which RECV) and
+the compiler's layer placement summary — everything the simulator and the
+static verifier need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .groups import GroupTable
+from .instructions import Instruction, ScalarInst, TransferInst
+
+__all__ = ["Program", "ChipProgram", "FlowInfo", "ProgramError"]
+
+
+class ProgramError(ValueError):
+    """Malformed program (missing halt, dangling flow, bad group id …)."""
+
+
+@dataclass
+class Program:
+    """Instruction stream of one core."""
+
+    core: int
+    instructions: list[Instruction] = field(default_factory=list)
+    groups: GroupTable | None = None
+    #: highest local-memory byte used (for capacity checks/report).
+    local_memory_used: int = 0
+    _sealed: bool = False
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self._sealed:
+            raise ProgramError(f"core {self.core}: program is sealed")
+        self.instructions.append(inst)
+        return inst
+
+    def extend(self, insts: list[Instruction]) -> None:
+        for inst in insts:
+            self.append(inst)
+
+    def seal(self) -> "Program":
+        """Terminate with HALT (if absent), number instructions, freeze."""
+        if not self.instructions or not (
+            isinstance(self.instructions[-1], ScalarInst)
+            and self.instructions[-1].op == "HALT"
+        ):
+            self.instructions.append(ScalarInst(op="HALT"))
+        for index, inst in enumerate(self.instructions):
+            inst.index = index
+        self._sealed = True
+        return self
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def counts_by_unit(self) -> dict[str, int]:
+        """Instruction histogram across the four execution units."""
+        counts: dict[str, int] = {"matrix": 0, "vector": 0, "transfer": 0, "scalar": 0}
+        for inst in self.instructions:
+            counts[inst.unit] += 1
+        return counts
+
+    def listing(self, limit: int | None = None) -> str:
+        """Readable assembly-style dump (first ``limit`` instructions)."""
+        lines = [f"core {self.core}: {len(self.instructions)} instructions"]
+        shown = self.instructions if limit is None else self.instructions[:limit]
+        for inst in shown:
+            tag = f"  {inst.index:>6}  {inst!r}"
+            if inst.layer:
+                tag += f"    ; {inst.layer}"
+            lines.append(tag)
+        if limit is not None and len(self.instructions) > limit:
+            lines.append(f"  ... {len(self.instructions) - limit} more")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FlowInfo:
+    """One producer->consumer message stream created by the compiler."""
+
+    flow_id: int
+    src_core: int
+    dst_core: int
+    layer: str
+    n_messages: int
+    bytes_per_message: int
+    #: credit window (receiver ring depth); 0 = simulator default.
+    window: int = 0
+
+
+@dataclass
+class ChipProgram:
+    """All per-core programs plus chip-wide metadata."""
+
+    network: str
+    programs: dict[int, Program] = field(default_factory=dict)
+    flows: dict[int, FlowInfo] = field(default_factory=dict)
+    #: layer name -> list of core ids that hold (part of) its weights.
+    layer_cores: dict[str, list[int]] = field(default_factory=dict)
+    #: free-form compiler statistics for reports.
+    meta: dict = field(default_factory=dict)
+
+    def program(self, core: int) -> Program:
+        try:
+            return self.programs[core]
+        except KeyError:
+            raise ProgramError(f"no program for core {core}") from None
+
+    @property
+    def cores_used(self) -> list[int]:
+        return sorted(self.programs)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(len(p) for p in self.programs.values())
+
+    def counts_by_unit(self) -> dict[str, int]:
+        totals: dict[str, int] = {"matrix": 0, "vector": 0, "transfer": 0, "scalar": 0}
+        for program in self.programs.values():
+            for unit, count in program.counts_by_unit().items():
+                totals[unit] += count
+        return totals
+
+    def sends_by_flow(self) -> dict[int, list[TransferInst]]:
+        """All SEND instructions grouped by flow (verification helper)."""
+        out: dict[int, list[TransferInst]] = {}
+        for program in self.programs.values():
+            for inst in program:
+                if isinstance(inst, TransferInst) and inst.op == "SEND":
+                    out.setdefault(inst.flow, []).append(inst)
+        return out
+
+    def recvs_by_flow(self) -> dict[int, list[TransferInst]]:
+        """All RECV instructions grouped by flow (verification helper)."""
+        out: dict[int, list[TransferInst]] = {}
+        for program in self.programs.values():
+            for inst in program:
+                if isinstance(inst, TransferInst) and inst.op == "RECV":
+                    out.setdefault(inst.flow, []).append(inst)
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts_by_unit()
+        lines = [
+            f"chip program for {self.network!r}:",
+            f"  cores used      : {len(self.programs)}",
+            f"  instructions    : {self.total_instructions:,}"
+            f" (matrix={counts['matrix']:,} vector={counts['vector']:,}"
+            f" transfer={counts['transfer']:,} scalar={counts['scalar']:,})",
+            f"  flows           : {len(self.flows)}",
+            f"  layers placed   : {len(self.layer_cores)}",
+        ]
+        return "\n".join(lines)

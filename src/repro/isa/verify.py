@@ -1,0 +1,138 @@
+"""Static verification of chip programs.
+
+Run after compilation and before simulation: catches malformed programs
+(dangling flows, unknown groups, out-of-range addresses) with source-level
+messages instead of mid-simulation deadlocks.
+"""
+
+from __future__ import annotations
+
+from ..config import ArchConfig
+from .instructions import MvmInst, ScalarInst, TransferInst, VectorInst
+from .program import ChipProgram, ProgramError
+
+__all__ = ["verify_program", "VerificationError"]
+
+N_REGISTERS = 32
+
+
+class VerificationError(ProgramError):
+    """One or more static checks failed; message lists all of them."""
+
+
+def verify_program(chip: ChipProgram, config: ArchConfig) -> ChipProgram:
+    """Run all static checks; returns the program on success."""
+    errors: list[str] = []
+    n_cores = config.chip.n_cores
+    mem_limit = config.core.local_memory_bytes
+
+    for core_id, program in sorted(chip.programs.items()):
+        prefix = f"core {core_id}"
+        if not 0 <= core_id < n_cores:
+            errors.append(f"{prefix}: id outside the {n_cores}-core chip")
+            continue
+        if not program.sealed:
+            errors.append(f"{prefix}: program not sealed")
+            continue
+        _check_stream(errors, prefix, program, chip, mem_limit, n_cores)
+
+    _check_flows(errors, chip)
+
+    if errors:
+        raise VerificationError(
+            f"program for {chip.network!r} failed verification "
+            f"({len(errors)} error(s)):\n  - " + "\n  - ".join(errors[:40])
+            + ("\n  - …" if len(errors) > 40 else "")
+        )
+    return chip
+
+
+def _check_stream(errors: list[str], prefix: str, program, chip: ChipProgram,
+                  mem_limit: int, n_cores: int) -> None:
+    n = len(program.instructions)
+    halts = [i for i, inst in enumerate(program)
+             if isinstance(inst, ScalarInst) and inst.op == "HALT"]
+    if not halts:
+        errors.append(f"{prefix}: no HALT")
+    elif halts[0] != n - 1:
+        errors.append(f"{prefix}: HALT at {halts[0]} is not the last instruction")
+
+    groups = program.groups
+    for inst in program:
+        where = f"{prefix} inst {inst.index}"
+        for start, end in (*inst.reads_mem(), *inst.writes_mem()):
+            if start < 0 or end > mem_limit:
+                errors.append(
+                    f"{where}: local-memory range [{start},{end}) outside "
+                    f"0..{mem_limit}"
+                )
+            if start >= end:
+                errors.append(f"{where}: empty/negative memory range [{start},{end})")
+        if isinstance(inst, MvmInst):
+            if groups is None:
+                errors.append(f"{where}: MVM but core has no group table")
+            else:
+                try:
+                    groups.get(inst.group)
+                except Exception:
+                    errors.append(f"{where}: undefined group {inst.group}")
+            if inst.count < 1:
+                errors.append(f"{where}: MVM count must be >= 1, got {inst.count}")
+        elif isinstance(inst, VectorInst):
+            if inst.length < 1:
+                errors.append(f"{where}: vector length must be >= 1")
+        elif isinstance(inst, TransferInst):
+            if inst.op in ("SEND", "RECV") and not 0 <= inst.peer < n_cores:
+                errors.append(f"{where}: peer {inst.peer} outside the chip")
+            if inst.bytes < 1:
+                errors.append(f"{where}: transfer of {inst.bytes} bytes")
+            if inst.op in ("SEND", "RECV") and inst.flow not in chip.flows:
+                errors.append(f"{where}: undeclared flow {inst.flow}")
+        elif isinstance(inst, ScalarInst):
+            regs = (*inst.reads_regs(), *inst.writes_regs())
+            if any(not 0 <= r < N_REGISTERS for r in regs):
+                errors.append(f"{where}: register out of range in {inst!r}")
+            if inst.is_control and inst.op != "HALT" and not 0 <= inst.target < n:
+                errors.append(f"{where}: branch target {inst.target} outside stream")
+
+
+def _check_flows(errors: list[str], chip: ChipProgram) -> None:
+    sends = chip.sends_by_flow()
+    recvs = chip.recvs_by_flow()
+    for flow_id, info in sorted(chip.flows.items()):
+        flow_sends = sends.get(flow_id, [])
+        flow_recvs = recvs.get(flow_id, [])
+        if len(flow_sends) != len(flow_recvs):
+            errors.append(
+                f"flow {flow_id} ({info.layer}): {len(flow_sends)} sends vs "
+                f"{len(flow_recvs)} recvs"
+            )
+            continue
+        if len(flow_sends) != info.n_messages:
+            errors.append(
+                f"flow {flow_id} ({info.layer}): declared {info.n_messages} "
+                f"messages, found {len(flow_sends)}"
+            )
+        send_seqs = sorted(s.seq for s in flow_sends)
+        recv_seqs = sorted(r.seq for r in flow_recvs)
+        if send_seqs != list(range(len(flow_sends))):
+            errors.append(f"flow {flow_id}: send seqs not dense: {send_seqs[:8]}…")
+        if recv_seqs != list(range(len(flow_recvs))):
+            errors.append(f"flow {flow_id}: recv seqs not dense: {recv_seqs[:8]}…")
+        for send in flow_sends:
+            if send.peer != info.dst_core:
+                errors.append(
+                    f"flow {flow_id}: SEND peer {send.peer} != declared dst "
+                    f"{info.dst_core}"
+                )
+                break
+        for recv in flow_recvs:
+            if recv.peer != info.src_core:
+                errors.append(
+                    f"flow {flow_id}: RECV peer {recv.peer} != declared src "
+                    f"{info.src_core}"
+                )
+                break
+    undeclared = (set(sends) | set(recvs)) - set(chip.flows)
+    for flow_id in sorted(undeclared):
+        errors.append(f"flow {flow_id}: used by transfers but never declared")

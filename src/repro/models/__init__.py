@@ -1,0 +1,24 @@
+"""Model zoo: the networks used in the paper's evaluation."""
+
+from .alexnet import alexnet
+from .googlenet import googlenet
+from .resnet import resnet18
+from .small import lenet5, mlp
+from .squeezenet import squeezenet
+from .vgg import vgg8, vgg16
+from .zoo import FIG3_MODELS, FIG5_MODELS, MODELS, build_model
+
+__all__ = [
+    "alexnet",
+    "lenet5",
+    "mlp",
+    "googlenet",
+    "resnet18",
+    "squeezenet",
+    "vgg8",
+    "vgg16",
+    "MODELS",
+    "build_model",
+    "FIG3_MODELS",
+    "FIG5_MODELS",
+]

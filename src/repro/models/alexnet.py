@@ -1,0 +1,72 @@
+"""AlexNet (Krizhevsky et al., 2012) in this repo's graph IR.
+
+Two variants: the canonical 224x224 ImageNet network, and a CIFAR-scaled
+version (same 5-conv/3-fc structure with strides/pools adjusted for 32x32
+inputs) used by the default benchmark runs.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+__all__ = ["alexnet"]
+
+
+def alexnet(input_shape: tuple[int, int, int] = (3, 32, 32),
+            num_classes: int = 10) -> Graph:
+    """Build AlexNet; the head/stride geometry adapts to the input size."""
+    if input_shape[1] >= 224:
+        return _alexnet_imagenet(input_shape, num_classes)
+    return _alexnet_cifar(input_shape, num_classes)
+
+
+def _alexnet_imagenet(input_shape: tuple[int, int, int], num_classes: int) -> Graph:
+    b = GraphBuilder("alexnet", input_shape)
+    b.conv(96, kernel=11, stride=4, padding=2)
+    b.relu()
+    b.lrn()
+    b.maxpool(3, stride=2)
+    b.conv(256, kernel=5, padding=2)
+    b.relu()
+    b.lrn()
+    b.maxpool(3, stride=2)
+    b.conv(384, kernel=3, padding=1)
+    b.relu()
+    b.conv(384, kernel=3, padding=1)
+    b.relu()
+    b.conv(256, kernel=3, padding=1)
+    b.relu()
+    b.maxpool(3, stride=2)
+    b.flatten()
+    b.fc(4096)
+    b.relu()
+    b.dropout()
+    b.fc(4096)
+    b.relu()
+    b.dropout()
+    b.fc(num_classes)
+    return b.build()
+
+
+def _alexnet_cifar(input_shape: tuple[int, int, int], num_classes: int) -> Graph:
+    b = GraphBuilder("alexnet", input_shape)
+    b.conv(96, kernel=5, stride=1, padding=2)
+    b.relu()
+    b.maxpool(2)
+    b.conv(256, kernel=5, padding=2)
+    b.relu()
+    b.maxpool(2)
+    b.conv(384, kernel=3, padding=1)
+    b.relu()
+    b.conv(384, kernel=3, padding=1)
+    b.relu()
+    b.conv(256, kernel=3, padding=1)
+    b.relu()
+    b.maxpool(2)
+    b.flatten()
+    b.fc(1024)
+    b.relu()
+    b.fc(512)
+    b.relu()
+    b.fc(num_classes)
+    return b.build()

@@ -1,0 +1,87 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., 2015).
+
+Nine inception modules, each a four-way split (1x1 / 3x3 / 5x5 / pool-proj)
+joined by ``concat``.  Auxiliary classifier heads are omitted — they exist
+only for training and contribute nothing to inference latency.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+__all__ = ["googlenet"]
+
+
+def _inception(b: GraphBuilder, in_name: str, c1: int, c3r: int, c3: int,
+               c5r: int, c5: int, pp: int, tag: str) -> str:
+    """One inception module; returns the concat output name."""
+    b.conv(c1, kernel=1, after=in_name, name=f"{tag}_1x1")
+    b1 = b.relu(name=f"{tag}_1x1relu")
+
+    b.conv(c3r, kernel=1, after=in_name, name=f"{tag}_3x3reduce")
+    b.relu(name=f"{tag}_3x3rrelu")
+    b.conv(c3, kernel=3, padding=1, name=f"{tag}_3x3")
+    b2 = b.relu(name=f"{tag}_3x3relu")
+
+    b.conv(c5r, kernel=1, after=in_name, name=f"{tag}_5x5reduce")
+    b.relu(name=f"{tag}_5x5rrelu")
+    b.conv(c5, kernel=5, padding=2, name=f"{tag}_5x5")
+    b3 = b.relu(name=f"{tag}_5x5relu")
+
+    b.maxpool(3, stride=1, padding=1, after=in_name, name=f"{tag}_pool")
+    b.conv(pp, kernel=1, name=f"{tag}_poolproj")
+    b4 = b.relu(name=f"{tag}_pprelu")
+
+    return b.concat(b1, b2, b3, b4, name=f"{tag}_concat")
+
+
+#: (c1, c3r, c3, c5r, c5, pool_proj) for the nine modules, per the paper.
+_INCEPTION_PARAMS = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def googlenet(input_shape: tuple[int, int, int] = (3, 32, 32),
+              num_classes: int = 10) -> Graph:
+    """Build GoogLeNet: stem + inception 3a..5b + classifier."""
+    b = GraphBuilder("googlenet", input_shape)
+    if input_shape[1] >= 224:
+        b.conv(64, kernel=7, stride=2, padding=3, name="stem_conv1")
+        b.relu(name="stem_relu1")
+        b.maxpool(3, stride=2, ceil_mode=True, name="stem_pool1")
+        b.lrn(name="stem_lrn1")
+        b.conv(64, kernel=1, name="stem_conv2")
+        b.relu(name="stem_relu2")
+        b.conv(192, kernel=3, padding=1, name="stem_conv3")
+        b.relu(name="stem_relu3")
+        b.lrn(name="stem_lrn2")
+        b.maxpool(3, stride=2, ceil_mode=True, name="stem_pool2")
+    else:
+        # CIFAR stem: single downsampling step keeps 3a at 16x16.
+        b.conv(64, kernel=3, padding=1, name="stem_conv1")
+        b.relu(name="stem_relu1")
+        b.conv(192, kernel=3, padding=1, name="stem_conv3")
+        b.relu(name="stem_relu3")
+        b.maxpool(2, name="stem_pool2")
+    x = b.current
+    x = _inception(b, x, *_INCEPTION_PARAMS["3a"], tag="i3a")
+    x = _inception(b, x, *_INCEPTION_PARAMS["3b"], tag="i3b")
+    x = b.maxpool(2, after=x, name="pool3")
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        x = _inception(b, x, *_INCEPTION_PARAMS[tag], tag=f"i{tag}")
+    x = b.maxpool(2, after=x, name="pool4")
+    x = _inception(b, x, *_INCEPTION_PARAMS["5a"], tag="i5a")
+    x = _inception(b, x, *_INCEPTION_PARAMS["5b"], tag="i5b")
+    b.global_avgpool(after=x, name="gap")
+    b.flatten(name="flat")
+    b.dropout(name="drop")
+    b.fc(num_classes, name="classifier")
+    return b.build()

@@ -1,0 +1,57 @@
+"""ResNet-18 (He et al., 2016) with basic residual blocks.
+
+The residual ``add`` joins are the structural feature Fig. 5 exercises:
+each add must synchronize results arriving from two different layer paths,
+which is where synchronized transfers diverge from MNSIM2.0's ideal
+asynchronous communication model.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+__all__ = ["resnet18"]
+
+
+def _basic_block(b: GraphBuilder, in_name: str, channels: int, stride: int,
+                 tag: str) -> str:
+    """Two 3x3 convs + identity/projection shortcut; returns output name."""
+    b.conv(channels, kernel=3, stride=stride, padding=1,
+           after=in_name, name=f"{tag}_conv1")
+    b.batchnorm(name=f"{tag}_bn1")
+    b.relu(name=f"{tag}_relu1")
+    b.conv(channels, kernel=3, padding=1, name=f"{tag}_conv2")
+    main = b.batchnorm(name=f"{tag}_bn2")
+    if stride != 1:
+        shortcut = b.conv(channels, kernel=1, stride=stride,
+                          after=in_name, name=f"{tag}_proj")
+    else:
+        shortcut = in_name
+    b.add(main, shortcut, name=f"{tag}_add")
+    return b.relu(name=f"{tag}_relu2")
+
+
+def resnet18(input_shape: tuple[int, int, int] = (3, 32, 32),
+             num_classes: int = 10) -> Graph:
+    """Build ResNet-18: stem + 4 stages x 2 basic blocks + classifier."""
+    b = GraphBuilder("resnet18", input_shape)
+    if input_shape[1] >= 224:
+        b.conv(64, kernel=7, stride=2, padding=3, name="stem_conv")
+        b.batchnorm(name="stem_bn")
+        b.relu(name="stem_relu")
+        b.maxpool(3, stride=2, padding=1, name="stem_pool")
+    else:
+        # CIFAR stem: 3x3, no aggressive downsampling.
+        b.conv(64, kernel=3, padding=1, name="stem_conv")
+        b.batchnorm(name="stem_bn")
+        b.relu(name="stem_relu")
+    x = b.current
+    stage_channels = (64, 128, 256, 512)
+    for stage, channels in enumerate(stage_channels, start=1):
+        for block in (1, 2):
+            stride = 2 if (stage > 1 and block == 1) else 1
+            x = _basic_block(b, x, channels, stride, tag=f"s{stage}b{block}")
+    b.global_avgpool(after=x, name="gap")
+    b.flatten(name="flat")
+    b.fc(num_classes, name="classifier")
+    return b.build()

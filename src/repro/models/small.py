@@ -1,0 +1,46 @@
+"""Small classic networks: LeNet-5 and a plain MLP.
+
+Not part of the paper's evaluation, but useful as fast end-to-end
+workloads and because they exercise compiler paths the big CNNs do not
+(average pooling in the feature extractor; a network with *no*
+convolutions at all).
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+__all__ = ["lenet5", "mlp"]
+
+
+def lenet5(input_shape: tuple[int, int, int] = (1, 28, 28),
+           num_classes: int = 10) -> Graph:
+    """LeNet-5 (LeCun et al., 1998): 2 conv+avgpool blocks, 3 fc layers."""
+    b = GraphBuilder("lenet5", input_shape)
+    b.conv(6, kernel=5, padding=2)
+    b.relu()
+    b.avgpool(2)
+    b.conv(16, kernel=5)
+    b.relu()
+    b.avgpool(2)
+    b.flatten()
+    b.fc(120)
+    b.relu()
+    b.fc(84)
+    b.relu()
+    b.fc(num_classes)
+    return b.build()
+
+
+def mlp(input_shape: tuple[int, ...] = (784,),
+        hidden: tuple[int, ...] = (256, 128),
+        num_classes: int = 10) -> Graph:
+    """A fully-connected classifier: flatten -> fc+relu stack -> fc."""
+    b = GraphBuilder("mlp", input_shape)
+    if len(input_shape) > 1:
+        b.flatten()
+    for width in hidden:
+        b.fc(width)
+        b.relu()
+    b.fc(num_classes)
+    return b.build()

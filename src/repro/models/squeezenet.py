@@ -1,0 +1,54 @@
+"""SqueezeNet 1.0 (Iandola et al., 2016) built from fire modules.
+
+Each fire module squeezes with 1x1 convs then expands through parallel
+1x1 and 3x3 branches joined by ``concat`` — the operator the paper notes
+MNSIM2.0's open-source code cannot express.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+__all__ = ["squeezenet"]
+
+
+def _fire(b: GraphBuilder, in_name: str, squeeze: int, expand: int, tag: str) -> str:
+    """Squeeze(1x1) -> expand(1x1 || 3x3) -> concat; returns output name."""
+    b.conv(squeeze, kernel=1, after=in_name, name=f"{tag}_squeeze")
+    sq = b.relu(name=f"{tag}_srelu")
+    b.conv(expand, kernel=1, after=sq, name=f"{tag}_e1x1")
+    left = b.relu(name=f"{tag}_e1relu")
+    b.conv(expand, kernel=3, padding=1, after=sq, name=f"{tag}_e3x3")
+    right = b.relu(name=f"{tag}_e3relu")
+    return b.concat(left, right, name=f"{tag}_concat")
+
+
+def squeezenet(input_shape: tuple[int, int, int] = (3, 32, 32),
+               num_classes: int = 10) -> Graph:
+    """Build SqueezeNet: stem conv + 8 fire modules + conv classifier."""
+    b = GraphBuilder("squeezenet", input_shape)
+    if input_shape[1] >= 224:
+        b.conv(96, kernel=7, stride=2, name="stem_conv")
+        b.relu(name="stem_relu")
+        b.maxpool(3, stride=2, ceil_mode=True, name="stem_pool")
+    else:
+        b.conv(96, kernel=3, padding=1, name="stem_conv")
+        b.relu(name="stem_relu")
+        b.maxpool(2, name="stem_pool")
+    x = b.current
+    x = _fire(b, x, 16, 64, "fire2")
+    x = _fire(b, x, 16, 64, "fire3")
+    x = _fire(b, x, 32, 128, "fire4")
+    x = b.maxpool(2, after=x, name="pool4")
+    x = _fire(b, x, 32, 128, "fire5")
+    x = _fire(b, x, 48, 192, "fire6")
+    x = _fire(b, x, 48, 192, "fire7")
+    x = _fire(b, x, 64, 256, "fire8")
+    x = b.maxpool(2, after=x, name="pool8")
+    x = _fire(b, x, 64, 256, "fire9")
+    b.dropout(after=x, name="drop9")
+    b.conv(num_classes, kernel=1, name="classifier_conv")
+    b.relu(name="classifier_relu")
+    b.global_avgpool(name="gap")
+    b.flatten(name="flat")
+    return b.build()

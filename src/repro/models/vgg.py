@@ -1,0 +1,57 @@
+"""VGG-style networks: VGG-8 and VGG-16.
+
+VGG-8 follows the 6-conv + 2-fc arrangement MNSIM2.0 ships for CIFAR; the
+paper's Fig. 5 uses VGG-8/VGG-16 for the simulator comparison.  Both
+networks are plain chains — no residual or concat joins — which is exactly
+why the synchronized-vs-ideal communication gap is small on them.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+__all__ = ["vgg8", "vgg16"]
+
+
+def _conv_block(b: GraphBuilder, out_channels: int, n_convs: int) -> None:
+    for _ in range(n_convs):
+        b.conv(out_channels, kernel=3, padding=1)
+        b.relu()
+    b.maxpool(2)
+
+
+def vgg8(input_shape: tuple[int, int, int] = (3, 32, 32),
+         num_classes: int = 10) -> Graph:
+    """VGG-8 (CIFAR scale): 6 conv layers in 3 blocks + 2 fc layers."""
+    b = GraphBuilder("vgg8", input_shape)
+    _conv_block(b, 128, 2)
+    _conv_block(b, 256, 2)
+    _conv_block(b, 512, 2)
+    b.flatten()
+    b.fc(1024)
+    b.relu()
+    b.fc(num_classes)
+    return b.build()
+
+
+def vgg16(input_shape: tuple[int, int, int] = (3, 32, 32),
+          num_classes: int = 10) -> Graph:
+    """VGG-16: 13 conv layers in 5 blocks + 3 fc layers.
+
+    At CIFAR resolution the feature map reaches 1x1 after five 2x pools,
+    so the classifier head shrinks accordingly (standard CIFAR-VGG16).
+    """
+    b = GraphBuilder("vgg16", input_shape)
+    _conv_block(b, 64, 2)
+    _conv_block(b, 128, 2)
+    _conv_block(b, 256, 3)
+    _conv_block(b, 512, 3)
+    _conv_block(b, 512, 3)
+    b.flatten()
+    hidden = 4096 if input_shape[1] >= 224 else 512
+    b.fc(hidden)
+    b.relu()
+    b.fc(hidden)
+    b.relu()
+    b.fc(num_classes)
+    return b.build()

@@ -1,0 +1,52 @@
+"""Model registry: look up the paper's evaluation networks by name.
+
+``build_model("resnet18")`` returns the CIFAR-resolution variant used by
+the default benchmark runs; pass ``imagenet=True`` for 224x224 inputs
+(slower to simulate, same normalized trends — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graph import Graph
+from .alexnet import alexnet
+from .googlenet import googlenet
+from .resnet import resnet18
+from .small import lenet5, mlp
+from .squeezenet import squeezenet
+from .vgg import vgg16, vgg8
+
+__all__ = ["MODELS", "build_model", "FIG3_MODELS", "FIG5_MODELS"]
+
+MODELS: dict[str, Callable[..., Graph]] = {
+    "alexnet": alexnet,
+    "lenet5": lenet5,
+    "mlp": mlp,
+    "googlenet": googlenet,
+    "resnet18": resnet18,
+    "squeezenet": squeezenet,
+    "vgg8": vgg8,
+    "vgg16": vgg16,
+}
+
+#: the four networks of Fig. 3 / Fig. 4.
+FIG3_MODELS = ("alexnet", "googlenet", "resnet18", "squeezenet")
+#: the three networks of Fig. 5 (the MNSIM2.0 comparison).
+FIG5_MODELS = ("vgg8", "vgg16", "resnet18")
+
+
+def build_model(name: str, *, imagenet: bool = False,
+                num_classes: int | None = None) -> Graph:
+    """Instantiate a zoo network by name."""
+    try:
+        factory = MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODELS)}") from None
+    if name == "mlp":
+        return factory(num_classes=num_classes or 10)
+    if name == "lenet5":
+        return factory(num_classes=num_classes or 10)
+    if imagenet:
+        return factory(input_shape=(3, 224, 224), num_classes=num_classes or 1000)
+    return factory(input_shape=(3, 32, 32), num_classes=num_classes or 10)

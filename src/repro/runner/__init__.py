@@ -1,0 +1,25 @@
+"""Top-level runner: simulate(), sweeps, reports, CLI."""
+
+from .api import compile_model, resolve_network, simulate
+from .results import SimReport
+from .sweep import (
+    BaselineComparison,
+    MappingComparison,
+    RobSweep,
+    compare_mappings,
+    compare_with_baseline,
+    sweep_rob,
+)
+
+__all__ = [
+    "simulate",
+    "compile_model",
+    "resolve_network",
+    "SimReport",
+    "compare_mappings",
+    "sweep_rob",
+    "compare_with_baseline",
+    "MappingComparison",
+    "RobSweep",
+    "BaselineComparison",
+]

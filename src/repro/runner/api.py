@@ -1,0 +1,62 @@
+"""One-call public API: compile and simulate a network.
+
+>>> from repro import simulate, paper_chip
+>>> report = simulate("alexnet", paper_chip())
+>>> report.cycles > 0
+True
+"""
+
+from __future__ import annotations
+
+from ..arch import run_program
+from ..compiler import CompilationResult, compile_network
+from ..config import ArchConfig, paper_chip
+from ..graph import Graph
+from ..models import build_model
+from .results import SimReport
+
+__all__ = ["simulate", "compile_model", "resolve_network"]
+
+
+def resolve_network(network: str | Graph, *, imagenet: bool = False) -> Graph:
+    """Accept either a zoo model name or an already-built graph."""
+    if isinstance(network, Graph):
+        return network
+    return build_model(network, imagenet=imagenet)
+
+
+def compile_model(network: str | Graph, config: ArchConfig | None = None, *,
+                  mapping: str | None = None,
+                  imagenet: bool = False) -> CompilationResult:
+    """Compile a network for an architecture (default: the paper chip)."""
+    graph = resolve_network(network, imagenet=imagenet)
+    config = config or paper_chip()
+    if mapping is not None:
+        config = config.with_mapping(mapping)
+    return compile_network(graph, config)
+
+
+def simulate(network: str | Graph, config: ArchConfig | None = None, *,
+             mapping: str | None = None, rob_size: int | None = None,
+             imagenet: bool = False, batch: int = 1,
+             max_cycles: int | None = None) -> SimReport:
+    """Compile and cycle-accurately simulate a network; returns the report.
+
+    ``mapping`` / ``rob_size`` override the corresponding configuration
+    fields — the two knobs the paper's evaluation sweeps (Figs. 3 and 4).
+    ``batch > 1`` unrolls the program for a stream of images (pipelined
+    throughput mode); the report's cycles cover the whole stream and its
+    metadata records the batch for throughput math.
+    """
+    config = config or paper_chip()
+    if mapping is not None:
+        config = config.with_mapping(mapping)
+    if rob_size is not None:
+        config = config.with_rob_size(rob_size)
+    compiled = compile_model(network, config, imagenet=imagenet)
+    program = compiled.program
+    if batch > 1:
+        from ..compiler.batching import repeat_chip_program
+        program = repeat_chip_program(program, batch)
+    raw = run_program(program, config, max_cycles=max_cycles)
+    return SimReport.from_raw(raw, config, program.total_instructions)

@@ -1,0 +1,186 @@
+"""Command-line interface: ``pimsim``.
+
+Subcommands mirror the framework workflow (Fig. 1) and the paper's
+experiments::
+
+    pimsim run --model resnet18 --preset paper --mapping performance_first
+    pimsim compile --model vgg8 --listing 40
+    pimsim mappings --model alexnet            # Fig. 3 point
+    pimsim rob --model googlenet               # Fig. 4 series
+    pimsim mnsim --model resnet18              # Fig. 5 point
+    pimsim models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis import ascii_bars, comm_ratios
+from ..config import PRESETS, ArchConfig, get_preset
+from ..models import MODELS
+from .api import compile_model, simulate
+from .sweep import compare_mappings, compare_with_baseline, sweep_rob
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", required=True,
+                        help=f"network name ({', '.join(sorted(MODELS))})")
+    parser.add_argument("--preset", default="paper",
+                        help=f"architecture preset ({', '.join(sorted(PRESETS))})")
+    parser.add_argument("--config", default=None,
+                        help="architecture configuration JSON file "
+                             "(overrides --preset)")
+    parser.add_argument("--imagenet", action="store_true",
+                        help="use 224x224 inputs instead of 32x32")
+
+
+def _load_config(args: argparse.Namespace) -> ArchConfig:
+    if args.config:
+        return ArchConfig.load(args.config)
+    return get_preset(args.preset)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pimsim",
+        description="PIMSIM-NN reproduction: ISA-based PIM simulation framework")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compile + simulate one network")
+    _add_common(run)
+    run.add_argument("--mapping", choices=["utilization_first",
+                                           "performance_first"])
+    run.add_argument("--rob", type=int, default=None, help="ROB size override")
+    run.add_argument("--batch", type=int, default=1,
+                     help="pipelined image stream length (throughput mode)")
+    run.add_argument("--json", default=None, help="write the report as JSON")
+    run.add_argument("--comm-ratios", action="store_true",
+                     help="print per-layer communication ratios")
+    run.add_argument("--full-report", action="store_true",
+                     help="print the complete per-layer/per-core report")
+
+    comp = sub.add_parser("compile", help="compile only; print program stats")
+    _add_common(comp)
+    comp.add_argument("--mapping", choices=["utilization_first",
+                                            "performance_first"])
+    comp.add_argument("--listing", type=int, default=0, metavar="N",
+                      help="print the first N instructions of each core")
+
+    mappings = sub.add_parser("mappings",
+                              help="compare both mapping policies (Fig. 3)")
+    _add_common(mappings)
+    mappings.add_argument("--rob", type=int, default=1)
+
+    rob = sub.add_parser("rob", help="sweep ROB sizes (Fig. 4)")
+    _add_common(rob)
+    rob.add_argument("--sizes", default="1,4,8,12,16",
+                     help="comma-separated ROB sizes")
+
+    mnsim = sub.add_parser("mnsim",
+                           help="compare with the MNSIM2.0-style baseline "
+                                "(Fig. 5)")
+    _add_common(mnsim)
+
+    sub.add_parser("models", help="list zoo networks")
+    sub.add_parser("presets", help="list architecture presets")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _load_config(args)
+    report = simulate(args.model, config, mapping=args.mapping,
+                      rob_size=args.rob, imagenet=args.imagenet,
+                      batch=args.batch)
+    if args.full_report:
+        from ..analysis import full_report
+        print(full_report(report))
+    else:
+        print(report.summary())
+    if args.batch > 1:
+        throughput = args.batch / report.seconds
+        print(f"  throughput: {throughput:,.0f} images/s over the "
+              f"{args.batch}-image stream")
+    if args.comm_ratios:
+        print(ascii_bars(comm_ratios(report), fmt="{:.2f}",
+                         title="communication-latency ratio per layer:"))
+    if args.json:
+        report.save(args.json)
+        print(f"report written to {args.json}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    config = _load_config(args)
+    result = compile_model(args.model, config, mapping=args.mapping,
+                           imagenet=args.imagenet)
+    print(result.summary())
+    if args.listing:
+        for core in result.program.cores_used:
+            print(result.program.program(core).listing(limit=args.listing))
+    return 0
+
+
+def _cmd_mappings(args: argparse.Namespace) -> int:
+    config = _load_config(args)
+    cmp = compare_mappings(args.model, config, rob_size=args.rob)
+    print(f"{args.model}: utilization-first {cmp.utilization.cycles:,} cycles, "
+          f"performance-first {cmp.performance.cycles:,} cycles")
+    print(ascii_bars({
+        "utilization-first latency": 1.0,
+        "performance-first latency": cmp.latency_ratio,
+        "utilization-first energy": 1.0,
+        "performance-first energy": cmp.energy_ratio,
+    }, title="normalized to utilization-first (Fig. 3 style):"))
+    return 0
+
+
+def _cmd_rob(args: argparse.Namespace) -> int:
+    config = _load_config(args)
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    sweep = sweep_rob(args.model, config, sizes=sizes)
+    print(ascii_bars(
+        {f"ROB {size:>2}": value
+         for size, value in sweep.normalized_latency().items()},
+        title=f"{args.model}: latency normalized to ROB {min(sizes)} "
+              f"(Fig. 4 style):"))
+    return 0
+
+
+def _cmd_mnsim(args: argparse.Namespace) -> int:
+    config = _load_config(args) if (args.config or args.preset != "paper") \
+        else get_preset("mnsim")
+    cmp = compare_with_baseline(args.model, config)
+    print(f"{args.model}: ours {cmp.ours.cycles:,} cycles, "
+          f"MNSIM2.0-style baseline {cmp.baseline_cycles:,} cycles")
+    print(ascii_bars({
+        "MNSIM2.0-style": 1.0,
+        "ours": cmp.latency_vs_baseline,
+    }, title="latency normalized to the baseline (Fig. 5 style):"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "models":
+        for name in sorted(MODELS):
+            print(name)
+        return 0
+    if args.command == "presets":
+        for name in sorted(PRESETS):
+            print(name)
+        return 0
+    handler = {
+        "run": _cmd_run,
+        "compile": _cmd_compile,
+        "mappings": _cmd_mappings,
+        "rob": _cmd_rob,
+        "mnsim": _cmd_mnsim,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

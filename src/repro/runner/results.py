@@ -1,0 +1,131 @@
+"""Simulation reports: the latency / power / energy outputs of Fig. 1."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..arch import RawResult
+from ..config import ArchConfig
+
+__all__ = ["SimReport"]
+
+
+@dataclass
+class SimReport:
+    """User-facing results of one simulation run."""
+
+    network: str
+    config_name: str
+    mapping: str
+    cycles: int
+    seconds: float
+    #: picojoules per category (xbar, adc, dac, vector, local_mem, noc, ...).
+    energy_pj: dict[str, float]
+    #: layer -> unit -> busy cycles (transfer busy includes sync waits).
+    layer_busy: dict[str, dict[str, int]]
+    per_core: dict[int, dict]
+    noc: dict[str, int]
+    instructions: int
+    cores_used: int
+    meta: dict = field(default_factory=dict)
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_pj.values())
+
+    @property
+    def energy_uj(self) -> float:
+        return self.total_energy_pj / 1e6
+
+    @property
+    def latency_ms(self) -> float:
+        return self.seconds * 1e3
+
+    @property
+    def avg_power_mw(self) -> float:
+        """Average power over the run (energy / time)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.total_energy_pj * 1e-12 / self.seconds * 1e3
+
+    def comm_ratio(self, layer: str) -> float:
+        """Communication share of one layer's activity.
+
+        Transfer-unit busy time (which includes synchronization waits —
+        the quantity Section IV-B reports) over the layer's total busy
+        time across all units.
+        """
+        busy = self.layer_busy.get(layer, {})
+        comm = busy.get("transfer", 0)
+        total = sum(busy.values())
+        return comm / total if total else 0.0
+
+    def layer_names(self) -> list[str]:
+        return sorted(self.layer_busy)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network,
+            "config": self.config_name,
+            "mapping": self.mapping,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "latency_ms": self.latency_ms,
+            "energy_pj": self.energy_pj,
+            "total_energy_pj": self.total_energy_pj,
+            "avg_power_mw": self.avg_power_mw,
+            "layer_busy": self.layer_busy,
+            "noc": self.noc,
+            "instructions": self.instructions,
+            "cores_used": self.cores_used,
+            "meta": {k: v for k, v in self.meta.items()
+                     if isinstance(v, (str, int, float, bool, list))},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    def summary(self) -> str:
+        """Human-readable result block (latency, energy, power)."""
+        lines = [
+            f"simulation of {self.network!r} on {self.config_name!r} "
+            f"({self.mapping}):",
+            f"  latency : {self.cycles:,} cycles = {self.latency_ms:.4f} ms",
+            f"  energy  : {self.energy_uj:.2f} uJ",
+            f"  power   : {self.avg_power_mw:.1f} mW (average)",
+            f"  cores   : {self.cores_used} used, "
+            f"{self.instructions:,} instructions executed",
+            f"  noc     : {self.noc.get('messages', 0):,} messages, "
+            f"{self.noc.get('bytes', 0):,} bytes",
+        ]
+        top = sorted(self.energy_pj.items(), key=lambda kv: -kv[1])[:4]
+        lines.append("  energy by component: " + ", ".join(
+            f"{k}={v / 1e6:.2f}uJ" for k, v in top))
+        return "\n".join(lines)
+
+    @classmethod
+    def from_raw(cls, raw: RawResult, config: ArchConfig,
+                 instructions: int) -> "SimReport":
+        return cls(
+            network=raw.meta.get("network", "?"),
+            config_name=config.name,
+            mapping=raw.meta.get("policy", config.compiler.mapping),
+            cycles=raw.cycles,
+            seconds=raw.cycles * config.sim.cycle_seconds,
+            energy_pj=raw.energy_pj,
+            layer_busy=raw.layer_busy,
+            per_core=raw.per_core,
+            noc=raw.noc,
+            instructions=instructions,
+            cores_used=len(raw.per_core),
+            meta=raw.meta,
+        )

@@ -1,0 +1,103 @@
+"""Parameter sweeps: the evaluation loops behind Figs. 3, 4 and 5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baseline import run_baseline
+from ..config import ArchConfig, mnsim_like_chip, paper_chip
+from .api import resolve_network, simulate
+from .results import SimReport
+
+__all__ = [
+    "MappingComparison",
+    "RobSweep",
+    "BaselineComparison",
+    "compare_mappings",
+    "sweep_rob",
+    "compare_with_baseline",
+]
+
+
+@dataclass
+class MappingComparison:
+    """Fig. 3 data: one network, both mapping policies."""
+
+    network: str
+    utilization: SimReport
+    performance: SimReport
+
+    @property
+    def latency_ratio(self) -> float:
+        """performance-first latency / utilization-first latency."""
+        return self.performance.cycles / self.utilization.cycles
+
+    @property
+    def energy_ratio(self) -> float:
+        return (self.performance.total_energy_pj
+                / self.utilization.total_energy_pj)
+
+
+def compare_mappings(network: str, config: ArchConfig | None = None, *,
+                     rob_size: int = 1) -> MappingComparison:
+    """Run both mapping policies (paper setting: ROB size 1)."""
+    config = (config or paper_chip()).with_rob_size(rob_size)
+    return MappingComparison(
+        network=network if isinstance(network, str) else network.name,
+        utilization=simulate(network, config, mapping="utilization_first"),
+        performance=simulate(network, config, mapping="performance_first"),
+    )
+
+
+@dataclass
+class RobSweep:
+    """Fig. 4 data: one network across ROB capacities."""
+
+    network: str
+    reports: dict[int, SimReport] = field(default_factory=dict)
+
+    def normalized_latency(self) -> dict[int, float]:
+        """Latency normalized to the smallest ROB size."""
+        base = self.reports[min(self.reports)].cycles
+        return {size: r.cycles / base for size, r in sorted(self.reports.items())}
+
+
+def sweep_rob(network: str, config: ArchConfig | None = None, *,
+              sizes: tuple[int, ...] = (1, 4, 8, 12, 16)) -> RobSweep:
+    """Simulate across ROB sizes (performance-first, as in Fig. 4)."""
+    config = config or paper_chip()
+    sweep = RobSweep(network if isinstance(network, str) else network.name)
+    for size in sizes:
+        sweep.reports[size] = simulate(network, config, rob_size=size)
+    return sweep
+
+
+@dataclass
+class BaselineComparison:
+    """Fig. 5 data: cycle-accurate vs MNSIM2.0-style on one network."""
+
+    network: str
+    ours: SimReport
+    baseline_cycles: int
+    baseline_comm_ratio: dict[str, float]
+
+    @property
+    def latency_vs_baseline(self) -> float:
+        """Our latency normalized to the baseline's (paper's Fig. 5 axis)."""
+        return self.ours.cycles / self.baseline_cycles
+
+
+def compare_with_baseline(network: str,
+                          config: ArchConfig | None = None) -> BaselineComparison:
+    """Run our simulator and the behaviour-level baseline on one network."""
+    config = config or mnsim_like_chip()
+    graph = resolve_network(network)
+    ours = simulate(graph, config)
+    base = run_baseline(graph, config)
+    return BaselineComparison(
+        network=graph.name,
+        ours=ours,
+        baseline_cycles=base.cycles,
+        baseline_comm_ratio={layer: base.comm_ratio(layer)
+                             for layer in base.layer_compute},
+    )

@@ -1,0 +1,43 @@
+"""Event-driven simulation kernel (pure-Python SystemC substitute).
+
+Public surface:
+
+* :class:`~repro.sim.kernel.Simulator` — the event wheel / process scheduler.
+* :class:`~repro.sim.kernel.Event`, :class:`~repro.sim.kernel.AnyOf`,
+  :class:`~repro.sim.kernel.AllOf` — wait conditions.
+* :class:`~repro.sim.channel.Fifo`, :class:`~repro.sim.channel.Rendezvous`,
+  :class:`~repro.sim.channel.Mutex`, :class:`~repro.sim.channel.Resource`
+  — blocking communication/arbitration primitives.
+* :mod:`~repro.sim.stats` — statistics collectors.
+"""
+
+from .channel import ChannelError, Fifo, Mutex, Rendezvous, Resource
+from .kernel import (
+    AllOf,
+    AnyOf,
+    DeadlockError,
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+)
+from .stats import Accumulator, Counter, StatGroup, TimeWeighted
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "DeadlockError",
+    "Fifo",
+    "Rendezvous",
+    "Mutex",
+    "Resource",
+    "ChannelError",
+    "Counter",
+    "Accumulator",
+    "TimeWeighted",
+    "StatGroup",
+]

@@ -1,0 +1,222 @@
+"""Blocking communication primitives built on the event kernel.
+
+Three channel flavours cover every inter-module protocol used by the
+architecture models:
+
+* :class:`Fifo` — bounded queue with blocking ``put``/``get`` coroutines;
+  used for unit issue queues and NoC link buffers.
+* :class:`Rendezvous` — unbuffered synchronized exchange where a put and a
+  get complete together; this is the primitive behind the ISA's
+  *synchronized transfer* instructions.
+* :class:`Mutex` / :class:`Resource` — exclusive or counted resource locks;
+  used for shared-ADC arbitration and NoC link serialization.
+
+All blocking operations are generator coroutines: call them with
+``yield from`` inside a process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from .kernel import Event, SimulationError, Simulator
+
+__all__ = ["Fifo", "Rendezvous", "Mutex", "Resource", "ChannelError"]
+
+
+class ChannelError(SimulationError):
+    """Protocol misuse of a channel (e.g. nonblocking get on empty fifo)."""
+
+
+class Fifo:
+    """Bounded FIFO with blocking coroutine ``put``/``get``.
+
+    ``capacity=None`` means unbounded (puts never block).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int | None = None, name: str = "") -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"fifo capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._not_full = Event(sim, f"{name}.not_full")
+        self._not_empty = Event(sim, f"{name}.not_empty")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def put(self, item: Any) -> Generator:
+        """Coroutine: append ``item``, blocking while the fifo is full."""
+        while self.full:
+            yield self._not_full
+        self._items.append(item)
+        self._not_empty.notify()
+
+    def get(self) -> Generator:
+        """Coroutine: pop the oldest item, blocking while empty.
+
+        The popped item is returned as the coroutine's value
+        (``x = yield from fifo.get()``).
+        """
+        while not self._items:
+            yield self._not_empty
+        item = self._items.popleft()
+        self._not_full.notify()
+        return item
+
+    def try_put(self, item: Any) -> bool:
+        """Nonblocking put; returns False when full."""
+        if self.full:
+            return False
+        self._items.append(item)
+        self._not_empty.notify()
+        return True
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Nonblocking get; returns ``(ok, item)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._not_full.notify()
+        return True, item
+
+    def peek(self) -> Any:
+        """Return the oldest item without removing it."""
+        if not self._items:
+            raise ChannelError(f"peek on empty fifo {self.name!r}")
+        return self._items[0]
+
+
+class Rendezvous:
+    """Unbuffered synchronized exchange keyed by an arbitrary tag.
+
+    A ``put(tag, item)`` completes only when a ``get(tag)`` is pending for
+    the same tag and vice versa — both sides resume at the same cycle.  This
+    models the ISA's synchronized SEND/RECV semantics: the sender holds its
+    data until the receiver is ready, so no unbounded buffering is assumed
+    (the modelling point the paper makes against MNSIM2.0).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._senders: dict[Any, deque[tuple[Any, Event]]] = {}
+        self._receivers: dict[Any, deque[tuple[list, Event]]] = {}
+
+    def put(self, tag: Any, item: Any) -> Generator:
+        """Coroutine: offer ``item`` under ``tag``; block until matched."""
+        receivers = self._receivers.get(tag)
+        if receivers:
+            slot, wake = receivers.popleft()
+            if not receivers:
+                del self._receivers[tag]
+            slot.append(item)
+            wake.notify()
+            return
+        wake = Event(self.sim, f"{self.name}.put[{tag}]")
+        self._senders.setdefault(tag, deque()).append((item, wake))
+        yield wake
+
+    def get(self, tag: Any) -> Generator:
+        """Coroutine: receive the item offered under ``tag``; block until
+        a matching put arrives.  Returns the item."""
+        senders = self._senders.get(tag)
+        if senders:
+            item, wake = senders.popleft()
+            if not senders:
+                del self._senders[tag]
+            wake.notify()
+            return item
+        slot: list = []
+        wake = Event(self.sim, f"{self.name}.get[{tag}]")
+        self._receivers.setdefault(tag, deque()).append((slot, wake))
+        yield wake
+        return slot[0]
+
+    @property
+    def pending_sends(self) -> int:
+        return sum(len(q) for q in self._senders.values())
+
+    @property
+    def pending_receives(self) -> int:
+        return sum(len(q) for q in self._receivers.values())
+
+
+class Mutex:
+    """Exclusive lock with FIFO granting order."""
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Generator:
+        """Coroutine: block until the lock is held by the caller."""
+        while self._locked:
+            wake = Event(self.sim, f"{self.name}.acquire")
+            self._waiters.append(wake)
+            yield wake
+        self._locked = True
+
+    def release(self) -> None:
+        if not self._locked:
+            raise ChannelError(f"release of unlocked mutex {self.name!r}")
+        self._locked = False
+        if self._waiters:
+            self._waiters.popleft().notify()
+
+
+class Resource:
+    """Counted resource: up to ``slots`` concurrent holders, FIFO waiting.
+
+    Models shared hardware with limited parallelism, e.g. an ADC shared by
+    the crossbars of a matrix execution unit.
+    """
+
+    def __init__(self, sim: Simulator, slots: int, name: str = "") -> None:
+        if slots < 1:
+            raise ValueError(f"resource needs >= 1 slot, got {slots}")
+        self.sim = sim
+        self.slots = slots
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.slots - self._in_use
+
+    def acquire(self) -> Generator:
+        """Coroutine: block until a slot is free, then take it."""
+        while self._in_use >= self.slots:
+            wake = Event(self.sim, f"{self.name}.acquire")
+            self._waiters.append(wake)
+            yield wake
+        self._in_use += 1
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise ChannelError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiters:
+            self._waiters.popleft().notify()

@@ -1,0 +1,321 @@
+"""Discrete-event simulation kernel.
+
+This module is the pure-Python stand-in for the SystemC engine used by the
+original PIMSIM-NN.  It provides the same discrete-event semantics:
+
+* an event wheel ordered by simulated time (integer cycles),
+* *processes* written as Python generators that suspend on ``yield`` and are
+  resumed by the kernel when their wake-up condition fires,
+* ``Event`` objects that processes can wait on and that models can notify,
+  either after a delay or in the next *delta* step of the current timestamp.
+
+Time is an integer number of cycles.  Within one timestamp, wake-ups are
+processed in FIFO order of scheduling, which gives deterministic simulations
+(there is no reliance on SystemC's two-phase evaluate/update split; modules
+in :mod:`repro.arch` are written to be insensitive to same-cycle ordering
+beyond FIFO fairness).
+
+Example
+-------
+>>> sim = Simulator()
+>>> done = Event(sim, "done")
+>>> def producer():
+...     yield 5           # wait 5 cycles
+...     done.notify()
+>>> def consumer(log):
+...     yield done        # wait on the event
+...     log.append(sim.now)
+>>> log = []
+>>> sim.spawn(producer())
+<Process producer>
+>>> sim.spawn(consumer(log))
+<Process consumer>
+>>> sim.run()
+>>> log
+[5]
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable
+
+__all__ = [
+    "Event",
+    "Process",
+    "Simulator",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "DeadlockError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for kernel-level errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised by :meth:`Simulator.run` when processes remain blocked forever.
+
+    A deadlock is reported when the event wheel drains while live processes
+    are still waiting on events that can no longer be notified.  The message
+    lists the stuck processes to make protocol bugs (e.g. an unmatched
+    synchronized SEND) easy to diagnose.
+    """
+
+
+class Event:
+    """A notifiable condition that processes can wait on.
+
+    Mirrors ``sc_event``: any number of processes may be blocked on an event;
+    :meth:`notify` wakes all of them.  Notification may be immediate (next
+    delta of the current cycle) or delayed by an integer number of cycles.
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "_fired_at")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Process] = []
+        #: time of the most recent notification, or ``None``.
+        self._fired_at: int | None = None
+
+    def notify(self, delay: int = 0) -> None:
+        """Fire after ``delay`` cycles (0 = next delta step).
+
+        Waiters are collected at *fire* time, matching ``sc_event``: a
+        process that starts waiting between the notify call and the fire
+        instant is woken; one that starts waiting after the fire is not.
+        """
+        if delay < 0:
+            raise ValueError(f"negative notify delay: {delay}")
+        self.sim._schedule(delay, self._fire, None)
+
+    def _fire(self, _arg: object) -> None:
+        self._fired_at = self.sim.now
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._wake(self)
+
+    @property
+    def fired_at(self) -> int | None:
+        """Cycle of the last notification, or ``None`` if never fired."""
+        return self._fired_at
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def _remove_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Event {self.name or hex(id(self))}>"
+
+
+class AnyOf:
+    """Wait condition satisfied when *any* of the given events fires."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: Event) -> None:
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        self.events = events
+
+
+class AllOf:
+    """Wait condition satisfied once *all* of the given events have fired."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: Event) -> None:
+        if not events:
+            raise ValueError("AllOf requires at least one event")
+        self.events = events
+
+
+class Process:
+    """A simulation process driving a generator coroutine.
+
+    The generator may yield:
+
+    * ``int`` — suspend for that many cycles,
+    * :class:`Event` — suspend until the event is notified,
+    * :class:`AnyOf` — suspend until the first of several events fires,
+    * :class:`AllOf` — suspend until all of several events have fired.
+
+    The value sent back into the generator is the :class:`Event` that woke it
+    (or ``None`` for a timed wait), so a process waiting on ``AnyOf`` can
+    learn which condition fired.
+    """
+
+    __slots__ = ("sim", "gen", "name", "_waiting_on", "_pending_all", "_done", "_finished_event")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "") or gen.__class__.__name__
+        self._waiting_on: tuple[Event, ...] = ()
+        self._pending_all: set[Event] | None = None
+        self._done = False
+        self._finished_event: Event | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the underlying generator has finished."""
+        return self._done
+
+    @property
+    def finished(self) -> Event:
+        """Event notified when this process terminates (lazily created)."""
+        if self._finished_event is None:
+            self._finished_event = Event(self.sim, f"{self.name}.finished")
+            if self._done:
+                self._finished_event.notify()
+        return self._finished_event
+
+    def _wake(self, cause: Event | None) -> None:
+        if self._done:
+            return
+        if self._pending_all is not None and cause is not None:
+            self._pending_all.discard(cause)
+            if self._pending_all:
+                return  # still waiting on the rest of the AllOf set
+            self._pending_all = None
+        # Cancel any sibling waits (AnyOf semantics).
+        for ev in self._waiting_on:
+            if ev is not cause:
+                ev._remove_waiter(self)
+        self._waiting_on = ()
+        self._step(cause)
+
+    def _step(self, send_value: Any) -> None:
+        sim = self.sim
+        try:
+            condition = self.gen.send(send_value)
+        except StopIteration:
+            self._done = True
+            sim._live_processes.discard(self)
+            if self._finished_event is not None:
+                self._finished_event.notify()
+            return
+        if isinstance(condition, int):
+            if condition < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay: {condition}"
+                )
+            sim._schedule(condition, self._wake, None)
+        elif isinstance(condition, Event):
+            condition._add_waiter(self)
+            self._waiting_on = (condition,)
+        elif isinstance(condition, AnyOf):
+            for ev in condition.events:
+                ev._add_waiter(self)
+            self._waiting_on = tuple(condition.events)
+        elif isinstance(condition, AllOf):
+            self._pending_all = set(condition.events)
+            for ev in condition.events:
+                ev._add_waiter(self)
+            self._waiting_on = tuple(condition.events)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported condition "
+                f"{condition!r} (expected int, Event, AnyOf or AllOf)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name}>"
+
+
+class Simulator:
+    """The event wheel: schedules callbacks and drives processes.
+
+    ``Simulator`` replaces the SystemC kernel.  Models register processes
+    with :meth:`spawn`; :meth:`run` then advances simulated time until the
+    wheel drains, a time bound is hit, or :meth:`stop` is called.
+    """
+
+    def __init__(self) -> None:
+        #: current simulated time in cycles.
+        self.now: int = 0
+        self._wheel: list[tuple[int, int, Callable, Any]] = []
+        self._seq = 0
+        self._live_processes: set[Process] = set()
+        self._stopped = False
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, delay: int, fn: Callable, arg: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._wheel, (self.now + delay, self._seq, fn, arg))
+
+    def call_at(self, time: int, fn: Callable, arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` at absolute cycle ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
+        self._schedule(time - self.now, fn, arg)
+
+    def call_after(self, delay: int, fn: Callable, arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` after ``delay`` cycles."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._schedule(delay, fn, arg)
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh :class:`Event` bound to this simulator."""
+        return Event(self, name)
+
+    # -- processes ----------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process; it takes its first step at
+        the current time (before time advances)."""
+        proc = Process(self, gen, name)
+        self._live_processes.add(proc)
+        self._schedule(0, proc._step, None)
+        return proc
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until: int | None = None, *, detect_deadlock: bool = True) -> None:
+        """Advance simulation until the wheel drains or ``until`` is reached.
+
+        With ``detect_deadlock`` (default), raises :class:`DeadlockError` if
+        the wheel drains while spawned processes are still blocked on events.
+        """
+        self._stopped = False
+        wheel = self._wheel
+        while wheel and not self._stopped:
+            time, _seq, fn, arg = heapq.heappop(wheel)
+            if until is not None and time > until:
+                # Put it back; the caller may resume later.
+                heapq.heappush(wheel, (time, _seq, fn, arg))
+                self.now = until
+                return
+            self.now = time
+            fn(arg)
+        if detect_deadlock and not self._stopped and self._live_processes:
+            stuck = sorted(p.name for p in self._live_processes)
+            raise DeadlockError(
+                f"simulation deadlocked at cycle {self.now}; "
+                f"{len(stuck)} process(es) still blocked: {', '.join(stuck[:12])}"
+                + (" …" if len(stuck) > 12 else "")
+            )
+
+    def stop(self) -> None:
+        """Request :meth:`run` to return after the current callback."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unprocessed wheel entries."""
+        return len(self._wheel)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self.now} pending={self.pending}>"

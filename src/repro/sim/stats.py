@@ -1,0 +1,152 @@
+"""Lightweight statistics collectors for simulation models.
+
+The architecture models record activity through these collectors rather
+than ad-hoc dicts, so reports (:mod:`repro.runner.results`) can enumerate
+and aggregate them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Accumulator", "TimeWeighted", "StatGroup"]
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Accumulator:
+    """Accumulates samples; tracks count / sum / min / max / mean."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        if sample < self.min:
+            self.min = sample
+        if sample > self.max:
+            self.max = sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Accumulator({self.name}: n={self.count} mean={self.mean:.3g} "
+            f"min={self.min:.3g} max={self.max:.3g})"
+        )
+
+
+class TimeWeighted:
+    """Tracks the time integral of a piecewise-constant signal.
+
+    Used for occupancy metrics (ROB fill, queue depth, link utilization):
+    ``update(now, v)`` records that the signal changed to ``v`` at ``now``;
+    ``integral(now)`` returns the running time integral, from which the
+    time-average follows.
+    """
+
+    __slots__ = ("name", "_last_time", "_last_value", "_integral", "peak")
+
+    def __init__(self, name: str = "", start_time: int = 0, start_value: float = 0.0) -> None:
+        self.name = name
+        self._last_time = start_time
+        self._last_value = start_value
+        self._integral = 0.0
+        self.peak = start_value
+
+    def update(self, now: int, value: float) -> None:
+        if now < self._last_time:
+            raise ValueError(f"time went backwards: {now} < {self._last_time}")
+        self._integral += self._last_value * (now - self._last_time)
+        self._last_time = now
+        self._last_value = value
+        if value > self.peak:
+            self.peak = value
+
+    def integral(self, now: int) -> float:
+        """Integral of the signal from start to ``now``."""
+        return self._integral + self._last_value * (now - self._last_time)
+
+    def average(self, now: int) -> float:
+        """Time-average of the signal over ``[start, now]``."""
+        span = now - 0
+        return self.integral(now) / span if span else self._last_value
+
+    @property
+    def current(self) -> float:
+        return self._last_value
+
+
+@dataclass
+class StatGroup:
+    """A named bag of collectors, nestable, exportable to plain dicts."""
+
+    name: str
+    counters: dict[str, Counter] = field(default_factory=dict)
+    accumulators: dict[str, Accumulator] = field(default_factory=dict)
+    time_weighted: dict[str, TimeWeighted] = field(default_factory=dict)
+    children: dict[str, "StatGroup"] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(f"{self.name}.{name}")
+        return self.counters[name]
+
+    def accumulator(self, name: str) -> Accumulator:
+        if name not in self.accumulators:
+            self.accumulators[name] = Accumulator(f"{self.name}.{name}")
+        return self.accumulators[name]
+
+    def weighted(self, name: str) -> TimeWeighted:
+        if name not in self.time_weighted:
+            self.time_weighted[name] = TimeWeighted(f"{self.name}.{name}")
+        return self.time_weighted[name]
+
+    def child(self, name: str) -> "StatGroup":
+        if name not in self.children:
+            self.children[name] = StatGroup(f"{self.name}.{name}")
+        return self.children[name]
+
+    def to_dict(self, now: int | None = None) -> dict:
+        """Export all collectors as a nested plain dict (JSON-friendly)."""
+        out: dict = {}
+        for key, c in self.counters.items():
+            out[key] = c.value
+        for key, a in self.accumulators.items():
+            out[key] = {"count": a.count, "sum": a.total, "mean": a.mean,
+                        "min": a.min if a.count else None,
+                        "max": a.max if a.count else None}
+        for key, w in self.time_weighted.items():
+            entry = {"peak": w.peak, "current": w.current}
+            if now is not None:
+                entry["average"] = w.average(now)
+            out[key] = entry
+        for key, child in self.children.items():
+            out[key] = child.to_dict(now)
+        return out

@@ -1,0 +1,87 @@
+"""Shared fixtures: tiny networks and scaled-down architectures.
+
+Tests use purpose-built miniature networks and the ``tiny``/``small``
+presets so full compile+simulate flows finish in milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import small_chip, tiny_chip
+from repro.graph import Graph, GraphBuilder
+
+
+@pytest.fixture
+def tiny_cfg():
+    """4-core chip, 64x64 crossbars — unit-test scale."""
+    return tiny_chip()
+
+
+@pytest.fixture
+def small_cfg():
+    """16-core chip — integration-test scale."""
+    return small_chip()
+
+
+def build_chain_net(name: str = "chain", channels: int = 8,
+                    size: int = 8) -> Graph:
+    """conv-relu-conv-relu-pool-fc: a miniature VGG-style chain."""
+    b = GraphBuilder(name, (3, size, size))
+    b.conv(channels, kernel=3, padding=1)
+    b.relu()
+    b.conv(channels, kernel=3, padding=1)
+    b.relu()
+    b.maxpool(2)
+    b.flatten()
+    b.fc(10)
+    return b.build()
+
+
+def build_residual_net(name: str = "residual", channels: int = 8,
+                       size: int = 8) -> Graph:
+    """One basic residual block + classifier (exercises add joins)."""
+    b = GraphBuilder(name, (3, size, size))
+    b.conv(channels, kernel=3, padding=1, name="stem")
+    trunk = b.relu(name="stem_relu")
+    b.conv(channels, kernel=3, padding=1, after=trunk, name="main1")
+    b.relu(name="main1_relu")
+    main = b.conv(channels, kernel=3, padding=1, name="main2")
+    b.add(main, trunk, name="join")
+    b.relu(name="join_relu")
+    b.global_avgpool(name="gap")
+    b.flatten(name="flat")
+    b.fc(10, name="head")
+    return b.build()
+
+
+def build_branch_net(name: str = "branchy", channels: int = 8,
+                     size: int = 8) -> Graph:
+    """A fire-module-style split/concat (exercises concat joins)."""
+    b = GraphBuilder(name, (3, size, size))
+    b.conv(channels, kernel=1, name="squeeze")
+    sq = b.relu(name="squeeze_relu")
+    b.conv(channels, kernel=1, after=sq, name="left")
+    left = b.relu(name="left_relu")
+    b.conv(channels, kernel=3, padding=1, after=sq, name="right")
+    right = b.relu(name="right_relu")
+    b.concat(left, right, name="cat")
+    b.global_avgpool(name="gap")
+    b.flatten(name="flat")
+    b.fc(4, name="head")
+    return b.build()
+
+
+@pytest.fixture
+def chain_net():
+    return build_chain_net()
+
+
+@pytest.fixture
+def residual_net():
+    return build_residual_net()
+
+
+@pytest.fixture
+def branch_net():
+    return build_branch_net()

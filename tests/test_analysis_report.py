@@ -1,0 +1,55 @@
+"""Tests for the full-report renderer."""
+
+import pytest
+
+from repro import simulate
+from repro.analysis import core_table, full_report, layer_table
+from repro.config import small_chip
+from tests.conftest import build_chain_net
+
+
+@pytest.fixture(scope="module")
+def report():
+    return simulate(build_chain_net(), small_chip())
+
+
+class TestLayerTable:
+    def test_every_layer_listed(self, report):
+        text = layer_table(report)
+        for layer in report.layer_names():
+            assert layer in text
+
+    def test_limit_truncates(self, report):
+        text = layer_table(report, limit=1)
+        assert "more layers" in text
+
+    def test_comm_percent_rendered(self, report):
+        assert "%" in layer_table(report)
+
+
+class TestCoreTable:
+    def test_every_core_listed(self, report):
+        text = core_table(report)
+        for core_id in report.per_core:
+            assert str(core_id) in text
+
+    def test_columns_present(self, report):
+        text = core_table(report)
+        for column in ("issued", "halt", "rob stall", "matrix"):
+            assert column in text
+
+
+class TestFullReport:
+    def test_sections_present(self, report):
+        text = full_report(report)
+        for section in ("energy decomposition", "unit activity",
+                        "per-layer activity", "per-core activity"):
+            assert section in text
+
+    def test_headline_numbers_present(self, report):
+        text = full_report(report)
+        assert f"{report.cycles:,}" in text
+
+    def test_layer_limit_forwarded(self, report):
+        text = full_report(report, layer_limit=1)
+        assert "more layers" in text

@@ -1,0 +1,82 @@
+"""Tests for the MNSIM2.0-style behaviour-level baseline."""
+
+import dataclasses
+
+import pytest
+
+from repro.baseline import DEFAULT_PE_PARALLELISM, run_baseline
+from repro.config import mnsim_like_chip, small_chip
+from repro.models import build_model
+from tests.conftest import build_chain_net, build_residual_net
+
+
+class TestBasics:
+    def test_runs_on_chain(self, small_cfg):
+        result = run_baseline(build_chain_net(), small_cfg)
+        assert result.cycles > 0
+        assert result.network == "chain"
+
+    def test_runs_on_residual(self, small_cfg):
+        result = run_baseline(build_residual_net(), small_cfg)
+        assert result.cycles > 0
+
+    def test_layer_breakdown_covers_stages(self, small_cfg):
+        result = run_baseline(build_chain_net(), small_cfg)
+        assert "conv1" in result.layer_compute
+        assert "fc1" in result.layer_compute
+
+    def test_comm_ratio_in_unit_interval(self, small_cfg):
+        result = run_baseline(build_residual_net(), small_cfg)
+        for layer in result.layer_compute:
+            assert 0.0 <= result.comm_ratio(layer) <= 1.0
+
+    def test_unknown_layer_comm_ratio_zero(self, small_cfg):
+        result = run_baseline(build_chain_net(), small_cfg)
+        assert result.comm_ratio("nonexistent") == 0.0
+
+    def test_deterministic(self, small_cfg):
+        a = run_baseline(build_chain_net(), small_cfg)
+        b = run_baseline(build_chain_net(), small_cfg)
+        assert a.cycles == b.cycles
+
+
+class TestModelling:
+    def test_higher_pe_parallelism_is_faster(self, small_cfg):
+        net = build_chain_net(channels=16, size=16)
+        slow = run_baseline(net, small_cfg, pe_parallelism=1.0)
+        fast = run_baseline(net, small_cfg, pe_parallelism=8.0)
+        assert fast.cycles < slow.cycles
+
+    def test_comm_is_pure_wire_latency(self):
+        """Doubling hop latency raises comm cycles proportionally; there
+        is no contention or sync term in the baseline."""
+        cfg = mnsim_like_chip()
+        slow_noc = dataclasses.replace(cfg, noc=dataclasses.replace(
+            cfg.noc, hop_cycles=cfg.noc.hop_cycles * 4))
+        net = build_model("vgg8")
+        base = run_baseline(net, cfg)
+        slower = run_baseline(net, slow_noc)
+        assert sum(slower.layer_comm.values()) > sum(base.layer_comm.values())
+
+    def test_default_parallelism_used(self, small_cfg):
+        net = build_chain_net()
+        default = run_baseline(net, small_cfg)
+        explicit = run_baseline(net, small_cfg,
+                                pe_parallelism=DEFAULT_PE_PARALLELISM)
+        assert default.cycles == explicit.cycles
+
+    @pytest.mark.parametrize("name", ["vgg8", "vgg16", "resnet18"])
+    def test_fig5_networks_run(self, name):
+        cfg = mnsim_like_chip()
+        result = run_baseline(build_model(name), cfg)
+        assert result.cycles > 0
+
+    def test_concat_networks_supported(self):
+        """Unlike open-source MNSIM2.0, concat works (squeezenet)."""
+        cfg = mnsim_like_chip()
+        result = run_baseline(build_model("squeezenet"), cfg)
+        assert result.cycles > 0
+
+    def test_meta_records_policy(self, small_cfg):
+        result = run_baseline(build_chain_net(), small_cfg)
+        assert result.meta["policy"] == small_cfg.compiler.mapping

@@ -1,0 +1,90 @@
+"""Tests for batched (multi-image pipelined) inference."""
+
+import pytest
+
+from repro import simulate
+from repro.compiler import compile_network, repeat_chip_program
+from repro.isa import ScalarInst, TransferInst, verify_program
+from tests.conftest import build_chain_net, build_residual_net
+
+
+class TestRepeatProgram:
+    def test_batch_one_is_identity(self, chain_net, small_cfg):
+        chip = compile_network(chain_net, small_cfg).program
+        assert repeat_chip_program(chip, 1) is chip
+
+    def test_bad_batch_rejected(self, chain_net, small_cfg):
+        chip = compile_network(chain_net, small_cfg).program
+        with pytest.raises(ValueError):
+            repeat_chip_program(chip, 0)
+
+    def test_instruction_count_scales(self, chain_net, small_cfg):
+        chip = compile_network(chain_net, small_cfg).program
+        batched = repeat_chip_program(chip, 3)
+        for core in chip.programs:
+            single = len(chip.programs[core]) - 1   # minus HALT
+            assert len(batched.programs[core]) == 3 * single + 1
+
+    def test_flow_messages_scale(self, chain_net, small_cfg):
+        chip = compile_network(chain_net, small_cfg).program
+        batched = repeat_chip_program(chip, 4)
+        for fid, info in chip.flows.items():
+            assert batched.flows[fid].n_messages == 4 * info.n_messages
+
+    def test_sequence_numbers_continue_across_images(self, chain_net,
+                                                     small_cfg):
+        chip = compile_network(chain_net, small_cfg).program
+        batched = repeat_chip_program(chip, 2)
+        for fid, sends in batched.sends_by_flow().items():
+            seqs = sorted(s.seq for s in sends)
+            assert seqs == list(range(batched.flows[fid].n_messages))
+
+    def test_batched_program_verifies(self, residual_net, small_cfg):
+        chip = compile_network(residual_net, small_cfg).program
+        verify_program(repeat_chip_program(chip, 3), small_cfg)
+
+    def test_single_halt_at_end(self, chain_net, small_cfg):
+        chip = compile_network(chain_net, small_cfg).program
+        batched = repeat_chip_program(chip, 3)
+        for program in batched.programs.values():
+            halts = [i for i in program
+                     if isinstance(i, ScalarInst) and i.op == "HALT"]
+            assert len(halts) == 1
+            assert program.instructions[-1] is halts[0]
+
+    def test_original_program_unmodified(self, chain_net, small_cfg):
+        chip = compile_network(chain_net, small_cfg).program
+        before = {fid: [s.seq for s in sends]
+                  for fid, sends in chip.sends_by_flow().items()}
+        repeat_chip_program(chip, 3)
+        after = {fid: [s.seq for s in sends]
+                 for fid, sends in chip.sends_by_flow().items()}
+        assert before == after
+
+
+class TestThroughput:
+    def test_pipelining_beats_serial_latency(self, small_cfg):
+        net = build_chain_net(channels=16, size=16)
+        one = simulate(net, small_cfg)
+        four = simulate(net, small_cfg, batch=4)
+        assert four.cycles < 4 * one.cycles
+        assert four.cycles > one.cycles
+
+    def test_residual_topology_batches(self, residual_net, small_cfg):
+        report = simulate(residual_net, small_cfg, batch=3)
+        assert report.cycles > 0
+        assert report.meta["batch"] == 3
+
+    def test_energy_scales_roughly_linearly(self, small_cfg):
+        net = build_chain_net()
+        one = simulate(net, small_cfg)
+        two = simulate(net, small_cfg, batch=2)
+        dyn1 = one.total_energy_pj - one.energy_pj["leakage"]
+        dyn2 = two.total_energy_pj - two.energy_pj["leakage"]
+        assert dyn2 == pytest.approx(2 * dyn1, rel=0.05)
+
+    def test_gmem_traffic_scales(self, chain_net, small_cfg):
+        one = simulate(chain_net, small_cfg)
+        three = simulate(chain_net, small_cfg, batch=3)
+        assert three.noc["gmem_read"] == 3 * one.noc["gmem_read"]
+        assert three.noc["gmem_written"] == 3 * one.noc["gmem_written"]

@@ -1,0 +1,78 @@
+"""Tests for weight bit-slicing (multi-bit weights across columns)."""
+
+import dataclasses
+
+import pytest
+
+from repro import simulate
+from repro.compiler import build_pipeline, compile_network, weight_tiling
+from repro.config import ConfigError, CrossbarConfig, small_chip, validate
+from tests.conftest import build_chain_net
+
+
+def _sliced(cfg):
+    return dataclasses.replace(cfg, crossbar=dataclasses.replace(
+        cfg.crossbar, bit_sliced=True))
+
+
+class TestConfig:
+    def test_default_is_unsliced(self):
+        assert CrossbarConfig().slices_per_weight == 1
+
+    def test_slices_from_precisions(self):
+        xbar = CrossbarConfig(weight_bits=8, cell_bits=2, bit_sliced=True)
+        assert xbar.slices_per_weight == 4
+
+    def test_partial_slice_rounds_up(self):
+        xbar = CrossbarConfig(weight_bits=8, cell_bits=3, bit_sliced=True)
+        assert xbar.slices_per_weight == 3
+
+    def test_slices_exceeding_columns_rejected(self, tiny_cfg):
+        bad = dataclasses.replace(tiny_cfg, crossbar=dataclasses.replace(
+            tiny_cfg.crossbar, bit_sliced=True, weight_bits=256,
+            cell_bits=1, cols=64))
+        with pytest.raises(ConfigError, match="bit_sliced"):
+            validate(bad)
+
+
+class TestTiling:
+    def test_column_multiplier_expands_cols(self, chain_net):
+        pipe = build_pipeline(chain_net)
+        stage = pipe.stage("conv1")
+        dense = weight_tiling(stage, 128, 128, 1)
+        sliced = weight_tiling(stage, 128, 128, 4)
+        assert sliced.cols == dense.cols * 4
+        assert sliced.crossbars_per_copy >= dense.crossbars_per_copy
+
+    def test_crossbar_demand_grows(self, small_cfg):
+        # channels wide enough that 4x columns spills into extra blocks
+        net = build_chain_net(channels=64, size=8)
+        dense = compile_network(net, small_cfg)
+        sliced = compile_network(net, _sliced(small_cfg))
+        dense_tiles = {n: p.tiling.crossbars_per_copy
+                       for n, p in dense.placement.plans.items()}
+        sliced_tiles = {n: p.tiling.crossbars_per_copy
+                        for n, p in sliced.placement.plans.items()}
+        assert all(sliced_tiles[n] >= dense_tiles[n] for n in dense_tiles)
+        assert any(sliced_tiles[n] > dense_tiles[n] for n in dense_tiles)
+
+
+class TestEndToEnd:
+    def test_sliced_network_runs(self, chain_net, small_cfg):
+        report = simulate(chain_net, _sliced(small_cfg))
+        assert report.cycles > 0
+
+    def test_slicing_costs_latency_and_energy(self, small_cfg):
+        net = build_chain_net(channels=16, size=16)
+        dense = simulate(net, small_cfg)
+        sliced = simulate(net, _sliced(small_cfg))
+        assert sliced.cycles >= dense.cycles
+        assert sliced.total_energy_pj > dense.total_energy_pj
+
+    def test_adc_energy_scales_with_slices(self, small_cfg):
+        net = build_chain_net(channels=16, size=16)
+        dense = simulate(net, small_cfg)
+        sliced = simulate(net, _sliced(small_cfg))
+        # 4x the physical columns -> ~4x the ADC conversions
+        ratio = sliced.energy_pj["adc"] / dense.energy_pj["adc"]
+        assert ratio > 2.0

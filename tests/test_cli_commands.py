@@ -1,0 +1,78 @@
+"""CLI subcommand coverage (beyond the basic run/compile smoke tests)."""
+
+import json
+
+import pytest
+
+from repro.runner.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+        capsys.readouterr()
+
+    def test_unknown_subcommand_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+        capsys.readouterr()
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--model", "vgg8"])
+        assert args.preset == "paper"
+        assert args.batch == 1
+        assert args.rob is None
+
+
+class TestSubcommands:
+    def test_mappings(self, capsys):
+        assert main(["mappings", "--model", "vgg8", "--preset", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization-first" in out
+        assert "performance-first" in out
+
+    def test_rob_sweep(self, capsys):
+        assert main(["rob", "--model", "vgg8", "--preset", "small",
+                     "--sizes", "1,8"]) == 0
+        out = capsys.readouterr().out
+        assert "ROB  1" in out
+        assert "ROB  8" in out
+
+    def test_mnsim_comparison(self, capsys):
+        assert main(["mnsim", "--model", "vgg8"]) == 0
+        out = capsys.readouterr().out
+        assert "MNSIM2.0-style" in out
+        assert "ours" in out
+
+    def test_run_with_batch_reports_throughput(self, capsys):
+        assert main(["run", "--model", "vgg8", "--preset", "small",
+                     "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "images/s" in out
+
+    def test_run_full_report(self, capsys):
+        assert main(["run", "--model", "vgg8", "--preset", "small",
+                     "--full-report"]) == 0
+        out = capsys.readouterr().out
+        assert "per-layer activity" in out
+        assert "per-core activity" in out
+
+    def test_run_rob_override(self, capsys):
+        assert main(["run", "--model", "vgg8", "--preset", "small",
+                     "--rob", "2"]) == 0
+        capsys.readouterr()
+
+    def test_compile_without_listing(self, capsys):
+        assert main(["compile", "--model", "mlp", "--preset", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "chip program" in out
+
+    def test_json_report_includes_hotspots(self, tmp_path, capsys):
+        path = tmp_path / "r.json"
+        assert main(["run", "--model", "mlp", "--preset", "small",
+                     "--json", str(path)]) == 0
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        assert "hottest_links" in data["noc"]

@@ -1,0 +1,108 @@
+"""Whole-program codegen invariants across the zoo.
+
+Heavier checks than the per-feature codegen tests: address-map
+consistency, flow-window coverage, and per-layer instruction accounting,
+run over several real networks and both mapping policies.
+"""
+
+import pytest
+
+from repro.compiler import compile_network, n_tiles
+from repro.isa import MvmInst, TransferInst
+from repro.models import build_model
+from tests.conftest import build_branch_net, build_residual_net
+
+
+NETS = {
+    "residual": build_residual_net,
+    "branch": build_branch_net,
+    "squeezenet": lambda: build_model("squeezenet"),
+}
+
+
+@pytest.fixture(params=list(NETS), scope="module")
+def net_name(request):
+    return request.param
+
+
+@pytest.fixture(params=["performance_first", "utilization_first"],
+                scope="module")
+def mapping(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def compiled(net_name, mapping, request):
+    from repro.config import small_chip
+    return compile_network(NETS[net_name](), small_chip().with_mapping(mapping))
+
+
+class TestAddressMap:
+    def test_instruction_ranges_inside_local_memory(self, compiled):
+        from repro.config import small_chip
+        limit = small_chip().core.local_memory_bytes
+        for program in compiled.program.programs.values():
+            for inst in program:
+                for lo, hi in (*inst.reads_mem(), *inst.writes_mem()):
+                    assert 0 <= lo < hi <= limit
+
+    def test_mvm_destinations_stay_in_partial_or_acc_regions(self, compiled):
+        """MVM writes never collide with input rings (would corrupt
+        hazard semantics)."""
+        for core, program in compiled.program.programs.items():
+            in_ring_ranges = []
+            for inst in program:
+                if isinstance(inst, TransferInst) and inst.op in ("RECV",
+                                                                  "LOAD"):
+                    in_ring_ranges.append((inst.addr, inst.addr + inst.bytes))
+            for inst in program:
+                if not isinstance(inst, MvmInst):
+                    continue
+                dst = (inst.dst, inst.dst + inst.dst_bytes)
+                for ring in in_ring_ranges:
+                    assert not (dst[0] < ring[1] and ring[0] < dst[1]), \
+                        f"core {core}: MVM dst {dst} overlaps input ring {ring}"
+
+
+class TestFlowAccounting:
+    def test_flow_bytes_consistent(self, compiled):
+        chip = compiled.program
+        for fid, sends in chip.sends_by_flow().items():
+            info = chip.flows[fid]
+            for send in sends:
+                assert send.bytes <= info.bytes_per_message
+
+    def test_flow_window_positive_and_bounded(self, compiled):
+        chip = compiled.program
+        for info in chip.flows.values():
+            assert 1 <= info.window <= info.n_messages or info.n_messages == 0
+
+    def test_recv_addresses_cycle_through_ring(self, compiled):
+        """RECVs of one flow reuse exactly `window` distinct slots."""
+        chip = compiled.program
+        recvs = chip.recvs_by_flow()
+        for fid, insts in recvs.items():
+            info = chip.flows[fid]
+            addrs = {i.addr for i in insts}
+            assert len(addrs) <= max(info.window, 1)
+
+
+class TestLayerAccounting:
+    def test_every_compute_stage_has_mvms(self, compiled):
+        chip = compiled.program
+        mvm_layers = set()
+        for program in chip.programs.values():
+            for inst in program:
+                if isinstance(inst, MvmInst):
+                    mvm_layers.add(inst.layer)
+        assert set(compiled.placement.plans) == mvm_layers
+
+    def test_tile_counts_match_pipeline(self, compiled):
+        """STOREs of the output stage = its tile count."""
+        chip = compiled.program
+        pipe = compiled.pipeline
+        out_stage = pipe.output_stages[0]
+        stores = [inst for p in chip.programs.values() for inst in p
+                  if isinstance(inst, TransferInst) and inst.op == "STORE"]
+        tp = chip.meta["tile_pixels"]
+        assert len(stores) == n_tiles(out_stage, tp)

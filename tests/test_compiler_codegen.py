@@ -1,0 +1,227 @@
+"""Tests for local-memory allocation and code generation."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import CompileError, compile_network
+from repro.compiler.allocator import AllocatorSet, CoreAllocator
+from repro.isa import MvmInst, ScalarInst, TransferInst, VectorInst
+from repro.models import build_model
+
+
+class TestAllocator:
+    def test_regions_do_not_overlap(self):
+        alloc = CoreAllocator(0, 1000)
+        a = alloc.alloc("a", 100, 2)
+        b = alloc.alloc("b", 50, 4)
+        assert a.end <= b.base
+
+    def test_ring_slot_addressing(self):
+        alloc = CoreAllocator(0, 1000)
+        r = alloc.alloc("ring", 100, 4)
+        assert r.slot(0) == r.base
+        assert r.slot(5) == r.base + 100  # 5 % 4 == 1
+
+    def test_range_clamps_to_slot(self):
+        alloc = CoreAllocator(0, 1000)
+        r = alloc.alloc("ring", 100, 2)
+        lo, hi = r.range_of(0, bytes_used=500)
+        assert hi - lo == 100
+
+    def test_over_subscription_lists_regions(self):
+        alloc = CoreAllocator(3, 150)
+        alloc.alloc("first", 100, 1)
+        with pytest.raises(CompileError) as err:
+            alloc.alloc("second", 100, 1)
+        assert "first" in str(err.value)
+        assert "core 3" in str(err.value)
+
+    def test_duplicate_name_rejected(self):
+        alloc = CoreAllocator(0, 1000)
+        alloc.alloc("x", 10, 1)
+        with pytest.raises(CompileError, match="duplicate"):
+            alloc.alloc("x", 10, 1)
+
+    def test_bad_sizes_rejected(self):
+        alloc = CoreAllocator(0, 1000)
+        with pytest.raises(CompileError):
+            alloc.alloc("x", 0, 1)
+        with pytest.raises(CompileError):
+            alloc.alloc("y", 8, 0)
+
+    def test_allocator_set_usage(self):
+        allocs = AllocatorSet(1000)
+        allocs.core(0).alloc("a", 10, 1)
+        allocs.core(2).alloc("b", 30, 1)
+        assert allocs.usage() == {0: 10, 2: 30}
+
+
+def _compiled(net, cfg):
+    return compile_network(net, cfg)
+
+
+class TestCodegenStructure:
+    def test_programs_only_on_participating_cores(self, chain_net, small_cfg):
+        result = _compiled(chain_net, small_cfg)
+        for core, program in result.program.programs.items():
+            assert len(program) > 0
+            assert 0 <= core < small_cfg.chip.n_cores
+
+    def test_every_program_sealed_with_halt(self, chain_net, small_cfg):
+        result = _compiled(chain_net, small_cfg)
+        for program in result.program.programs.values():
+            assert program.sealed
+            last = program.instructions[-1]
+            assert isinstance(last, ScalarInst) and last.op == "HALT"
+
+    def test_matched_sends_and_recvs(self, residual_net, small_cfg):
+        chip = _compiled(residual_net, small_cfg).program
+        sends = chip.sends_by_flow()
+        recvs = chip.recvs_by_flow()
+        assert set(sends) == set(recvs)
+        for flow_id in sends:
+            assert len(sends[flow_id]) == len(recvs[flow_id])
+
+    def test_mvm_instructions_reference_defined_groups(self, chain_net,
+                                                       small_cfg):
+        chip = _compiled(chain_net, small_cfg).program
+        for program in chip.programs.values():
+            for inst in program:
+                if isinstance(inst, MvmInst):
+                    program.groups.get(inst.group)  # raises if undefined
+
+    def test_instruction_layers_tagged(self, chain_net, small_cfg):
+        chip = _compiled(chain_net, small_cfg).program
+        for program in chip.programs.values():
+            for inst in program:
+                if not (isinstance(inst, ScalarInst) and inst.op == "HALT"):
+                    assert inst.layer
+
+    def test_local_memory_within_capacity(self, branch_net, small_cfg):
+        chip = _compiled(branch_net, small_cfg).program
+        for program in chip.programs.values():
+            assert program.local_memory_used <= small_cfg.core.local_memory_bytes
+
+    def test_first_layer_loads_from_global_memory(self, chain_net, small_cfg):
+        chip = _compiled(chain_net, small_cfg).program
+        loads = [inst for p in chip.programs.values() for inst in p
+                 if isinstance(inst, TransferInst) and inst.op == "LOAD"]
+        assert loads
+        assert all(inst.layer == "conv1" for inst in loads)
+
+    def test_network_output_stored(self, chain_net, small_cfg):
+        chip = _compiled(chain_net, small_cfg).program
+        stores = [inst for p in chip.programs.values() for inst in p
+                  if isinstance(inst, TransferInst) and inst.op == "STORE"]
+        assert stores
+        assert all(inst.layer == "fc1" for inst in stores)
+
+    def test_flow_windows_cover_skew(self, residual_net, small_cfg):
+        chip = _compiled(residual_net, small_cfg).program
+        for info in chip.flows.values():
+            assert info.window >= 2 or info.n_messages == 1
+
+    def test_mvm_counts_cover_all_pixels(self, chain_net, small_cfg):
+        """Summed MVM input vectors = out_pixels x copies-independent work
+        x row blocks (every pixel passes every row block exactly once)."""
+        result = _compiled(chain_net, small_cfg)
+        chip = result.program
+        pipe = result.pipeline
+        for name, plan in result.placement.plans.items():
+            stage = pipe.stage(name)
+            tiling = plan.tiling
+            expected = stage.out_pixels * stage.compute_per_pixel \
+                * tiling.row_blocks
+            counted = 0
+            for core in plan.cores:
+                table = chip.programs[core].groups
+                for inst in chip.programs[core]:
+                    if isinstance(inst, MvmInst) \
+                            and table.get(inst.group).layer == name:
+                        # one instruction drives its group through `count`
+                        # vectors; groups may span several column blocks,
+                        # but each row block is a distinct group.
+                        counted += inst.count
+            assert counted == expected, name
+
+    def test_utilization_first_emits_partial_flows(self, small_cfg):
+        """resnet18 packed tightly must gather partials across cores."""
+        cfg = small_cfg.with_mapping("utilization_first")
+        chip = compile_network(build_model("resnet18"), cfg).program
+        partial_flows = [f for f in chip.flows.values()
+                         if f.bytes_per_message >= 4]
+        assert len(chip.flows) > 0
+        assert partial_flows
+
+    def test_deterministic_compilation(self, residual_net, small_cfg):
+        a = _compiled(residual_net, small_cfg).program
+        b = _compiled(residual_net, small_cfg).program
+        assert a.total_instructions == b.total_instructions
+        for core in a.programs:
+            assert [repr(i) for i in a.programs[core]] \
+                == [repr(i) for i in b.programs[core]]
+
+
+class TestVectorSemantics:
+    def test_fused_relu_emitted(self, chain_net, small_cfg):
+        chip = _compiled(chain_net, small_cfg).program
+        relus = [inst for p in chip.programs.values() for inst in p
+                 if isinstance(inst, VectorInst) and inst.op == "VRELU"]
+        assert relus
+
+    def test_fused_pool_emitted(self, chain_net, small_cfg):
+        chip = _compiled(chain_net, small_cfg).program
+        pools = [inst for p in chip.programs.values() for inst in p
+                 if isinstance(inst, VectorInst) and inst.op == "VMAXPOOL"]
+        assert pools
+        assert all(i.layer == "conv2" for i in pools)
+
+    def test_add_join_emitted_as_vadd(self, residual_net, small_cfg):
+        chip = _compiled(residual_net, small_cfg).program
+        joins = [inst for p in chip.programs.values() for inst in p
+                 if isinstance(inst, VectorInst) and inst.op == "VADD"
+                 and inst.layer == "join"]
+        assert joins
+
+    def test_concat_emitted_as_moves(self, branch_net, small_cfg):
+        chip = _compiled(branch_net, small_cfg).program
+        moves = [inst for p in chip.programs.values() for inst in p
+                 if isinstance(inst, VectorInst) and inst.op == "VMOV"
+                 and inst.layer == "cat"]
+        # one VMOV per producer per tile
+        assert len(moves) >= 2
+
+    def test_gap_emitted_as_avgpool(self, residual_net, small_cfg):
+        chip = _compiled(residual_net, small_cfg).program
+        gaps = [inst for p in chip.programs.values() for inst in p
+                if isinstance(inst, VectorInst) and inst.op == "VAVGPOOL"
+                and inst.layer == "gap"]
+        assert len(gaps) == 1  # single output tile
+
+
+class TestCompilationResult:
+    def test_summary_contains_all_sections(self, chain_net, small_cfg):
+        text = _compiled(chain_net, small_cfg).summary()
+        assert "pipeline" in text
+        assert "placement" in text
+        assert "chip program" in text
+
+    def test_meta_records_policy_and_homes(self, chain_net, small_cfg):
+        chip = _compiled(chain_net, small_cfg).program
+        assert chip.meta["policy"] == "performance_first"
+        assert "conv1" in chip.meta["stage_homes"]
+
+    def test_verify_can_be_skipped(self, chain_net, small_cfg):
+        result = compile_network(chain_net, small_cfg, verify=False)
+        assert result.program.total_instructions > 0
+
+    def test_tile_pixels_config_scales_instruction_count(self, chain_net,
+                                                         small_cfg):
+        fine = dataclasses.replace(small_cfg, compiler=dataclasses.replace(
+            small_cfg.compiler, tile_pixels=4))
+        coarse = dataclasses.replace(small_cfg, compiler=dataclasses.replace(
+            small_cfg.compiler, tile_pixels=32))
+        n_fine = compile_network(chain_net, fine).program.total_instructions
+        n_coarse = compile_network(chain_net, coarse).program.total_instructions
+        assert n_fine > n_coarse

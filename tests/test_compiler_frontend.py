@@ -1,0 +1,160 @@
+"""Tests for the compiler frontend: stage extraction, folding, fusion."""
+
+import pytest
+
+from repro.compiler import CompileError, build_pipeline
+from repro.graph import GraphBuilder
+from repro.models import build_model
+from tests.conftest import build_chain_net, build_residual_net
+
+
+class TestFolding:
+    def test_flatten_dropout_batchnorm_disappear(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        b.conv(4, kernel=3, padding=1)
+        b.batchnorm()
+        b.dropout()
+        b.flatten()
+        b.fc(10)
+        pipe = build_pipeline(b.build())
+        names = {s.name for s in pipe}
+        assert names == {"input", "conv1", "fc1"}
+
+    def test_consumers_rewire_through_folded_nodes(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        b.conv(4, kernel=3, padding=1)
+        b.batchnorm()
+        b.flatten()
+        b.fc(10)
+        pipe = build_pipeline(b.build())
+        fc = pipe.stage("fc1")
+        assert fc.edges[0].producer == "conv1"
+
+
+class TestFusion:
+    def test_relu_fuses_into_conv(self, chain_net):
+        pipe = build_pipeline(chain_net)
+        conv1 = pipe.stage("conv1")
+        assert conv1.post_ops == ["relu"]
+        assert "relu1" not in {s.name for s in pipe}
+
+    def test_stride_equal_kernel_pool_fuses(self, chain_net):
+        pipe = build_pipeline(chain_net)
+        conv2 = pipe.stage("conv2")
+        assert "maxpool" in conv2.post_ops
+        assert conv2.compute_per_pixel == 4  # 2x2 pool window
+        assert conv2.out_shape == (8, 4, 4)  # post-pool shape
+
+    def test_overlapping_pool_stays_standalone(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        b.conv(4, kernel=3, padding=1)
+        b.relu()
+        b.maxpool(3, stride=1, padding=1)  # stride != kernel
+        pipe = build_pipeline(b.build())
+        assert any(s.op == "maxpool" and s.kind == "aux" for s in pipe)
+
+    def test_relu_with_second_consumer_not_fused(self):
+        """If the conv's raw output feeds another node, no fusion."""
+        b = GraphBuilder("t", (3, 8, 8))
+        conv = b.conv(4, kernel=3, padding=1, name="c")
+        b.relu(after=conv, name="r")
+        b.conv(4, kernel=1, after=conv, name="branch")
+        out1 = "r"
+        b.conv(4, kernel=1, after=out1, name="c2")
+        pipe = build_pipeline(b.build())
+        names = {s.name for s in pipe}
+        assert "r" in names  # relu materialized as aux
+
+    def test_fusion_disabled(self, chain_net):
+        pipe = build_pipeline(chain_net, operator_fusion=False)
+        assert any(s.op == "relu" for s in pipe)
+        assert all(not s.post_ops for s in pipe)
+
+    def test_relu_fuses_into_add(self, residual_net):
+        pipe = build_pipeline(residual_net)
+        join = pipe.stage("join")
+        assert join.kind == "aux"
+        assert join.post_ops == ["relu"]
+
+
+class TestStages:
+    def test_compute_stage_has_weight(self, chain_net):
+        pipe = build_pipeline(chain_net)
+        conv1 = pipe.stage("conv1")
+        assert conv1.weight == (27, 8)
+
+    def test_fc_stage_single_tile_geometry(self, chain_net):
+        pipe = build_pipeline(chain_net)
+        fc = pipe.stage("fc1")
+        assert fc.out_pixels == 1
+        assert fc.edges[0].full_input
+
+    def test_topological_indices_monotone(self, residual_net):
+        pipe = build_pipeline(residual_net)
+        for i, stage in enumerate(pipe):
+            assert stage.topo_index == i
+
+    def test_consumers_lookup(self, residual_net):
+        pipe = build_pipeline(residual_net)
+        consumers = {s.name for s in pipe.consumers("stem")}
+        assert "main1" in consumers
+        assert "join" in consumers
+
+    def test_output_stages(self, chain_net):
+        pipe = build_pipeline(chain_net)
+        assert [s.name for s in pipe.output_stages] == ["fc1"]
+
+    def test_unknown_stage_lookup_raises(self, chain_net):
+        with pytest.raises(CompileError):
+            build_pipeline(chain_net).stage("nope")
+
+    def test_edge_geometry_conv(self, chain_net):
+        pipe = build_pipeline(chain_net)
+        e = pipe.stage("conv2").edges[0]
+        assert (e.kernel, e.stride, e.padding) == (3, 1, 1)
+
+    def test_edge_geometry_elementwise(self, residual_net):
+        pipe = build_pipeline(residual_net)
+        join = pipe.stage("join")
+        assert all(e.kernel == 1 and e.stride == 1 for e in join.edges)
+
+    def test_network_without_weights_rejected(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        b.relu()
+        with pytest.raises(CompileError, match="no crossbar-mapped"):
+            build_pipeline(b.build())
+
+    def test_summary_lists_stages(self, chain_net):
+        text = build_pipeline(chain_net).summary()
+        assert "conv1" in text and "fc1" in text
+
+
+class TestZooLowering:
+    @pytest.mark.parametrize("name", ["alexnet", "googlenet", "resnet18",
+                                      "squeezenet", "vgg8", "vgg16"])
+    def test_all_zoo_networks_lower(self, name):
+        pipe = build_pipeline(build_model(name))
+        assert pipe.compute_stages
+        # every non-input stage must trace back to the input
+        names = {s.name for s in pipe}
+        for stage in pipe:
+            for edge in stage.edges:
+                assert edge.producer in names
+
+    def test_resnet_add_consumes_two_stages(self):
+        pipe = build_pipeline(build_model("resnet18"))
+        add = pipe.stage("s1b1_add")
+        assert len(add.edges) == 2
+
+    def test_googlenet_concat_consumes_four(self):
+        pipe = build_pipeline(build_model("googlenet"))
+        cat = pipe.stage("i3a_concat")
+        assert len(cat.edges) == 4
+
+    def test_chain_stage_count_scales(self):
+        small = build_pipeline(build_chain_net(size=8))
+        assert len(small) == len(build_pipeline(build_chain_net(size=16)))
+
+    def test_residual_pipeline_has_join(self):
+        pipe = build_pipeline(build_residual_net())
+        assert pipe.stage("join").op == "add"

@@ -1,0 +1,171 @@
+"""Tests for the two mapping policies and placement invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import (
+    CompileError,
+    build_pipeline,
+    map_network,
+    map_performance_first,
+    map_utilization_first,
+)
+from repro.config import paper_chip, tiny_chip
+from repro.models import build_model
+from tests.conftest import build_chain_net
+
+
+@pytest.fixture
+def chain_pipe(chain_net):
+    return build_pipeline(chain_net)
+
+
+class TestDispatch:
+    def test_dispatch_by_config(self, chain_pipe):
+        cfg = paper_chip(mapping="utilization_first")
+        placement = map_network(chain_pipe, cfg)
+        assert placement.policy == "utilization_first"
+
+    def test_unknown_policy_rejected(self, chain_pipe):
+        cfg = paper_chip()
+        bad = dataclasses.replace(cfg, compiler=dataclasses.replace(
+            cfg.compiler, mapping="x"))
+        with pytest.raises(ValueError):
+            map_network(chain_pipe, bad)
+
+
+class TestUtilizationFirst:
+    def test_every_copy_covers_matrix_exactly_once(self, chain_pipe):
+        placement = map_utilization_first(chain_pipe, paper_chip())
+        for plan in placement.plans.values():
+            plan.validate()  # raises on gaps/duplicates
+
+    def test_no_duplication(self, chain_pipe):
+        placement = map_utilization_first(chain_pipe, paper_chip())
+        assert all(p.copies == 1 for p in placement.plans.values())
+
+    def test_packs_tightly(self):
+        """A small network lands entirely on one core."""
+        pipe = build_pipeline(build_chain_net())
+        placement = map_utilization_first(pipe, paper_chip())
+        assert len(placement.crossbars_per_core()) == 1
+
+    def test_splits_when_core_fills(self):
+        pipe = build_pipeline(build_model("vgg16"))
+        cfg = paper_chip(mapping="utilization_first")
+        placement = map_utilization_first(pipe, cfg)
+        per_core = placement.crossbars_per_core()
+        assert len(per_core) >= 2
+        cap = cfg.core.crossbars_per_core
+        assert all(v <= cap for v in per_core.values())
+
+    def test_capacity_exhaustion_raises(self, chain_pipe):
+        cfg = tiny_chip()
+        tiny = dataclasses.replace(cfg, core=dataclasses.replace(
+            cfg.core, crossbars_per_core=1))
+        pipe = build_pipeline(build_model("vgg16"))
+        with pytest.raises(CompileError, match="does not fit"):
+            map_utilization_first(pipe, tiny)
+
+    def test_cores_shared_across_layers(self):
+        pipe = build_pipeline(build_model("resnet18"))
+        placement = map_utilization_first(pipe, paper_chip())
+        stages_per_core = placement.stages_per_core()
+        assert any(len(stages) > 1 for stages in stages_per_core.values())
+
+
+class TestPerformanceFirst:
+    def test_one_layer_per_core(self):
+        pipe = build_pipeline(build_model("resnet18"))
+        placement = map_performance_first(pipe, paper_chip())
+        stages_per_core = placement.stages_per_core()
+        assert all(len(stages) == 1 for stages in stages_per_core.values())
+
+    def test_duplication_fills_spare_crossbars(self, chain_pipe):
+        cfg = paper_chip()
+        placement = map_performance_first(chain_pipe, cfg)
+        # tiny layers on 512-crossbar cores: duplication expected
+        assert any(p.copies > 1 for p in placement.plans.values())
+
+    def test_duplication_respects_cap(self, chain_pipe):
+        cfg = paper_chip()
+        placement = map_performance_first(chain_pipe, cfg)
+        for plan in placement.plans.values():
+            assert plan.copies <= cfg.compiler.max_duplication
+
+    def test_duplication_disabled(self, chain_pipe):
+        cfg = paper_chip()
+        cfg = dataclasses.replace(cfg, compiler=dataclasses.replace(
+            cfg.compiler, allow_duplication=False))
+        placement = map_performance_first(chain_pipe, cfg)
+        assert all(p.copies == 1 for p in placement.plans.values())
+
+    def test_copies_cover_matrix(self, chain_pipe):
+        placement = map_performance_first(chain_pipe, paper_chip())
+        for plan in placement.plans.values():
+            plan.validate()
+
+    def test_large_layer_spans_cores_without_row_split(self):
+        """vgg16-imagenet fc1 (25088x4096) spans many cores by column
+        strips, never splitting a strip."""
+        pipe = build_pipeline(build_model("vgg16", imagenet=True))
+        placement = map_performance_first(pipe, paper_chip())
+        fc1 = next(p for name, p in placement.plans.items()
+                   if name.startswith("fc"))
+        assert len(fc1.cores) > 1
+        for core in fc1.cores:
+            owned = fc1.owned_col_blocks(core, 0)
+            slices = fc1.slices_on(core)
+            covered = set()
+            for sl in slices:
+                covered.update(range(sl.col_lo, sl.col_hi))
+            assert owned == covered  # full strips only
+
+    def test_fallback_when_cores_exhausted(self):
+        pipe = build_pipeline(build_model("googlenet"))
+        cfg = tiny_chip()  # only 4 cores for ~57 layers
+        big = dataclasses.replace(cfg, core=dataclasses.replace(
+            cfg.core, crossbars_per_core=4096,
+            local_memory_bytes=64 * 1024 * 1024))
+        placement = map_performance_first(pipe, big)
+        assert placement.meta["degraded_stages"]
+
+    def test_crossbar_budget_respected(self):
+        cfg = paper_chip()
+        for name in ("alexnet", "resnet18"):
+            pipe = build_pipeline(build_model(name))
+            placement = map_performance_first(pipe, cfg)
+            for used in placement.crossbars_per_core().values():
+                assert used <= cfg.core.crossbars_per_core
+
+
+class TestPlanViews:
+    def test_home_core_is_heaviest(self):
+        pipe = build_pipeline(build_model("vgg16", imagenet=True))
+        placement = map_performance_first(pipe, paper_chip())
+        for plan in placement.plans.values():
+            per_core = {}
+            for sl in plan.slices:
+                per_core[sl.core] = per_core.get(sl.core, 0) + sl.n_tiles
+            assert per_core[plan.home_core] == max(per_core.values())
+
+    def test_pixel_share_partitions(self, chain_pipe):
+        placement = map_performance_first(chain_pipe, paper_chip())
+        plan = next(p for p in placement.plans.values() if p.copies > 1)
+        lo, hi = 0, 13
+        covered = []
+        for copy in range(plan.copies):
+            a, b = plan.pixel_share(copy, lo, hi)
+            covered.extend(range(a, b))
+        assert covered == list(range(lo, hi))
+
+    def test_col_cells_on_core(self, chain_pipe):
+        placement = map_performance_first(chain_pipe, paper_chip())
+        for plan in placement.plans.values():
+            for core in plan.cores:
+                assert plan.col_cells_on(core) > 0
+
+    def test_summary_mentions_policy(self, chain_pipe):
+        placement = map_performance_first(chain_pipe, paper_chip())
+        assert "performance_first" in placement.summary()

@@ -1,0 +1,112 @@
+"""Tests for the design-space exploration API."""
+
+import pytest
+
+from repro.config import ConfigError, small_chip
+from repro.explore import (
+    Exploration,
+    ExplorationPoint,
+    explore,
+    pareto_front,
+    with_param,
+)
+
+
+class TestWithParam:
+    def test_nested_field(self):
+        cfg = with_param(small_chip(), "core.rob_size", 13)
+        assert cfg.core.rob_size == 13
+
+    def test_special_cores_path(self):
+        cfg = with_param(small_chip(), "chip.cores", 4)
+        assert cfg.chip.n_cores == 4
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            with_param(small_chip(), "core.flux", 1)
+
+    def test_invalid_value_rejected_by_validation(self):
+        with pytest.raises(ConfigError):
+            with_param(small_chip(), "core.rob_size", 0)
+
+    def test_original_config_untouched(self):
+        base = small_chip()
+        with_param(base, "core.rob_size", 2)
+        assert base.core.rob_size != 2 or True
+        assert base == small_chip()
+
+
+def _fake_point(latency, energy, **params):
+    class _Stub:
+        cycles = latency
+        total_energy_pj = energy
+    return ExplorationPoint(params=tuple(params.items()), report=_Stub())
+
+
+class TestParetoFront:
+    def test_single_point_is_front(self):
+        p = _fake_point(10, 10.0)
+        assert pareto_front([p]) == [p]
+
+    def test_dominated_point_excluded(self):
+        good = _fake_point(10, 10.0)
+        bad = _fake_point(20, 20.0)
+        assert pareto_front([good, bad]) == [good]
+
+    def test_tradeoff_points_both_kept(self):
+        fast = _fake_point(10, 100.0)
+        frugal = _fake_point(100, 10.0)
+        front = pareto_front([fast, frugal])
+        assert set(map(id, front)) == {id(fast), id(frugal)}
+
+    def test_duplicate_points_kept(self):
+        a = _fake_point(10, 10.0)
+        b = _fake_point(10, 10.0)
+        assert len(pareto_front([a, b])) == 2
+
+    def test_front_sorted_by_latency(self):
+        pts = [_fake_point(100, 10.0), _fake_point(10, 100.0),
+               _fake_point(50, 50.0)]
+        front = pareto_front(pts)
+        latencies = [p.latency for p in front]
+        assert latencies == sorted(latencies)
+
+
+class TestExplore:
+    @pytest.fixture(scope="class")
+    def exploration(self):
+        return explore("mlp", small_chip(), {
+            "core.rob_size": [1, 8],
+            "noc.hop_cycles": [2, 8],
+        })
+
+    def test_full_grid_evaluated(self, exploration):
+        assert len(exploration.points) == 4
+        assert not exploration.failures
+
+    def test_params_recorded(self, exploration):
+        combos = {p.params for p in exploration.points}
+        assert (("core.rob_size", 1), ("noc.hop_cycles", 2)) in combos
+
+    def test_best_latency_is_minimum(self, exploration):
+        best = exploration.best_latency()
+        assert best.latency == min(p.latency for p in exploration.points)
+
+    def test_pareto_subset_of_points(self, exploration):
+        front = exploration.pareto()
+        assert front
+        ids = {id(p) for p in exploration.points}
+        assert all(id(p) in ids for p in front)
+
+    def test_table_lists_all_points(self, exploration):
+        text = exploration.table()
+        assert text.count("rob_size=") == 4
+        assert "*" in text
+
+    def test_infeasible_points_recorded_as_failures(self):
+        ex = explore("vgg16", small_chip(), {
+            "core.crossbars_per_core": [2, 128],
+        })
+        assert ex.failures          # 2 crossbars/core cannot host vgg16
+        assert ex.points            # 128 can
+        assert "failed" in ex.table()

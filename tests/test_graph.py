@@ -1,0 +1,326 @@
+"""Tests for the network IR: graph structure, shape inference, builder,
+serialization."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphBuilder,
+    GraphError,
+    Node,
+    Tensor,
+    conv_out_hw,
+    graph_from_dict,
+    graph_to_dict,
+    is_elementwise,
+    is_weight_op,
+    load_graph,
+    save_graph,
+    weight_shape,
+)
+
+
+class TestTensor:
+    def test_size_and_rank(self):
+        t = Tensor((3, 8, 8))
+        assert t.size == 192
+        assert t.rank == 3
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(GraphError):
+            Tensor(())
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(GraphError):
+            Tensor((3, 0, 8))
+
+
+class TestGraphStructure:
+    def test_duplicate_name_rejected(self):
+        g = Graph()
+        g.add(Node("a", "input", attrs={"shape": (1, 2, 2)}))
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add(Node("a", "relu", inputs=["a"]))
+
+    def test_undefined_input_rejected_at_finalize(self):
+        g = Graph()
+        g.add(Node("a", "input", attrs={"shape": (1, 2, 2)}))
+        g.add(Node("b", "relu", inputs=["ghost"]))
+        with pytest.raises(GraphError, match="undefined input"):
+            g.finalize()
+
+    def test_cycle_detected(self):
+        g = Graph()
+        g.add(Node("a", "input", attrs={"shape": (1, 2, 2)}))
+        g.add(Node("b", "relu", inputs=["c"]))
+        g.add(Node("c", "relu", inputs=["b"]))
+        with pytest.raises(GraphError, match="cycle"):
+            g.finalize()
+
+    def test_input_with_inputs_rejected(self):
+        g = Graph()
+        g.add(Node("a", "input", inputs=["a"], attrs={"shape": (1, 2, 2)}))
+        with pytest.raises(GraphError):
+            g.finalize()
+
+    def test_non_input_without_inputs_rejected(self):
+        g = Graph()
+        g.add(Node("a", "input", attrs={"shape": (1, 2, 2)}))
+        g.add(Node("b", "relu"))
+        with pytest.raises(GraphError, match="no inputs"):
+            g.finalize()
+
+    def test_graph_without_input_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.finalize()
+
+    def test_topological_order_respects_dependencies(self, residual_net):
+        seen = set()
+        for node in residual_net.topological_order():
+            for inp in node.inputs:
+                assert inp in seen, f"{node.name} before its input {inp}"
+            seen.add(node.name)
+
+    def test_topological_order_requires_finalize(self):
+        g = Graph()
+        g.add(Node("a", "input", attrs={"shape": (1, 2, 2)}))
+        with pytest.raises(GraphError, match="not finalized"):
+            g.topological_order()
+
+    def test_consumers_and_producers(self, residual_net):
+        join = residual_net.node("join")
+        producer_names = [p.name for p in residual_net.producers("join")]
+        assert producer_names == join.inputs
+        assert any(c.name == "join" for c in residual_net.consumers(join.inputs[0]))
+
+    def test_output_nodes(self, chain_net):
+        outs = chain_net.output_nodes
+        assert len(outs) == 1
+        assert outs[0].op == "fc"
+
+    def test_summary_mentions_every_node(self, chain_net):
+        text = chain_net.summary()
+        for node in chain_net.nodes.values():
+            assert node.name in text
+
+
+class TestShapeInference:
+    def test_conv_basic(self):
+        b = GraphBuilder("t", (3, 32, 32))
+        b.conv(16, kernel=3, padding=1)
+        g = b.build()
+        assert g.node("conv1").output.shape == (16, 32, 32)
+
+    def test_conv_stride(self):
+        b = GraphBuilder("t", (3, 32, 32))
+        b.conv(16, kernel=3, stride=2, padding=1)
+        g = b.build()
+        assert g.node("conv1").output.shape == (16, 16, 16)
+
+    def test_conv_no_padding_shrinks(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        b.conv(4, kernel=3)
+        g = b.build()
+        assert g.node("conv1").output.shape == (4, 6, 6)
+
+    def test_conv_records_in_channels(self):
+        b = GraphBuilder("t", (5, 8, 8))
+        b.conv(4, kernel=3, padding=1)
+        g = b.build()
+        assert g.node("conv1").attr("in_channels") == 5
+
+    def test_conv_in_channel_mismatch_rejected(self):
+        g = Graph()
+        g.add(Node("in", "input", attrs={"shape": (3, 8, 8)}))
+        g.add(Node("c", "conv", inputs=["in"],
+                   attrs={"out_channels": 4, "kernel": 3, "in_channels": 7}))
+        with pytest.raises(GraphError, match="in_channels"):
+            g.finalize()
+
+    def test_conv_collapsing_window_rejected(self):
+        b = GraphBuilder("t", (3, 4, 4))
+        b.conv(4, kernel=7)
+        with pytest.raises(GraphError, match="collapses"):
+            b.build()
+
+    def test_maxpool_halves(self):
+        b = GraphBuilder("t", (8, 16, 16))
+        b.maxpool(2)
+        g = b.build()
+        assert g.node("maxpool1").output.shape == (8, 8, 8)
+
+    def test_pool_ceil_mode(self):
+        b = GraphBuilder("t", (8, 16, 16))
+        b.maxpool(3, stride=2, ceil_mode=True)
+        g = b.build()
+        assert g.node("maxpool1").output.shape == (8, 8, 8)
+
+    def test_global_avgpool(self):
+        b = GraphBuilder("t", (32, 7, 7))
+        b.global_avgpool()
+        g = b.build()
+        assert g.node("global_avgpool1").output.shape == (32, 1, 1)
+
+    def test_flatten(self):
+        b = GraphBuilder("t", (4, 3, 3))
+        b.flatten()
+        g = b.build()
+        assert g.node("flatten1").output.shape == (36,)
+
+    def test_fc_requires_flat_input(self):
+        b = GraphBuilder("t", (4, 3, 3))
+        b.fc(10)
+        with pytest.raises(GraphError, match="flat"):
+            b.build()
+
+    def test_fc_records_in_features(self):
+        b = GraphBuilder("t", (4, 3, 3))
+        b.flatten()
+        b.fc(10)
+        g = b.build()
+        assert g.node("fc1").attr("in_features") == 36
+
+    def test_add_requires_matching_shapes(self):
+        b = GraphBuilder("t", (4, 8, 8))
+        left = b.conv(8, kernel=1, name="l")
+        right = b.conv(8, kernel=3, name="r")  # 6x6 != 8x8
+        b.add(left, right)
+        with pytest.raises(GraphError, match="mismatched add"):
+            b.build()
+
+    def test_concat_sums_channels(self, branch_net):
+        assert branch_net.node("cat").output.shape[0] == 16
+
+    def test_concat_requires_same_spatial(self):
+        b = GraphBuilder("t", (4, 8, 8))
+        left = b.conv(8, kernel=1, name="l")
+        right = b.conv(8, kernel=3, name="r")
+        b.concat(left, right)
+        with pytest.raises(GraphError, match="spatial"):
+            b.build()
+
+    def test_unknown_op_rejected(self):
+        g = Graph()
+        g.add(Node("in", "input", attrs={"shape": (1, 2, 2)}))
+        g.add(Node("x", "teleport", inputs=["in"]))
+        with pytest.raises(GraphError, match="unknown op"):
+            g.finalize()
+
+    def test_elementwise_preserve_shape(self):
+        b = GraphBuilder("t", (4, 8, 8))
+        b.relu()
+        b.lrn()
+        b.batchnorm()
+        b.dropout()
+        g = b.build()
+        for name in ("relu1", "lrn1", "batchnorm1", "dropout1"):
+            assert g.node(name).output.shape == (4, 8, 8)
+
+
+class TestConvOutHw:
+    @pytest.mark.parametrize("h,w,k,s,p,expected", [
+        (32, 32, 3, 1, 1, (32, 32)),
+        (32, 32, 3, 2, 1, (16, 16)),
+        (224, 224, 11, 4, 2, (55, 55)),   # AlexNet conv1
+        (224, 224, 7, 2, 3, (112, 112)),  # ResNet stem
+        (8, 8, 2, 2, 0, (4, 4)),
+    ])
+    def test_known_geometries(self, h, w, k, s, p, expected):
+        assert conv_out_hw(h, w, k, s, p) == expected
+
+    def test_ceil_mode(self):
+        assert conv_out_hw(16, 16, 3, 2, 0, ceil_mode=True) == (8, 8)
+        assert conv_out_hw(16, 16, 3, 2, 0, ceil_mode=False) == (7, 7)
+
+
+class TestWeightShape:
+    def test_conv_weight_is_im2col(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        b.conv(16, kernel=3, padding=1)
+        g = b.build()
+        assert weight_shape(g.node("conv1")) == (27, 16)
+
+    def test_fc_weight(self):
+        b = GraphBuilder("t", (4, 2, 2))
+        b.flatten()
+        b.fc(10)
+        g = b.build()
+        assert weight_shape(g.node("fc1")) == (16, 10)
+
+    def test_non_weight_ops_return_none(self):
+        b = GraphBuilder("t", (4, 8, 8))
+        b.relu()
+        g = b.build()
+        assert weight_shape(g.node("relu1")) is None
+
+    def test_predicates(self):
+        b = GraphBuilder("t", (4, 8, 8))
+        b.conv(4, kernel=1)
+        b.relu()
+        g = b.build()
+        assert is_weight_op(g.node("conv1"))
+        assert not is_weight_op(g.node("relu1"))
+        assert is_elementwise(g.node("relu1"))
+        assert not is_elementwise(g.node("conv1"))
+
+
+class TestBuilder:
+    def test_auto_names_are_sequential(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        b.conv(4, kernel=1)
+        b.conv(4, kernel=1)
+        g = b.build()
+        assert "conv1" in g.nodes and "conv2" in g.nodes
+
+    def test_after_redirects_wiring(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        trunk = b.conv(4, kernel=1, name="trunk")
+        b.conv(4, kernel=1, name="left")
+        b.conv(4, kernel=1, after=trunk, name="right")
+        g = b.build()
+        assert g.node("right").inputs == ["trunk"]
+        assert g.node("left").inputs == ["trunk"]
+
+    def test_add_requires_two_branches(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        x = b.conv(4, kernel=1)
+        with pytest.raises(GraphError):
+            b.add(x)
+
+    def test_custom_op_passthrough(self):
+        b = GraphBuilder("t", (3, 8, 8))
+        b.op("softmax", inputs=["input"], name="sm")
+        g = b.build()
+        assert g.node("sm").op == "softmax"
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_structure(self, residual_net):
+        data = graph_to_dict(residual_net)
+        again = graph_from_dict(data)
+        assert set(again.nodes) == set(residual_net.nodes)
+        for name, node in residual_net.nodes.items():
+            other = again.node(name)
+            assert other.op == node.op
+            assert other.inputs == node.inputs
+            assert other.output == node.output
+
+    def test_roundtrip_through_file(self, branch_net, tmp_path):
+        path = tmp_path / "net.json"
+        save_graph(branch_net, path)
+        again = load_graph(path)
+        assert len(again) == len(branch_net)
+        assert again.node("cat").output == branch_net.node("cat").output
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"name": "x"})
+
+    def test_bad_format_version_rejected(self):
+        with pytest.raises(GraphError, match="format"):
+            graph_from_dict({"format": 99, "nodes": []})
+
+    def test_malformed_node_entry_rejected(self):
+        with pytest.raises(GraphError, match="malformed"):
+            graph_from_dict({"nodes": [{"op": "relu"}]})

@@ -1,0 +1,163 @@
+"""Tests for the numpy functional reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, GraphError, execute, random_weights
+from repro.models import build_model
+from tests.conftest import build_branch_net, build_residual_net
+
+
+def _input_for(graph, seed=0):
+    shape = graph.input_nodes[0].output.shape
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestOperators:
+    def test_conv_identity_kernel(self):
+        """A 1x1 conv with an identity weight matrix is a channel copy."""
+        b = GraphBuilder("t", (2, 4, 4))
+        b.conv(2, kernel=1, name="c")
+        g = b.build()
+        x = _input_for(g)
+        w = {"c": np.eye(2).reshape(2, 2, 1, 1)}
+        out = execute(g, x, w)["c"]
+        np.testing.assert_allclose(out, x)
+
+    def test_conv_matches_manual_dot(self):
+        b = GraphBuilder("t", (1, 3, 3))
+        b.conv(1, kernel=3, name="c")
+        g = b.build()
+        x = _input_for(g)
+        w = {"c": np.arange(9, dtype=float).reshape(1, 1, 3, 3)}
+        out = execute(g, x, w)["c"]
+        assert out.shape == (1, 1, 1)
+        assert out[0, 0, 0] == pytest.approx(float((x[0] * w["c"][0, 0]).sum()))
+
+    def test_conv_stride_subsamples(self):
+        b = GraphBuilder("t", (1, 4, 4))
+        b.conv(1, kernel=1, stride=2, name="c")
+        g = b.build()
+        x = _input_for(g)
+        w = {"c": np.ones((1, 1, 1, 1))}
+        out = execute(g, x, w)["c"]
+        np.testing.assert_allclose(out[0], x[0, ::2, ::2])
+
+    def test_relu_clamps(self, residual_net):
+        values = execute(residual_net, _input_for(residual_net))
+        assert (values["stem_relu"] >= 0).all()
+
+    def test_maxpool_value(self):
+        b = GraphBuilder("t", (1, 2, 2))
+        b.maxpool(2, name="p")
+        g = b.build()
+        x = np.array([[[1.0, 5.0], [3.0, 2.0]]])
+        out = execute(g, x)["p"]
+        assert out[0, 0, 0] == 5.0
+
+    def test_avgpool_value(self):
+        b = GraphBuilder("t", (1, 2, 2))
+        b.avgpool(2, name="p")
+        g = b.build()
+        x = np.array([[[1.0, 5.0], [3.0, 3.0]]])
+        assert execute(g, x)["p"][0, 0, 0] == pytest.approx(3.0)
+
+    def test_global_avgpool_is_mean(self):
+        b = GraphBuilder("t", (3, 4, 4))
+        b.global_avgpool(name="gap")
+        g = b.build()
+        x = _input_for(g)
+        out = execute(g, x)["gap"]
+        np.testing.assert_allclose(out[:, 0, 0], x.mean(axis=(1, 2)))
+
+    def test_add_sums_branches(self, residual_net):
+        values = execute(residual_net, _input_for(residual_net))
+        np.testing.assert_allclose(
+            values["join"], values["main2"] + values["stem_relu"])
+
+    def test_concat_stacks_channels(self, branch_net):
+        values = execute(branch_net, _input_for(branch_net))
+        np.testing.assert_allclose(
+            values["cat"],
+            np.concatenate([values["left_relu"], values["right_relu"]], axis=0))
+
+    def test_flatten_preserves_values(self):
+        b = GraphBuilder("t", (2, 3, 3))
+        b.flatten(name="f")
+        g = b.build()
+        x = _input_for(g)
+        np.testing.assert_allclose(execute(g, x)["f"], x.reshape(-1))
+
+    def test_softmax_normalizes(self):
+        b = GraphBuilder("t", (8,))
+        b.fc(4, name="fc")
+        b.softmax(name="sm")
+        g = b.build()
+        out = execute(g, _input_for(g))["sm"]
+        assert out.sum() == pytest.approx(1.0)
+        assert (out >= 0).all()
+
+    def test_fc_is_matvec(self):
+        b = GraphBuilder("t", (3,))
+        b.fc(2, name="fc")
+        g = b.build()
+        x = np.array([1.0, 2.0, 3.0])
+        w = {"fc": np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 2.0]])}
+        np.testing.assert_allclose(execute(g, x, w)["fc"], [1.0, 6.0])
+
+    def test_dropout_batchnorm_identity(self):
+        b = GraphBuilder("t", (2, 4, 4))
+        b.batchnorm(name="bn")
+        b.dropout(name="do")
+        g = b.build()
+        x = _input_for(g)
+        values = execute(g, x)
+        np.testing.assert_allclose(values["do"], x)
+
+
+class TestHarness:
+    def test_every_value_matches_inferred_shape(self, residual_net):
+        values = execute(residual_net, _input_for(residual_net))
+        for name, value in values.items():
+            assert value.shape == residual_net.node(name).output.shape
+
+    def test_random_weights_cover_all_weight_nodes(self):
+        g = build_model("vgg8")
+        weights = random_weights(g)
+        weight_nodes = {n.name for n in g.nodes.values()
+                        if n.op in ("conv", "fc")}
+        assert set(weights) == weight_nodes
+
+    def test_random_weights_deterministic(self):
+        g = build_model("mlp")
+        a = random_weights(g, seed=7)
+        b = random_weights(g, seed=7)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_missing_weights_rejected(self):
+        b = GraphBuilder("t", (2, 4, 4))
+        b.conv(2, kernel=1, name="c")
+        g = b.build()
+        with pytest.raises(GraphError, match="no weights"):
+            execute(g, _input_for(g), weights={})
+
+    def test_wrong_input_shape_rejected(self):
+        g = build_model("mlp")
+        with pytest.raises(GraphError, match="does not match"):
+            execute(g, np.zeros((3, 3)))
+
+    def test_wrong_weight_shape_rejected(self):
+        b = GraphBuilder("t", (2, 4, 4))
+        b.conv(2, kernel=1, name="c")
+        g = b.build()
+        with pytest.raises(GraphError, match="weight shape"):
+            execute(g, _input_for(g), weights={"c": np.zeros((9, 9))})
+
+    @pytest.mark.parametrize("name", ["lenet5", "mlp", "vgg8", "resnet18",
+                                      "squeezenet"])
+    def test_zoo_networks_execute(self, name):
+        g = build_model(name)
+        out = execute(g, _input_for(g))[g.output_nodes[0].name]
+        assert out.shape == (10,)
+        assert np.isfinite(out).all()

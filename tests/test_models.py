@@ -1,0 +1,188 @@
+"""Tests for the model zoo: structure, shapes, parameter counts."""
+
+import pytest
+
+from repro.graph import weight_shape
+from repro.models import (
+    FIG3_MODELS,
+    FIG5_MODELS,
+    MODELS,
+    build_model,
+)
+
+
+def total_params(graph) -> int:
+    total = 0
+    for node in graph.topological_order():
+        shape = weight_shape(node)
+        if shape:
+            total += shape[0] * shape[1]
+    return total
+
+
+class TestZoo:
+    def test_fig3_models_present(self):
+        assert set(FIG3_MODELS) <= set(MODELS)
+
+    def test_fig5_models_present(self):
+        assert set(FIG5_MODELS) <= set(MODELS)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            build_model("lenet9000")
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_cifar_variant_builds_and_classifies(self, name):
+        g = build_model(name)
+        out = g.output_nodes
+        assert len(out) == 1
+        assert out[0].output.shape == (10,)
+
+    @pytest.mark.parametrize("name", sorted(set(MODELS) - {"lenet5", "mlp"}))
+    def test_imagenet_variant_builds(self, name):
+        g = build_model(name, imagenet=True)
+        assert g.output_nodes[0].output.shape == (1000,)
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_custom_class_count(self, name):
+        g = build_model(name, num_classes=37)
+        assert g.output_nodes[0].output.shape == (37,)
+
+
+class TestSmallModels:
+    def test_lenet5_structure(self):
+        g = build_model("lenet5")
+        assert sum(1 for n in g.nodes.values() if n.op == "conv") == 2
+        assert sum(1 for n in g.nodes.values() if n.op == "fc") == 3
+        assert sum(1 for n in g.nodes.values() if n.op == "avgpool") == 2
+
+    def test_lenet5_classic_geometry(self):
+        g = build_model("lenet5")
+        # conv2 (5x5, no pad) on the 14x14 pooled map -> 10x10
+        convs = [n for n in g.topological_order() if n.op == "conv"]
+        assert convs[1].output.shape == (16, 10, 10)
+
+    def test_mlp_has_no_convs(self):
+        g = build_model("mlp")
+        assert not any(n.op == "conv" for n in g.nodes.values())
+        assert g.output_nodes[0].output.shape == (10,)
+
+    def test_mlp_custom_widths(self):
+        from repro.models import mlp
+        g = mlp(hidden=(64,), num_classes=3)
+        assert g.output_nodes[0].output.shape == (3,)
+
+
+class TestAlexNet:
+    def test_imagenet_conv1_geometry(self):
+        g = build_model("alexnet", imagenet=True)
+        assert g.node("conv1").output.shape == (96, 55, 55)
+
+    def test_imagenet_parameter_count_magnitude(self):
+        # The canonical AlexNet has ~61M weights; ours omits biases.
+        params = total_params(build_model("alexnet", imagenet=True))
+        assert 5.0e7 < params < 7.0e7
+
+    def test_five_convs_three_fcs(self):
+        g = build_model("alexnet")
+        convs = [n for n in g.nodes.values() if n.op == "conv"]
+        fcs = [n for n in g.nodes.values() if n.op == "fc"]
+        assert len(convs) == 5
+        assert len(fcs) == 3
+
+
+class TestVgg:
+    def test_vgg8_has_six_convs_two_fcs(self):
+        g = build_model("vgg8")
+        assert sum(1 for n in g.nodes.values() if n.op == "conv") == 6
+        assert sum(1 for n in g.nodes.values() if n.op == "fc") == 2
+
+    def test_vgg16_has_thirteen_convs_three_fcs(self):
+        g = build_model("vgg16")
+        assert sum(1 for n in g.nodes.values() if n.op == "conv") == 13
+        assert sum(1 for n in g.nodes.values() if n.op == "fc") == 3
+
+    def test_vgg16_imagenet_classifier_width(self):
+        g = build_model("vgg16", imagenet=True)
+        fcs = [n for n in g.topological_order() if n.op == "fc"]
+        assert fcs[0].attr("out_features") == 4096
+
+    def test_vgg16_imagenet_parameter_magnitude(self):
+        params = total_params(build_model("vgg16", imagenet=True))
+        assert 1.2e8 < params < 1.5e8  # canonical ~138M
+
+
+class TestResNet:
+    def test_has_eight_basic_blocks(self):
+        g = build_model("resnet18")
+        adds = [n for n in g.nodes.values() if n.op == "add"]
+        assert len(adds) == 8
+
+    def test_projection_shortcuts_on_downsampling_blocks(self):
+        g = build_model("resnet18")
+        projs = [n for n in g.nodes.values() if n.name.endswith("_proj")]
+        assert len(projs) == 3  # stages 2-4
+
+    def test_stage_channel_progression(self):
+        g = build_model("resnet18")
+        assert g.node("s1b1_conv1").output.shape[0] == 64
+        assert g.node("s4b2_conv2").output.shape[0] == 512
+
+    def test_imagenet_stem_downsamples(self):
+        g = build_model("resnet18", imagenet=True)
+        assert g.node("stem_pool").output.shape[1:] == (56, 56)
+
+    def test_imagenet_parameter_magnitude(self):
+        params = total_params(build_model("resnet18", imagenet=True))
+        assert 1.0e7 < params < 1.3e7  # canonical ~11.7M
+
+    def test_add_inputs_have_identical_shapes(self):
+        g = build_model("resnet18")
+        for node in g.nodes.values():
+            if node.op != "add":
+                continue
+            shapes = {g.node(i).output.shape for i in node.inputs}
+            assert len(shapes) == 1
+
+
+class TestSqueezeNet:
+    def test_eight_fire_modules(self):
+        g = build_model("squeezenet")
+        concats = [n for n in g.nodes.values() if n.op == "concat"]
+        assert len(concats) == 8
+
+    def test_fire_expand_symmetry(self):
+        g = build_model("squeezenet")
+        e1 = g.node("fire2_e1x1").output.shape
+        e3 = g.node("fire2_e3x3").output.shape
+        assert e1 == e3
+
+    def test_conv_classifier_head(self):
+        g = build_model("squeezenet", num_classes=10)
+        assert g.node("classifier_conv").attr("out_channels") == 10
+
+    def test_imagenet_parameter_magnitude(self):
+        params = total_params(build_model("squeezenet", imagenet=True))
+        assert 6.0e5 < params < 1.5e6  # canonical ~1.2M
+
+
+class TestGoogLeNet:
+    def test_nine_inception_modules(self):
+        g = build_model("googlenet")
+        concats = [n for n in g.nodes.values() if n.op == "concat"]
+        assert len(concats) == 9
+
+    def test_inception_concat_channels(self):
+        g = build_model("googlenet")
+        # 3a: 64 + 128 + 32 + 32 = 256
+        assert g.node("i3a_concat").output.shape[0] == 256
+        # 5b: 384 + 384 + 128 + 128 = 1024
+        assert g.node("i5b_concat").output.shape[0] == 1024
+
+    def test_four_branches_per_module(self):
+        g = build_model("googlenet")
+        assert len(g.node("i4c_concat").inputs) == 4
+
+    def test_imagenet_parameter_magnitude(self):
+        params = total_params(build_model("googlenet", imagenet=True))
+        assert 4.0e6 < params < 8.0e6  # canonical ~6M (no aux heads)

@@ -1,0 +1,135 @@
+"""Randomized robustness: arbitrary DAG topologies through the full stack.
+
+Hypothesis generates random network graphs (branches, residual adds,
+concats at random points) and we compile + cycle-accurately simulate each
+under both mapping policies.  The assertion is completion itself: the
+deadlock-freedom argument for windowed synchronized transfers (DESIGN.md)
+must hold for *every* DAG the frontend accepts, not just the zoo.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import simulate
+from repro.config import small_chip, tiny_chip
+from repro.graph import GraphBuilder
+
+
+def _build_random_net(actions: list[tuple], size: int) -> "Graph":
+    """Interpret a random action list as a network.
+
+    All feature maps keep the same spatial size (pad-same convs), so adds
+    and concats are always shape-legal; the decoder skips actions that
+    have no legal operands.
+    """
+    b = GraphBuilder("random", (3, size, size))
+    b.conv(8, kernel=3, padding=1, name="stem")
+    b.relu(name="stem_relu")
+    #: name -> channels of every join-able intermediate value.
+    pool: dict[str, int] = {b.current: 8}
+
+    for i, action in enumerate(actions):
+        kind = action[0]
+        names = list(pool)
+        if kind == "conv":
+            _, src_idx, channels, kernel = action
+            src = names[src_idx % len(names)]
+            b.conv(channels, kernel=kernel, padding=kernel // 2,
+                   after=src, name=f"conv{i}")
+            out = b.relu(name=f"relu{i}")
+            pool[out] = channels
+        elif kind == "add":
+            _, a_idx, b_idx = action
+            a = names[a_idx % len(names)]
+            other = [n for n in names if pool[n] == pool[a] and n != a]
+            if not other:
+                continue
+            rhs = other[b_idx % len(other)]
+            out = b.add(a, rhs, name=f"add{i}")
+            pool[out] = pool[a]
+        elif kind == "concat":
+            _, a_idx, b_idx = action
+            a = names[a_idx % len(names)]
+            rhs = names[b_idx % len(names)]
+            if rhs == a:
+                continue
+            out = b.concat(a, rhs, name=f"cat{i}")
+            pool[out] = pool[a] + pool[rhs]
+
+    b.global_avgpool(after=b.current, name="gap")
+    b.flatten(name="flat")
+    b.fc(4, name="head")
+    return b.build()
+
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("conv"), st.integers(0, 7),
+                  st.sampled_from([4, 8, 16]), st.sampled_from([1, 3])),
+        st.tuples(st.just("add"), st.integers(0, 7), st.integers(0, 7)),
+        st.tuples(st.just("concat"), st.integers(0, 7), st.integers(0, 7)),
+    ),
+    min_size=2, max_size=10,
+)
+
+
+@given(actions=actions, size=st.sampled_from([4, 8]))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_dag_completes_performance_first(actions, size):
+    net = _build_random_net(actions, size)
+    report = simulate(net, tiny_chip(), max_cycles=20_000_000)
+    assert report.cycles > 0
+
+
+@given(actions=actions, size=st.sampled_from([4, 8]))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_dag_completes_utilization_first(actions, size):
+    net = _build_random_net(actions, size)
+    report = simulate(net, tiny_chip(), mapping="utilization_first",
+                      max_cycles=20_000_000)
+    assert report.cycles > 0
+
+
+@given(actions=actions)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_dag_deterministic(actions):
+    net = _build_random_net(actions, 8)
+    cfg = small_chip()
+    assert simulate(net, cfg).cycles == simulate(net, cfg).cycles
+
+
+@given(actions=actions, window=st.sampled_from([2, 3, 8]))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_dag_completes_across_windows(actions, window):
+    """Deadlock freedom must not depend on a generous sync window."""
+    cfg = tiny_chip()
+    cfg = dataclasses.replace(cfg, noc=dataclasses.replace(
+        cfg.noc, sync_window=window))
+    net = _build_random_net(actions, 8)
+    report = simulate(net, cfg, max_cycles=20_000_000)
+    assert report.cycles > 0
+
+
+@given(actions=actions, size=st.sampled_from([4, 8]))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_dag_executes_functionally(actions, size):
+    """The numpy golden model evaluates every random DAG and agrees with
+    shape inference at every node (value semantics <-> shape semantics)."""
+    import numpy as np
+    from repro.graph import execute
+
+    net = _build_random_net(actions, size)
+    x = np.random.default_rng(0).normal(size=(3, size, size))
+    values = execute(net, x)
+    for name, value in values.items():
+        assert value.shape == net.node(name).output.shape
+        assert np.isfinite(value).all()

@@ -1,0 +1,290 @@
+"""Unit tests for fifos, rendezvous channels, mutexes and resources."""
+
+import pytest
+
+from repro.sim import ChannelError, Fifo, Mutex, Rendezvous, Resource, Simulator
+
+
+class TestFifo:
+    def test_put_get_roundtrip(self):
+        sim = Simulator()
+        fifo = Fifo(sim, 4)
+        out = []
+
+        def producer():
+            for i in range(3):
+                yield from fifo.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield from fifo.get()
+                out.append(item)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert out == [0, 1, 2]
+
+    def test_put_blocks_when_full(self):
+        sim = Simulator()
+        fifo = Fifo(sim, 2)
+        timeline = []
+
+        def producer():
+            for i in range(4):
+                yield from fifo.put(i)
+                timeline.append(("put", i, sim.now))
+
+        def consumer():
+            yield 10
+            for _ in range(4):
+                item = yield from fifo.get()
+                timeline.append(("got", item, sim.now))
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        puts = [(i, t) for op, i, t in timeline if op == "put"]
+        # first two puts immediate, the rest gated by the consumer at t=10
+        assert puts[0][1] == 0 and puts[1][1] == 0
+        assert puts[2][1] >= 10 and puts[3][1] >= 10
+
+    def test_get_blocks_until_data(self):
+        sim = Simulator()
+        fifo = Fifo(sim)
+        got_at = []
+
+        def consumer():
+            yield from fifo.get()
+            got_at.append(sim.now)
+
+        def producer():
+            yield 6
+            yield from fifo.put("x")
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert got_at == [6]
+
+    def test_unbounded_fifo_never_blocks_put(self):
+        sim = Simulator()
+        fifo = Fifo(sim, None)
+
+        def producer():
+            for i in range(1000):
+                yield from fifo.put(i)
+
+        sim.spawn(producer())
+        sim.run()
+        assert len(fifo) == 1000
+        assert not fifo.full
+
+    def test_try_put_try_get(self):
+        sim = Simulator()
+        fifo = Fifo(sim, 1)
+        assert fifo.try_put("a")
+        assert not fifo.try_put("b")
+        ok, item = fifo.try_get()
+        assert ok and item == "a"
+        ok, item = fifo.try_get()
+        assert not ok and item is None
+
+    def test_peek(self):
+        sim = Simulator()
+        fifo = Fifo(sim, 2)
+        fifo.try_put(1)
+        fifo.try_put(2)
+        assert fifo.peek() == 1
+        assert len(fifo) == 2
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(ChannelError):
+            Fifo(Simulator(), 2).peek()
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Fifo(Simulator(), 0)
+
+    def test_fifo_order_preserved_under_contention(self):
+        sim = Simulator()
+        fifo = Fifo(sim, 3)
+        out = []
+
+        def producer():
+            for i in range(20):
+                yield from fifo.put(i)
+                yield 1
+
+        def consumer():
+            for _ in range(20):
+                item = yield from fifo.get()
+                out.append(item)
+                yield 3
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert out == list(range(20))
+
+
+class TestRendezvous:
+    def test_matched_put_get(self):
+        sim = Simulator()
+        rv = Rendezvous(sim)
+        out = []
+
+        def sender():
+            yield 4
+            yield from rv.put("tag", "payload")
+            out.append(("sent", sim.now))
+
+        def receiver():
+            item = yield from rv.get("tag")
+            out.append(("recv", item, sim.now))
+
+        sim.spawn(sender())
+        sim.spawn(receiver())
+        sim.run()
+        assert ("recv", "payload", 4) in out
+        assert ("sent", 4) in out
+
+    def test_put_blocks_until_get(self):
+        sim = Simulator()
+        rv = Rendezvous(sim)
+        sent_at = []
+
+        def sender():
+            yield from rv.put(1, "x")
+            sent_at.append(sim.now)
+
+        def receiver():
+            yield 9
+            yield from rv.get(1)
+
+        sim.spawn(sender())
+        sim.spawn(receiver())
+        sim.run()
+        assert sent_at == [9]
+
+    def test_different_tags_do_not_match(self):
+        sim = Simulator()
+        rv = Rendezvous(sim)
+
+        def sender():
+            yield from rv.put("a", 1)
+
+        def receiver():
+            yield from rv.get("b")
+
+        sim.spawn(sender(), "sender")
+        sim.spawn(receiver(), "receiver")
+        with pytest.raises(Exception):  # deadlock: tags never match
+            sim.run()
+        assert rv.pending_sends == 1
+        assert rv.pending_receives == 1
+
+    def test_multiple_messages_same_tag_fifo(self):
+        sim = Simulator()
+        rv = Rendezvous(sim)
+        out = []
+
+        def sender():
+            for i in range(3):
+                yield from rv.put("t", i)
+
+        def receiver():
+            for _ in range(3):
+                item = yield from rv.get("t")
+                out.append(item)
+
+        sim.spawn(sender())
+        sim.spawn(receiver())
+        sim.run()
+        assert out == [0, 1, 2]
+
+
+class TestMutex:
+    def test_exclusive_ownership(self):
+        sim = Simulator()
+        mtx = Mutex(sim)
+        holds = []
+
+        def worker(tag, hold):
+            yield from mtx.acquire()
+            holds.append((tag, "in", sim.now))
+            yield hold
+            holds.append((tag, "out", sim.now))
+            mtx.release()
+
+        sim.spawn(worker("a", 5))
+        sim.spawn(worker("b", 5))
+        sim.run()
+        # b enters only after a leaves
+        a_out = next(t for tag, io, t in holds if tag == "a" and io == "out")
+        b_in = next(t for tag, io, t in holds if tag == "b" and io == "in")
+        assert b_in >= a_out
+
+    def test_release_unlocked_raises(self):
+        with pytest.raises(ChannelError):
+            Mutex(Simulator()).release()
+
+    def test_fifo_granting(self):
+        sim = Simulator()
+        mtx = Mutex(sim)
+        order = []
+
+        def worker(tag):
+            yield from mtx.acquire()
+            order.append(tag)
+            yield 2
+            mtx.release()
+
+        for tag in range(5):
+            sim.spawn(worker(tag))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestResource:
+    def test_counted_slots(self):
+        sim = Simulator()
+        res = Resource(sim, 2)
+        active = []
+        peak = []
+
+        def worker():
+            yield from res.acquire()
+            active.append(1)
+            peak.append(len(active))
+            yield 5
+            active.pop()
+            res.release()
+
+        for _ in range(6):
+            sim.spawn(worker())
+        sim.run()
+        assert max(peak) == 2
+
+    def test_available_accounting(self):
+        sim = Simulator()
+        res = Resource(sim, 3)
+        assert res.available == 3
+
+        def worker():
+            yield from res.acquire()
+            yield 1
+            res.release()
+
+        sim.spawn(worker())
+        sim.run()
+        assert res.available == 3
+        assert res.in_use == 0
+
+    def test_release_idle_raises(self):
+        with pytest.raises(ChannelError):
+            Resource(Simulator(), 1).release()
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), 0)

@@ -1,0 +1,357 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    DeadlockError,
+    Event,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_call_after_runs_at_right_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(7, lambda _: seen.append(sim.now))
+        sim.run()
+        assert seen == [7]
+
+    def test_call_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(5, lambda _: seen.append(sim.now))
+        sim.run()
+        assert seen == [5]
+
+    def test_call_at_past_raises(self):
+        sim = Simulator()
+        sim.call_after(10, lambda _: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(3, lambda _: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_after(-1, lambda _: None)
+
+    def test_fifo_order_within_same_cycle(self):
+        sim = Simulator()
+        seen = []
+        for tag in "abc":
+            sim.call_after(4, lambda _, t=tag: seen.append(t))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_events_interleave_across_times(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(9, lambda _: seen.append(9))
+        sim.call_after(3, lambda _: seen.append(3))
+        sim.call_after(6, lambda _: seen.append(6))
+        sim.run()
+        assert seen == [3, 6, 9]
+
+    def test_run_until_pauses_and_resumes(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(5, lambda _: seen.append(5))
+        sim.call_after(15, lambda _: seen.append(15))
+        sim.run(until=10)
+        assert seen == [5]
+        assert sim.now == 10
+        sim.run()
+        assert seen == [5, 15]
+
+    def test_stop_halts_processing(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(1, lambda _: (seen.append(1), sim.stop()))
+        sim.call_after(2, lambda _: seen.append(2))
+        sim.run()
+        assert seen == [1]
+        assert sim.pending == 1
+
+
+class TestProcesses:
+    def test_timed_wait(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield 3
+            log.append(sim.now)
+            yield 4
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [3, 7]
+
+    def test_zero_delay_yield_resumes_same_cycle(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield 0
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [0]
+
+    def test_event_wait_and_notify(self):
+        sim = Simulator()
+        ev = Event(sim, "go")
+        log = []
+
+        def waiter():
+            cause = yield ev
+            log.append((sim.now, cause))
+
+        def notifier():
+            yield 5
+            ev.notify()
+
+        sim.spawn(waiter())
+        sim.spawn(notifier())
+        sim.run()
+        assert log == [(5, ev)]
+
+    def test_notify_with_delay(self):
+        sim = Simulator()
+        ev = Event(sim)
+        log = []
+
+        def waiter():
+            yield ev
+            log.append(sim.now)
+
+        sim.spawn(waiter())
+        ev.notify(delay=8)
+        sim.run()
+        assert log == [8]
+
+    def test_notify_wakes_all_waiters(self):
+        sim = Simulator()
+        ev = Event(sim)
+        woken = []
+
+        def waiter(tag):
+            yield ev
+            woken.append(tag)
+
+        for tag in range(4):
+            sim.spawn(waiter(tag))
+        ev.notify(delay=1)
+        sim.run()
+        assert sorted(woken) == [0, 1, 2, 3]
+
+    def test_notify_only_wakes_current_waiters(self):
+        """A process that starts waiting after the notify is not woken."""
+        sim = Simulator()
+        ev = Event(sim)
+        woken = []
+
+        def early():
+            yield ev
+            woken.append("early")
+
+        def late():
+            yield 5
+            yield ev
+            woken.append("late")
+
+        sim.spawn(early())
+        late_proc = sim.spawn(late())
+        ev.notify(delay=1)
+        with pytest.raises(DeadlockError):
+            sim.run()
+        assert woken == ["early"]
+        assert not late_proc.done
+
+    def test_anyof_wakes_on_first(self):
+        sim = Simulator()
+        a, b = Event(sim, "a"), Event(sim, "b")
+        log = []
+
+        def waiter():
+            cause = yield AnyOf(a, b)
+            log.append((sim.now, cause.name))
+
+        sim.spawn(waiter())
+        b.notify(delay=3)
+        a.notify(delay=9)
+        sim.run()
+        assert log == [(3, "b")]
+
+    def test_allof_waits_for_all(self):
+        sim = Simulator()
+        a, b, c = (Event(sim, n) for n in "abc")
+        log = []
+
+        def waiter():
+            yield AllOf(a, b, c)
+            log.append(sim.now)
+
+        sim.spawn(waiter())
+        a.notify(delay=2)
+        b.notify(delay=7)
+        c.notify(delay=4)
+        sim.run()
+        assert log == [7]
+
+    def test_anyof_requires_events(self):
+        with pytest.raises(ValueError):
+            AnyOf()
+
+    def test_allof_requires_events(self):
+        with pytest.raises(ValueError):
+            AllOf()
+
+    def test_bad_yield_type_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError, match="unsupported condition"):
+            sim.run()
+
+    def test_negative_process_delay_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield -3
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError, match="negative delay"):
+            sim.run()
+
+    def test_process_done_flag(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1
+
+        p = sim.spawn(proc())
+        assert not p.done
+        sim.run()
+        assert p.done
+
+    def test_finished_event_fires(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            yield 6
+
+        worker_proc = sim.spawn(worker())
+
+        def watcher():
+            yield worker_proc.finished
+            log.append(sim.now)
+
+        sim.spawn(watcher())
+        sim.run()
+        assert log == [6]
+
+    def test_finished_event_after_completion(self):
+        """Accessing .finished after the process ended still notifies."""
+        sim = Simulator()
+
+        def worker():
+            yield 1
+
+        p = sim.spawn(worker())
+        sim.run()
+        log = []
+
+        def watcher():
+            yield p.finished
+            log.append(sim.now)
+
+        sim.spawn(watcher())
+        sim.run()
+        assert log == [1]
+
+    def test_nested_generators_via_yield_from(self):
+        sim = Simulator()
+        log = []
+
+        def inner():
+            yield 5
+            return 42
+
+        def outer():
+            value = yield from inner()
+            log.append((sim.now, value))
+
+        sim.spawn(outer())
+        sim.run()
+        assert log == [(5, 42)]
+
+
+class TestDeadlockDetection:
+    def test_blocked_process_reported(self):
+        sim = Simulator()
+        ev = Event(sim)
+
+        def stuck():
+            yield ev
+
+        sim.spawn(stuck(), name="stucky")
+        with pytest.raises(DeadlockError, match="stucky"):
+            sim.run()
+
+    def test_no_deadlock_when_all_finish(self):
+        sim = Simulator()
+
+        def fine():
+            yield 3
+
+        sim.spawn(fine())
+        sim.run()  # should not raise
+
+    def test_detection_can_be_disabled(self):
+        sim = Simulator()
+        ev = Event(sim)
+
+        def stuck():
+            yield ev
+
+        sim.spawn(stuck())
+        sim.run(detect_deadlock=False)  # no exception
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+            ev = Event(sim)
+
+            def pinger():
+                for _ in range(10):
+                    yield 3
+                    ev.notify()
+                    trace.append(("ping", sim.now))
+
+            def ponger():
+                for _ in range(10):
+                    yield ev
+                    trace.append(("pong", sim.now))
+
+            sim.spawn(pinger())
+            sim.spawn(ponger())
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,92 @@
+"""Unit tests for the statistics collectors."""
+
+import pytest
+
+from repro.sim import Accumulator, Counter, StatGroup, TimeWeighted
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().value == 0
+
+    def test_add(self):
+        c = Counter("hits")
+        c.add()
+        c.add(4)
+        assert int(c) == 5
+
+
+class TestAccumulator:
+    def test_empty_mean_is_zero(self):
+        assert Accumulator().mean == 0.0
+
+    def test_statistics(self):
+        a = Accumulator("lat")
+        for v in (2.0, 4.0, 9.0):
+            a.add(v)
+        assert a.count == 3
+        assert a.total == 15.0
+        assert a.mean == 5.0
+        assert a.min == 2.0
+        assert a.max == 9.0
+
+
+class TestTimeWeighted:
+    def test_integral_of_constant(self):
+        w = TimeWeighted(start_value=3.0)
+        assert w.integral(10) == 30.0
+
+    def test_piecewise_integral(self):
+        w = TimeWeighted()
+        w.update(0, 2.0)   # 2.0 over [0,5)
+        w.update(5, 4.0)   # 4.0 over [5,8)
+        assert w.integral(8) == 2.0 * 5 + 4.0 * 3
+
+    def test_average(self):
+        w = TimeWeighted()
+        w.update(0, 10.0)
+        w.update(5, 0.0)
+        assert w.average(10) == pytest.approx(5.0)
+
+    def test_peak_tracking(self):
+        w = TimeWeighted()
+        w.update(1, 3.0)
+        w.update(2, 7.0)
+        w.update(3, 1.0)
+        assert w.peak == 7.0
+        assert w.current == 1.0
+
+    def test_time_going_backwards_raises(self):
+        w = TimeWeighted()
+        w.update(5, 1.0)
+        with pytest.raises(ValueError):
+            w.update(3, 2.0)
+
+
+class TestStatGroup:
+    def test_lazy_collector_creation(self):
+        g = StatGroup("core0")
+        g.counter("issued").add(3)
+        g.accumulator("latency").add(5.0)
+        g.weighted("occupancy").update(2, 1.0)
+        assert g.counter("issued").value == 3
+        assert g.accumulator("latency").count == 1
+
+    def test_children(self):
+        g = StatGroup("chip")
+        g.child("core0").counter("ops").add(2)
+        g.child("core1").counter("ops").add(7)
+        assert g.child("core0").counter("ops").value == 2
+
+    def test_to_dict_shape(self):
+        g = StatGroup("x")
+        g.counter("n").add(1)
+        g.accumulator("a").add(2.0)
+        g.weighted("w").update(1, 5.0)
+        g.child("sub").counter("m").add(9)
+        d = g.to_dict(now=10)
+        assert d["n"] == 1
+        assert d["a"]["mean"] == 2.0
+        assert d["w"]["peak"] == 5.0
+        assert "average" in d["w"]
+        assert d["sub"]["m"] == 9

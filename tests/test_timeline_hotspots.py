@@ -1,0 +1,80 @@
+"""Tests for the activity timeline and NoC hotspot accounting."""
+
+import dataclasses
+
+import pytest
+
+from repro import simulate
+from repro.analysis import core_activity, timeline
+from repro.arch import run_program
+from repro.compiler import compile_network
+from tests.conftest import build_chain_net
+
+
+def _traced_run(net, cfg):
+    cfg = dataclasses.replace(cfg, sim=dataclasses.replace(cfg.sim,
+                                                           trace=True))
+    chip = compile_network(net, cfg).program
+    return run_program(chip, cfg)
+
+
+class TestTimeline:
+    def test_without_trace_explains_how_to_enable(self):
+        text = timeline(None, 100)
+        assert "sim.trace" in text
+
+    def test_empty_trace(self):
+        assert "empty" in timeline([], 100)
+
+    def test_strips_have_requested_width(self, chain_net, small_cfg):
+        raw = _traced_run(chain_net, small_cfg)
+        strips = core_activity(raw.trace, raw.cycles, buckets=40)
+        assert strips
+        assert all(len(s) == 40 for s in strips.values())
+
+    def test_glyphs_are_legal(self, chain_net, small_cfg):
+        raw = _traced_run(chain_net, small_cfg)
+        strips = core_activity(raw.trace, raw.cycles, buckets=32)
+        legal = set("MVTS.")
+        for strip in strips.values():
+            assert set(strip) <= legal
+
+    def test_every_active_core_gets_a_strip(self, chain_net, small_cfg):
+        raw = _traced_run(chain_net, small_cfg)
+        cores_in_trace = {t[1] for t in raw.trace}
+        strips = core_activity(raw.trace, raw.cycles)
+        assert set(strips) == cores_in_trace
+
+    def test_render_contains_all_cores(self, chain_net, small_cfg):
+        raw = _traced_run(chain_net, small_cfg)
+        text = timeline(raw.trace, raw.cycles)
+        for core in {t[1] for t in raw.trace}:
+            assert f"core {core:>3}" in text
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            core_activity([(0, 0, "matrix", "x")], 0)
+
+
+class TestNocHotspots:
+    def test_hottest_links_reported(self, chain_net, small_cfg):
+        report = simulate(chain_net, small_cfg)
+        hot = report.noc["hottest_links"]
+        assert hot
+        label, nbytes = hot[0]
+        assert "->" in label
+        assert nbytes > 0
+
+    def test_hotspots_sorted_descending(self, chain_net, small_cfg):
+        report = simulate(chain_net, small_cfg)
+        volumes = [v for _, v in report.noc["hottest_links"]]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_link_bytes_consistent_with_byte_hops(self, chain_net, small_cfg):
+        from repro.arch import ChipModel
+        chip = compile_network(chain_net, small_cfg).program
+        model = ChipModel(chip, small_cfg)
+        raw = model.run()
+        # gmem traffic to the same node adds byte_hops=0; every other byte
+        # crossing a link is accounted exactly once per hop.
+        assert sum(model.noc.link_bytes.values()) == raw.noc["byte_hops"]

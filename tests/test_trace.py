@@ -1,0 +1,52 @@
+"""Tests for the instruction-completion trace."""
+
+import dataclasses
+
+from repro.arch import run_program
+from repro.compiler import compile_network
+from repro.config import small_chip
+
+
+def _traced(cfg):
+    return dataclasses.replace(cfg, sim=dataclasses.replace(
+        cfg.sim, trace=True))
+
+
+class TestTrace:
+    def test_disabled_by_default(self, chain_net, small_cfg):
+        chip = compile_network(chain_net, small_cfg).program
+        raw = run_program(chip, small_cfg)
+        assert raw.trace is None
+
+    def test_enabled_records_completions(self, chain_net, small_cfg):
+        cfg = _traced(small_cfg)
+        chip = compile_network(chain_net, cfg).program
+        raw = run_program(chip, cfg)
+        # every non-HALT instruction completes exactly once
+        expected = sum(len(p) - 1 for p in chip.programs.values())
+        assert len(raw.trace) == expected
+
+    def test_trace_cycles_monotone(self, chain_net, small_cfg):
+        cfg = _traced(small_cfg)
+        chip = compile_network(chain_net, cfg).program
+        raw = run_program(chip, cfg)
+        cycles = [t[0] for t in raw.trace]
+        assert cycles == sorted(cycles)
+
+    def test_trace_entries_well_formed(self, chain_net, small_cfg):
+        cfg = _traced(small_cfg)
+        chip = compile_network(chain_net, cfg).program
+        raw = run_program(chip, cfg)
+        units = {"matrix", "vector", "transfer", "scalar"}
+        for cycle, core, unit, text in raw.trace[:200]:
+            assert cycle >= 0
+            assert core in chip.programs
+            assert unit in units
+            assert text
+
+    def test_all_units_appear(self, chain_net, small_cfg):
+        cfg = _traced(small_cfg)
+        chip = compile_network(chain_net, cfg).program
+        raw = run_program(chip, cfg)
+        seen = {t[2] for t in raw.trace}
+        assert {"matrix", "vector", "transfer"} <= seen
