@@ -1,0 +1,110 @@
+"""Kernel-benchmark entry point: run ``bench_kernel.py`` and record results.
+
+Runs the micro-benchmarks through pytest-benchmark and writes a compact
+``BENCH_kernel.json`` (ops/sec and mean seconds per benchmark, plus the
+end-to-end simulate rate) so every PR leaves a perf trajectory point the
+next one can compare against.
+
+Usage::
+
+    python benchmarks/run_bench.py                       # writes BENCH_kernel.json
+    python benchmarks/run_bench.py --baseline OLD.json   # embeds OLD + speedups
+    python benchmarks/run_bench.py --output /tmp/b.json
+
+``--baseline`` accepts either a previous ``BENCH_kernel.json`` or a raw
+pytest-benchmark ``--benchmark-json`` dump; per-benchmark speedups
+(baseline mean / new mean) are added under ``"speedup_vs_baseline"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
+BENCH_FILE = Path(__file__).resolve().parent / "bench_kernel.py"
+
+
+def _simplify(pytest_benchmark_data: dict) -> dict:
+    """pytest-benchmark JSON -> {test name: {mean_s, ops_per_sec, ...}}."""
+    out = {}
+    for bench in pytest_benchmark_data.get("benchmarks", []):
+        stats = bench["stats"]
+        out[bench["name"]] = {
+            "mean_s": stats["mean"],
+            "min_s": stats["min"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+            "ops_per_sec": stats["ops"],
+        }
+    return out
+
+
+def _load_baseline(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    if "benchmarks" in data and isinstance(data["benchmarks"], list):
+        return _simplify(data)       # raw pytest-benchmark dump
+    return data.get("benchmarks", data)  # a previous BENCH_kernel.json
+
+
+def run(output: Path, baseline: Path | None = None,
+        pytest_args: list[str] | None = None) -> dict:
+    if baseline is not None and not baseline.is_file():
+        raise SystemExit(f"baseline file not found: {baseline}")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = Path(tmp.name)
+    cmd = [sys.executable, "-m", "pytest", str(BENCH_FILE), "-q",
+           "-p", "no:cacheprovider", "--benchmark-warmup=off",
+           f"--benchmark-json={raw_path}"] + (pytest_args or [])
+    proc = subprocess.run(cmd, cwd=REPO_ROOT)
+    if proc.returncode != 0:
+        raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+    raw = json.loads(raw_path.read_text())
+    raw_path.unlink(missing_ok=True)
+
+    record: dict = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": raw.get("machine_info", {}).get("python_version"),
+        "benchmarks": _simplify(raw),
+    }
+    if baseline is not None:
+        base = _load_baseline(baseline)
+        record["baseline"] = base
+        record["speedup_vs_baseline"] = {
+            name: round(base[name]["mean_s"] / entry["mean_s"], 3)
+            for name, entry in record["benchmarks"].items()
+            if name in base and entry["mean_s"]
+        }
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"result file (default {DEFAULT_OUTPUT.name})")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="previous BENCH_kernel.json (or raw "
+                             "pytest-benchmark dump) to compare against")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra arguments forwarded to pytest")
+    args = parser.parse_args(argv)
+    record = run(args.output, args.baseline, args.pytest_args)
+    print(f"\nwrote {args.output}")
+    for name, entry in record["benchmarks"].items():
+        line = f"  {name}: {entry['ops_per_sec']:.1f} ops/s"
+        speedup = record.get("speedup_vs_baseline", {}).get(name)
+        if speedup is not None:
+            line += f"  ({speedup:.2f}x vs baseline)"
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,9 @@ def main() -> None:
     parser.add_argument("--cores", default="4,16")
     parser.add_argument("--crossbars", default="128,256")
     parser.add_argument("--rob", default="1,8")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="simulate design points on N worker processes "
+                             "(default: all CPUs)")
     args = parser.parse_args()
 
     space = {
@@ -29,7 +32,8 @@ def main() -> None:
         "core.crossbars_per_core": [int(x) for x in args.crossbars.split(",")],
         "core.rob_size": [int(r) for r in args.rob.split(",")],
     }
-    exploration = explore(args.model, small_chip(), space)
+    exploration = explore(args.model, small_chip(), space,
+                          workers=args.workers)
 
     print(exploration.table())
     print()

@@ -35,10 +35,13 @@ from .config import (
 from .models import MODELS, build_model
 from .runner import (
     SimReport,
+    SweepJob,
     compare_mappings,
     compare_with_baseline,
     compile_model,
+    run_sweep,
     simulate,
+    sweep,
     sweep_rob,
 )
 
@@ -48,6 +51,9 @@ __all__ = [
     "simulate",
     "compile_model",
     "SimReport",
+    "SweepJob",
+    "run_sweep",
+    "sweep",
     "compare_mappings",
     "sweep_rob",
     "compare_with_baseline",

@@ -2,6 +2,7 @@
 
 from .allocator import AllocatorSet, CoreAllocator, Region
 from .batching import repeat_chip_program
+from .cache import CompileCache, compile_cache, config_fingerprint
 from .codegen import ACC_BYTES, generate_code
 from .frontend import CompileError, Pipeline, Stage, StageEdge, build_pipeline
 from .mapping import map_network, map_performance_first, map_utilization_first
@@ -20,6 +21,9 @@ __all__ = [
     "compile_network",
     "repeat_chip_program",
     "CompilationResult",
+    "CompileCache",
+    "compile_cache",
+    "config_fingerprint",
     "build_pipeline",
     "Pipeline",
     "Stage",

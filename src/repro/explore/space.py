@@ -19,7 +19,11 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from ..config import ArchConfig, scaled, validate
-from ..runner import SimReport, simulate
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from ..runner import SimReport, SweepJob
+from ..runner.sweep import _run_job
 
 __all__ = ["ExplorationPoint", "Exploration", "explore", "with_param",
            "pareto_front"]
@@ -119,26 +123,62 @@ class Exploration:
 
 def explore(network: str, base_config: ArchConfig,
             space: dict[str, list], *,
-            mapping: str | None = None) -> Exploration:
+            mapping: str | None = None,
+            workers: int | None = 1) -> Exploration:
     """Sweep the cartesian grid of ``space`` and simulate every point.
 
     Design points whose configuration cannot host the network (capacity
     exhausted) are recorded under ``failures`` instead of aborting the
-    sweep.
+    sweep.  ``workers > 1`` simulates the grid on a process pool
+    (``None`` = all CPUs); point order and results match the serial run.
     """
     exploration = Exploration(network=network if isinstance(network, str)
                               else network.name)
     names = list(space)
+    grid: list[tuple[tuple, ArchConfig]] = []
     for combo in itertools.product(*(space[name] for name in names)):
         params = tuple(zip(names, combo))
         config = base_config
         try:
             for path, value in params:
                 config = with_param(config, path, value)
-            report = simulate(network, config, mapping=mapping)
         except Exception as exc:
-            exploration.failures.append((params, str(exc).splitlines()[0]))
+            exploration.failures.append((params, _first_line(exc)))
             continue
-        exploration.points.append(ExplorationPoint(params=params,
-                                                   report=report))
+        grid.append((params, config))
+
+    def record(params, outcome):
+        report, error = outcome
+        if report is not None:
+            exploration.points.append(ExplorationPoint(params=params,
+                                                       report=report))
+        else:
+            exploration.failures.append((params, error))
+
+    jobs = [SweepJob(network, config, mapping=mapping)
+            for _, config in grid]
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, max(len(jobs), 1))
+    if workers <= 1:
+        for (params, _), job in zip(grid, jobs):
+            record(params, _try_job(job))
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for (params, _), outcome in zip(grid, pool.map(_try_job, jobs)):
+                record(params, outcome)
     return exploration
+
+
+def _first_line(exc: Exception) -> str:
+    """First line of an exception message, falling back to its type name."""
+    text = str(exc)
+    return text.splitlines()[0] if text else type(exc).__name__
+
+
+def _try_job(job: "SweepJob") -> tuple[SimReport | None, str | None]:
+    """Simulate one point, capturing failure as data (pool-safe)."""
+    try:
+        return _run_job(job), None
+    except Exception as exc:
+        return None, _first_line(exc)

@@ -83,6 +83,22 @@ class Instruction:
     def is_control(self) -> bool:
         return False
 
+    def _footprint(self) -> tuple:
+        """Compute and cache the dependence footprint.
+
+        Instructions are immutable once a program is sealed and each one is
+        conflict-checked against many in-flight entries over a simulation,
+        so the sets/ranges are materialized once per instruction instead of
+        on every :meth:`conflicts_with` call.
+        """
+        fp = (frozenset(self.groups_used()),
+              frozenset(self.reads_regs()),
+              frozenset(self.writes_regs()),
+              self.reads_mem(),
+              self.writes_mem())
+        self._fp = fp
+        return fp
+
     def conflicts_with(self, older: "Instruction") -> bool:
         """True when this instruction must wait for ``older`` to finish.
 
@@ -90,22 +106,32 @@ class Instruction:
         structural conflicts on crossbar groups — the "structure hazard"
         the paper uses to explain the ROB-size plateau (Fig. 4).
         """
-        if set(self.groups_used()) & set(older.groups_used()):
+        try:
+            mine = self._fp
+        except AttributeError:
+            mine = self._footprint()
+        try:
+            theirs = older._fp
+        except AttributeError:
+            theirs = older._footprint()
+        my_groups, my_r, my_w, my_rm, my_wm = mine
+        old_groups, old_r, old_w, old_rm, old_wm = theirs
+        if my_groups and not my_groups.isdisjoint(old_groups):
             return True
-        my_r, my_w = set(self.reads_regs()), set(self.writes_regs())
-        old_r, old_w = set(older.reads_regs()), set(older.writes_regs())
-        if (my_r & old_w) or (my_w & old_r) or (my_w & old_w):
+        if old_w and not (old_w.isdisjoint(my_r) and old_w.isdisjoint(my_w)):
             return True
-        for mine in self.reads_mem():
-            for theirs in older.writes_mem():
-                if ranges_overlap(mine, theirs):
+        if my_w and not my_w.isdisjoint(old_r):
+            return True
+        for lo, hi in my_rm:
+            for olo, ohi in old_wm:
+                if lo < ohi and olo < hi:
                     return True
-        for mine in self.writes_mem():
-            for theirs in older.writes_mem():
-                if ranges_overlap(mine, theirs):
+        for lo, hi in my_wm:
+            for olo, ohi in old_wm:
+                if lo < ohi and olo < hi:
                     return True
-            for theirs in older.reads_mem():
-                if ranges_overlap(mine, theirs):
+            for olo, ohi in old_rm:
+                if lo < ohi and olo < hi:
                     return True
         return False
 

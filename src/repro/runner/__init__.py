@@ -6,8 +6,11 @@ from .sweep import (
     BaselineComparison,
     MappingComparison,
     RobSweep,
+    SweepJob,
     compare_mappings,
     compare_with_baseline,
+    run_sweep,
+    sweep,
     sweep_rob,
 )
 
@@ -16,6 +19,9 @@ __all__ = [
     "compile_model",
     "resolve_network",
     "SimReport",
+    "SweepJob",
+    "run_sweep",
+    "sweep",
     "compare_mappings",
     "sweep_rob",
     "compare_with_baseline",

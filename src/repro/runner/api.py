@@ -9,7 +9,7 @@ True
 from __future__ import annotations
 
 from ..arch import run_program
-from ..compiler import CompilationResult, compile_network
+from ..compiler import CompilationResult, compile_cache, compile_network
 from ..config import ArchConfig, paper_chip
 from ..graph import Graph
 from ..models import build_model
@@ -17,29 +17,51 @@ from .results import SimReport
 
 __all__ = ["simulate", "compile_model", "resolve_network"]
 
+#: memoized zoo builds: (name, imagenet) -> Graph.  Returning the same
+#: graph object for repeated names is what keys the compile cache.
+_model_cache: dict[tuple[str, bool], Graph] = {}
+
 
 def resolve_network(network: str | Graph, *, imagenet: bool = False) -> Graph:
-    """Accept either a zoo model name or an already-built graph."""
+    """Accept either a zoo model name or an already-built graph.
+
+    Zoo builds are memoized per ``(name, imagenet)`` so repeated calls
+    share one graph object (zoo builds are deterministic and the compiler
+    never mutates its input graph).
+    """
     if isinstance(network, Graph):
         return network
-    return build_model(network, imagenet=imagenet)
+    key = (network, imagenet)
+    graph = _model_cache.get(key)
+    if graph is None:
+        graph = _model_cache[key] = build_model(network, imagenet=imagenet)
+    return graph
 
 
 def compile_model(network: str | Graph, config: ArchConfig | None = None, *,
                   mapping: str | None = None,
-                  imagenet: bool = False) -> CompilationResult:
-    """Compile a network for an architecture (default: the paper chip)."""
+                  imagenet: bool = False,
+                  cache: bool = True) -> CompilationResult:
+    """Compile a network for an architecture (default: the paper chip).
+
+    With ``cache`` (default), identical ``(graph, architecture, mapping)``
+    points are compiled once per process (see
+    :class:`repro.compiler.CompileCache`).
+    """
     graph = resolve_network(network, imagenet=imagenet)
     config = config or paper_chip()
     if mapping is not None:
         config = config.with_mapping(mapping)
+    if cache:
+        return compile_cache.get_or_compile(graph, config)
     return compile_network(graph, config)
 
 
 def simulate(network: str | Graph, config: ArchConfig | None = None, *,
              mapping: str | None = None, rob_size: int | None = None,
              imagenet: bool = False, batch: int = 1,
-             max_cycles: int | None = None) -> SimReport:
+             max_cycles: int | None = None,
+             compile_cache: bool = True) -> SimReport:
     """Compile and cycle-accurately simulate a network; returns the report.
 
     ``mapping`` / ``rob_size`` override the corresponding configuration
@@ -47,16 +69,28 @@ def simulate(network: str | Graph, config: ArchConfig | None = None, *,
     ``batch > 1`` unrolls the program for a stream of images (pipelined
     throughput mode); the report's cycles cover the whole stream and its
     metadata records the batch for throughput math.
+
+    ``compile_cache`` (default on) reuses compilations for repeated
+    ``(network, architecture, mapping)`` points; the process-wide hit/miss
+    counters are exposed as ``report.compile_cache_hits`` /
+    ``report.compile_cache_misses`` (``meta["compile_cache_*"]``) so sweeps
+    can assert they are not recompiling.
     """
     config = config or paper_chip()
     if mapping is not None:
         config = config.with_mapping(mapping)
     if rob_size is not None:
         config = config.with_rob_size(rob_size)
-    compiled = compile_model(network, config, imagenet=imagenet)
+    compiled = compile_model(network, config, imagenet=imagenet,
+                             cache=compile_cache)
     program = compiled.program
     if batch > 1:
         from ..compiler.batching import repeat_chip_program
         program = repeat_chip_program(program, batch)
     raw = run_program(program, config, max_cycles=max_cycles)
-    return SimReport.from_raw(raw, config, program.total_instructions)
+    report = SimReport.from_raw(raw, config, program.total_instructions)
+    if compile_cache:
+        from ..compiler import compile_cache as cache
+        report.meta["compile_cache_hits"] = cache.hits
+        report.meta["compile_cache_misses"] = cache.misses
+    return report

@@ -73,9 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
                               help="compare both mapping policies (Fig. 3)")
     _add_common(mappings)
     mappings.add_argument("--rob", type=int, default=1)
+    mappings.add_argument("--workers", type=int, default=1,
+                          help="simulate sweep points on N worker processes")
 
     rob = sub.add_parser("rob", help="sweep ROB sizes (Fig. 4)")
     _add_common(rob)
+    rob.add_argument("--workers", type=int, default=1,
+                      help="simulate sweep points on N worker processes")
     rob.add_argument("--sizes", default="1,4,8,12,16",
                      help="comma-separated ROB sizes")
 
@@ -125,7 +129,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_mappings(args: argparse.Namespace) -> int:
     config = _load_config(args)
-    cmp = compare_mappings(args.model, config, rob_size=args.rob)
+    cmp = compare_mappings(args.model, config, rob_size=args.rob,
+                           workers=args.workers)
     print(f"{args.model}: utilization-first {cmp.utilization.cycles:,} cycles, "
           f"performance-first {cmp.performance.cycles:,} cycles")
     print(ascii_bars({
@@ -140,7 +145,8 @@ def _cmd_mappings(args: argparse.Namespace) -> int:
 def _cmd_rob(args: argparse.Namespace) -> int:
     config = _load_config(args)
     sizes = tuple(int(s) for s in args.sizes.split(","))
-    sweep = sweep_rob(args.model, config, sizes=sizes)
+    sweep = sweep_rob(args.model, config, sizes=sizes,
+                      workers=args.workers)
     print(ascii_bars(
         {f"ROB {size:>2}": value
          for size, value in sweep.normalized_latency().items()},

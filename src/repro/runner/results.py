@@ -52,6 +52,16 @@ class SimReport:
             return 0.0
         return self.total_energy_pj * 1e-12 / self.seconds * 1e3
 
+    @property
+    def compile_cache_hits(self) -> int:
+        """Process-wide compile-cache hits at the time of this run."""
+        return int(self.meta.get("compile_cache_hits", 0))
+
+    @property
+    def compile_cache_misses(self) -> int:
+        """Process-wide compile-cache misses at the time of this run."""
+        return int(self.meta.get("compile_cache_misses", 0))
+
     def comm_ratio(self, layer: str) -> float:
         """Communication share of one layer's activity.
 

@@ -1,15 +1,31 @@
-"""Parameter sweeps: the evaluation loops behind Figs. 3, 4 and 5."""
+"""Parameter sweeps: the evaluation loops behind Figs. 3, 4 and 5.
+
+All sweeps run through one executor, :func:`run_sweep`, which takes a list
+of :class:`SweepJob` points and simulates them either serially (``workers
+<= 1``) or on a process pool.  Results are returned in job order and are
+identical either way (each simulation is a deterministic pure function of
+its job).  Every worker process carries its own compile cache, so
+repeated-configuration points — e.g. the ROB sweep, whose compiled program
+is independent of ROB capacity — skip recompilation.
+"""
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
 
 from ..baseline import run_baseline
 from ..config import ArchConfig, mnsim_like_chip, paper_chip
+from ..graph import Graph
 from .api import resolve_network, simulate
 from .results import SimReport
 
 __all__ = [
+    "SweepJob",
+    "run_sweep",
+    "sweep",
     "MappingComparison",
     "RobSweep",
     "BaselineComparison",
@@ -17,6 +33,70 @@ __all__ = [
     "sweep_rob",
     "compare_with_baseline",
 ]
+
+
+@dataclass
+class SweepJob:
+    """One point of a sweep: a network plus per-point overrides.
+
+    Mirrors the keyword surface of :func:`repro.runner.api.simulate`;
+    ``tag`` is carried through untouched so callers can label points.
+    """
+
+    network: str | Graph
+    config: ArchConfig | None = None
+    mapping: str | None = None
+    rob_size: int | None = None
+    imagenet: bool = False
+    batch: int = 1
+    max_cycles: int | None = None
+    tag: Any = None
+
+
+def _run_job(job: SweepJob) -> SimReport:
+    report = simulate(job.network, job.config, mapping=job.mapping,
+                      rob_size=job.rob_size, imagenet=job.imagenet,
+                      batch=job.batch, max_cycles=job.max_cycles)
+    if job.tag is not None:
+        report.meta["sweep_tag"] = job.tag
+    return report
+
+
+def run_sweep(jobs: Sequence[SweepJob] | Iterable[SweepJob], *,
+              workers: int | None = 1,
+              chunksize: int = 1) -> list[SimReport]:
+    """Simulate every job, returning reports in job order.
+
+    ``workers > 1`` fans the points out over a process pool
+    (``workers=None`` uses all CPUs); results are bit-identical to the
+    serial path.  Graph-object networks are shipped to workers by pickling.
+    """
+    jobs = list(jobs)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, len(jobs))
+    if workers <= 1:
+        return [_run_job(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_job, jobs, chunksize=chunksize))
+
+
+def sweep(configs: ArchConfig | Sequence[ArchConfig],
+          networks: str | Graph | Sequence[str | Graph], *,
+          workers: int | None = 1, **overrides: Any) -> list[SimReport]:
+    """Cross-product sweep: every configuration on every network.
+
+    Returns reports ordered configuration-major (``configs[0]`` over all
+    networks first).  Extra keyword arguments become per-job overrides
+    (``mapping=``, ``rob_size=``, ``batch=`` ...).
+    """
+    if isinstance(configs, ArchConfig):
+        configs = [configs]
+    if isinstance(networks, (str, Graph)):
+        networks = [networks]
+    jobs = [SweepJob(network, config, **overrides)
+            for config in configs for network in networks]
+    return run_sweep(jobs, workers=workers)
 
 
 @dataclass
@@ -38,14 +118,19 @@ class MappingComparison:
                 / self.utilization.total_energy_pj)
 
 
-def compare_mappings(network: str, config: ArchConfig | None = None, *,
-                     rob_size: int = 1) -> MappingComparison:
+def compare_mappings(network: str | Graph, config: ArchConfig | None = None, *,
+                     rob_size: int = 1,
+                     workers: int | None = 1) -> MappingComparison:
     """Run both mapping policies (paper setting: ROB size 1)."""
     config = (config or paper_chip()).with_rob_size(rob_size)
+    utilization, performance = run_sweep(
+        [SweepJob(network, config, mapping="utilization_first"),
+         SweepJob(network, config, mapping="performance_first")],
+        workers=workers)
     return MappingComparison(
         network=network if isinstance(network, str) else network.name,
-        utilization=simulate(network, config, mapping="utilization_first"),
-        performance=simulate(network, config, mapping="performance_first"),
+        utilization=utilization,
+        performance=performance,
     )
 
 
@@ -62,14 +147,23 @@ class RobSweep:
         return {size: r.cycles / base for size, r in sorted(self.reports.items())}
 
 
-def sweep_rob(network: str, config: ArchConfig | None = None, *,
-              sizes: tuple[int, ...] = (1, 4, 8, 12, 16)) -> RobSweep:
-    """Simulate across ROB sizes (performance-first, as in Fig. 4)."""
+def sweep_rob(network: str | Graph, config: ArchConfig | None = None, *,
+              sizes: tuple[int, ...] = (1, 4, 8, 12, 16),
+              workers: int | None = 1) -> RobSweep:
+    """Simulate across ROB sizes (performance-first, as in Fig. 4).
+
+    The compiled program is independent of ROB capacity, so with the
+    compile cache on (the default) the network is compiled once and only
+    re-simulated per size.
+    """
     config = config or paper_chip()
-    sweep = RobSweep(network if isinstance(network, str) else network.name)
-    for size in sizes:
-        sweep.reports[size] = simulate(network, config, rob_size=size)
-    return sweep
+    result = RobSweep(network if isinstance(network, str) else network.name)
+    reports = run_sweep(
+        [SweepJob(network, config, rob_size=size) for size in sizes],
+        workers=workers)
+    for size, report in zip(sizes, reports):
+        result.reports[size] = report
+    return result
 
 
 @dataclass
@@ -87,12 +181,13 @@ class BaselineComparison:
         return self.ours.cycles / self.baseline_cycles
 
 
-def compare_with_baseline(network: str,
-                          config: ArchConfig | None = None) -> BaselineComparison:
+def compare_with_baseline(network: str | Graph,
+                          config: ArchConfig | None = None, *,
+                          workers: int | None = 1) -> BaselineComparison:
     """Run our simulator and the behaviour-level baseline on one network."""
     config = config or mnsim_like_chip()
     graph = resolve_network(network)
-    ours = simulate(graph, config)
+    ours = run_sweep([SweepJob(graph, config)], workers=workers)[0]
     base = run_baseline(graph, config)
     return BaselineComparison(
         network=graph.name,

@@ -56,12 +56,22 @@ class Fifo:
     def empty(self) -> bool:
         return not self._items
 
+    # Notifications are edge-triggered: ``_not_empty`` fires only on the
+    # empty->nonempty transition and ``_not_full`` only on full->notfull.
+    # Waiters only ever block on the corresponding boundary state, so every
+    # blocked coroutine still sees a wake-up, while steady-state streaming
+    # puts/gets schedule no kernel callbacks at all.
+
     def put(self, item: Any) -> Generator:
         """Coroutine: append ``item``, blocking while the fifo is full."""
-        while self.full:
-            yield self._not_full
-        self._items.append(item)
-        self._not_empty.notify()
+        items = self._items
+        capacity = self.capacity
+        if capacity is not None:
+            while len(items) >= capacity:
+                yield self._not_full
+        items.append(item)
+        if len(items) == 1:
+            self._not_empty.notify()
 
     def get(self) -> Generator:
         """Coroutine: pop the oldest item, blocking while empty.
@@ -69,26 +79,34 @@ class Fifo:
         The popped item is returned as the coroutine's value
         (``x = yield from fifo.get()``).
         """
-        while not self._items:
+        items = self._items
+        while not items:
             yield self._not_empty
-        item = self._items.popleft()
-        self._not_full.notify()
+        item = items.popleft()
+        capacity = self.capacity
+        if capacity is not None and len(items) == capacity - 1:
+            self._not_full.notify()
         return item
 
     def try_put(self, item: Any) -> bool:
         """Nonblocking put; returns False when full."""
         if self.full:
             return False
-        self._items.append(item)
-        self._not_empty.notify()
+        items = self._items
+        items.append(item)
+        if len(items) == 1:
+            self._not_empty.notify()
         return True
 
     def try_get(self) -> tuple[bool, Any]:
         """Nonblocking get; returns ``(ok, item)``."""
-        if not self._items:
+        items = self._items
+        if not items:
             return False, None
-        item = self._items.popleft()
-        self._not_full.notify()
+        item = items.popleft()
+        capacity = self.capacity
+        if capacity is not None and len(items) == capacity - 1:
+            self._not_full.notify()
         return True, item
 
     def peek(self) -> Any:

@@ -15,6 +15,45 @@ processed in FIFO order of scheduling, which gives deterministic simulations
 in :mod:`repro.arch` are written to be insensitive to same-cycle ordering
 beyond FIFO fairness).
 
+Scheduler design
+----------------
+The kernel is the hot loop of every benchmark, so scheduling is split into
+three structures by delay instead of a single binary heap:
+
+* **delta queue** — ``delay == 0`` callbacks (the dominant case: every
+  ``Event.notify()``, process spawn and ``yield 0``) go to a plain list of
+  ready-to-call zero-argument callables drained FIFO within the current
+  cycle.  Nothing is allocated (bound methods are cached per event/process)
+  and the heap is never touched.
+* **near wheel** — delays in ``1 .. _NEAR_SIZE-1`` go to a ring of
+  ``_NEAR_SIZE`` buckets indexed by ``(now + delay) & _NEAR_MASK``; each
+  bucket is again a flat callable list, appended (and therefore drained)
+  in scheduling order.
+* **far heap** — delays ``>= _NEAR_SIZE`` fall back to a ``heapq`` of
+  ``(time, seq, fn, arg)`` tuples, exactly like the classic wheel.
+
+Determinism guarantees are unchanged from the single-heap kernel: all
+callbacks scheduled for one timestamp run in global scheduling (FIFO)
+order.  This holds structurally: for a given fire time ``T`` every far-heap
+entry was scheduled at ``S <= T - _NEAR_SIZE``, every near-wheel entry at
+``T - _NEAR_SIZE < S < T`` and every delta entry at exactly ``T``, so
+draining far entries at ``T`` (heap pops are seq-ordered), then the bucket
+``T & _NEAR_MASK`` (append order), then the delta queue (append order,
+including entries appended while draining) replays scheduling order
+exactly.  New same-cycle work created by a callback can only enter the
+delta queue, never the already-drained structures.
+
+Further fast paths: ``Event`` waiter bookkeeping is an insertion-ordered
+``dict`` keyed by process, so AnyOf sibling cancellation and the
+AllOf-after-fire cleanup are O(1) ``pop`` calls (the old list-based
+``remove`` was O(n) and silently swallowed double removals); a process
+waiting on a single event or a timer records no tuple; and ``run()`` checks
+its ``until`` bound once per distinct timestamp rather than once per event.
+
+``Simulator.pending`` is exact whenever ``run()`` is not on the stack
+(entries already executed inside the current ``run`` slice are compacted
+away on every return path).
+
 Example
 -------
 >>> sim = Simulator()
@@ -38,7 +77,9 @@ Example
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Generator
+from functools import partial
 from typing import Any, Callable
 
 __all__ = [
@@ -50,6 +91,19 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
 ]
+
+#: near-wheel span in cycles; delays below this use O(1) ring buckets.
+_NEAR_SIZE = 128
+_NEAR_MASK = _NEAR_SIZE - 1
+
+
+def _call_entry(entry) -> None:
+    """Run one delta/near-format entry (bare callable or (fn, arg) tuple);
+    used when such entries are parked on the far heap by a clock rewind."""
+    if entry.__class__ is tuple:
+        entry[0](entry[1])
+    else:
+        entry()
 
 
 class SimulationError(RuntimeError):
@@ -74,14 +128,23 @@ class Event:
     delta of the current cycle) or delayed by an integer number of cycles.
     """
 
-    __slots__ = ("sim", "name", "_waiters", "_fired_at")
+    __slots__ = ("sim", "name", "_waiters", "_fired_at", "_fire_cb",
+                 "_dappend")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._waiters: list[Process] = []
+        #: insertion-ordered waiting processes (dict used as an ordered set
+        #: so cancellation is O(1); wake order is insertion order, matching
+        #: the old list-based FIFO semantics).
+        self._waiters: dict[Process, None] = {}
         #: time of the most recent notification, or ``None``.
         self._fired_at: int | None = None
+        #: bound method cached once so scheduling a notification does not
+        #: allocate a fresh bound-method object per call; same for the
+        #: simulator's delta append (the delta list is never replaced).
+        self._fire_cb = self._fire
+        self._dappend = sim._delta_append
 
     def notify(self, delay: int = 0) -> None:
         """Fire after ``delay`` cycles (0 = next delta step).
@@ -90,15 +153,95 @@ class Event:
         process that starts waiting between the notify call and the fire
         instant is woken; one that starts waiting after the fire is not.
         """
-        if delay < 0:
+        if delay == 0:
+            self._dappend(self._fire_cb)
+        elif delay > 0:
+            if not isinstance(delay, int):
+                raise ValueError(
+                    f"notify delay must be an integer number of cycles, "
+                    f"got {delay!r}")
+            self.sim._schedule(delay, self._fire_cb)
+        else:
             raise ValueError(f"negative notify delay: {delay}")
-        self.sim._schedule(delay, self._fire, None)
 
-    def _fire(self, _arg: object) -> None:
-        self._fired_at = self.sim.now
-        waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            proc._wake(self)
+    def _fire(self, _arg: object = None) -> None:
+        sim = self.sim
+        self._fired_at = sim.now
+        waiters = self._waiters
+        if not waiters:
+            return
+        if len(waiters) == 1:
+            proc = waiters.popitem()[0]
+            if proc._wait_single is not self:
+                # AnyOf / AllOf wake: sibling cancellation and AllOf
+                # accounting live in the general resume.
+                proc._resume(self)
+                return
+            # Single-event waiter: the wake is fully determined (no
+            # siblings to cancel, no AllOf set, the process cannot be
+            # done), so step the generator right here instead of paying
+            # another frame for Process._resume.  The dispatch below is
+            # the shared condition-dispatch block — see the sync note on
+            # Process._resume.
+            proc._wait_single = None
+            try:
+                condition = proc._send(self)
+            except StopIteration:
+                proc._done = True
+                sim._live_processes.discard(proc)
+                if proc._finished_event is not None:
+                    proc._finished_event.notify()
+                return
+            tc = condition.__class__
+            if tc is int:
+                if 0 < condition < _NEAR_SIZE:
+                    sim._near[(sim.now + condition) & _NEAR_MASK].append(
+                        proc._timer_cb)
+                    sim._near_count += 1
+                elif condition == 0:
+                    sim._delta_append(proc._timer_cb)
+                elif condition > 0:
+                    sim._seq = seq = sim._seq + 1
+                    heapq.heappush(
+                        sim._far,
+                        (sim.now + condition, seq, proc._timer_cb, None))
+                else:
+                    raise SimulationError(
+                        f"process {proc.name!r} yielded a negative delay: "
+                        f"{condition}"
+                    )
+            elif tc is Event:
+                condition._waiters[proc] = None
+                proc._wait_single = condition
+            elif tc is AnyOf:
+                for ev in condition.events:
+                    ev._waiters[proc] = None
+                proc._wait_multi = condition.events
+            elif tc is AllOf:
+                proc._pending_all = set(condition.events)
+                for ev in condition.events:
+                    ev._waiters[proc] = None
+                proc._wait_multi = condition.events
+            elif isinstance(condition, int):
+                # bool / int subclasses take the generic path.
+                if condition < 0:
+                    raise SimulationError(
+                        f"process {proc.name!r} yielded a negative delay: "
+                        f"{condition}"
+                    )
+                sim._schedule(condition, proc._timer_cb)
+            elif isinstance(condition, Event):
+                condition._waiters[proc] = None
+                proc._wait_single = condition
+            else:
+                raise SimulationError(
+                    f"process {proc.name!r} yielded unsupported condition "
+                    f"{condition!r} (expected int, Event, AnyOf or AllOf)"
+                )
+        else:
+            self._waiters = {}
+            for proc in waiters:
+                proc._resume(self)
 
     @property
     def fired_at(self) -> int | None:
@@ -106,13 +249,12 @@ class Event:
         return self._fired_at
 
     def _add_waiter(self, proc: "Process") -> None:
-        self._waiters.append(proc)
+        self._waiters[proc] = None
 
     def _remove_waiter(self, proc: "Process") -> None:
-        try:
-            self._waiters.remove(proc)
-        except ValueError:
-            pass
+        # O(1); removing a process that is not waiting (e.g. the AllOf
+        # cleanup of an already-fired member event) is a defined no-op.
+        self._waiters.pop(proc, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Event {self.name or hex(id(self))}>"
@@ -155,13 +297,23 @@ class Process:
     learn which condition fired.
     """
 
-    __slots__ = ("sim", "gen", "name", "_waiting_on", "_pending_all", "_done", "_finished_event")
+    __slots__ = ("sim", "gen", "name", "_wait_single", "_wait_multi",
+                 "_pending_all", "_done", "_finished_event", "_resume_cb",
+                 "_timer_cb", "_send")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
         self.sim = sim
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "") or gen.__class__.__name__
-        self._waiting_on: tuple[Event, ...] = ()
+        #: bound-method / send caches: rescheduling this process allocates
+        #: no fresh bound-method object, and each resume skips one lookup.
+        self._resume_cb = self._resume
+        self._timer_cb = self._timer_resume
+        self._send = gen.send
+        #: fast path: the one event this process waits on (no tuple built).
+        self._wait_single: Event | None = None
+        #: AnyOf/AllOf: the tuple of events this process is registered with.
+        self._wait_multi: tuple[Event, ...] | None = None
         self._pending_all: set[Event] | None = None
         self._done = False
         self._finished_event: Event | None = None
@@ -180,49 +332,142 @@ class Process:
                 self._finished_event.notify()
         return self._finished_event
 
-    def _wake(self, cause: Event | None) -> None:
-        if self._done:
-            return
-        if self._pending_all is not None and cause is not None:
-            self._pending_all.discard(cause)
-            if self._pending_all:
+    # NOTE: _resume, _timer_resume and the single-waiter fast path of
+    # Event._fire share the post-``send`` condition dispatch verbatim.  The
+    # duplication is deliberate: this is the kernel's hottest code (every
+    # process switch lands in one of the copies) and factoring the dispatch
+    # into a helper would put one extra Python frame on every single
+    # wake-up.  Keep the three copies in sync.
+
+    def _resume(self, cause: Event | None = None) -> None:
+        """Wake from an event fire (or the spawn step): wait-state cleanup,
+        then one generator step, then dispatch on the yielded condition.
+
+        Only :meth:`Event._fire` (whose waiters are by construction live,
+        blocked processes) and :meth:`Simulator.spawn` (a fresh process)
+        schedule this, so no ``_done`` re-check is needed.
+        """
+        pending = self._pending_all
+        if pending is not None and cause is not None:
+            pending.discard(cause)
+            if pending:
                 return  # still waiting on the rest of the AllOf set
             self._pending_all = None
-        # Cancel any sibling waits (AnyOf semantics).
-        for ev in self._waiting_on:
-            if ev is not cause:
-                ev._remove_waiter(self)
-        self._waiting_on = ()
-        self._step(cause)
-
-    def _step(self, send_value: Any) -> None:
+        single = self._wait_single
+        if single is not None:
+            self._wait_single = None
+        else:
+            multi = self._wait_multi
+            if multi is not None:
+                self._wait_multi = None
+                # Cancel any sibling waits (AnyOf semantics); O(1) each.
+                for ev in multi:
+                    if ev is not cause:
+                        ev._waiters.pop(self, None)
         sim = self.sim
         try:
-            condition = self.gen.send(send_value)
+            condition = self._send(cause)
         except StopIteration:
             self._done = True
             sim._live_processes.discard(self)
             if self._finished_event is not None:
                 self._finished_event.notify()
             return
-        if isinstance(condition, int):
+        tc = condition.__class__
+        if tc is int:
+            if 0 < condition < _NEAR_SIZE:
+                sim._near[(sim.now + condition) & _NEAR_MASK].append(
+                    self._timer_cb)
+                sim._near_count += 1
+            elif condition == 0:
+                sim._delta_append(self._timer_cb)
+            elif condition > 0:
+                sim._seq = seq = sim._seq + 1
+                heapq.heappush(
+                    sim._far, (sim.now + condition, seq, self._timer_cb, None))
+            else:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay: {condition}"
+                )
+        elif tc is Event:
+            condition._waiters[self] = None
+            self._wait_single = condition
+        elif tc is AnyOf:
+            for ev in condition.events:
+                ev._waiters[self] = None
+            self._wait_multi = condition.events
+        elif tc is AllOf:
+            self._pending_all = set(condition.events)
+            for ev in condition.events:
+                ev._waiters[self] = None
+            self._wait_multi = condition.events
+        elif isinstance(condition, int):
+            # bool / int subclasses take the generic path.
             if condition < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded a negative delay: {condition}"
                 )
-            sim._schedule(condition, self._wake, None)
+            sim._schedule(condition, self._timer_cb)
         elif isinstance(condition, Event):
-            condition._add_waiter(self)
-            self._waiting_on = (condition,)
-        elif isinstance(condition, AnyOf):
+            condition._waiters[self] = None
+            self._wait_single = condition
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported condition "
+                f"{condition!r} (expected int, Event, AnyOf or AllOf)"
+            )
+
+    def _timer_resume(self, _arg: object = None) -> None:
+        """Wake from a timed wait: a timer-suspended process has no wait
+        state to clean and cannot be done, so this skips every guard in
+        :meth:`_resume` (see the sync note above)."""
+        sim = self.sim
+        try:
+            condition = self._send(None)
+        except StopIteration:
+            self._done = True
+            sim._live_processes.discard(self)
+            if self._finished_event is not None:
+                self._finished_event.notify()
+            return
+        tc = condition.__class__
+        if tc is int:
+            if 0 < condition < _NEAR_SIZE:
+                sim._near[(sim.now + condition) & _NEAR_MASK].append(
+                    self._timer_cb)
+                sim._near_count += 1
+            elif condition == 0:
+                sim._delta_append(self._timer_cb)
+            elif condition > 0:
+                sim._seq = seq = sim._seq + 1
+                heapq.heappush(
+                    sim._far, (sim.now + condition, seq, self._timer_cb, None))
+            else:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay: {condition}"
+                )
+        elif tc is Event:
+            condition._waiters[self] = None
+            self._wait_single = condition
+        elif tc is AnyOf:
             for ev in condition.events:
-                ev._add_waiter(self)
-            self._waiting_on = tuple(condition.events)
-        elif isinstance(condition, AllOf):
+                ev._waiters[self] = None
+            self._wait_multi = condition.events
+        elif tc is AllOf:
             self._pending_all = set(condition.events)
             for ev in condition.events:
-                ev._add_waiter(self)
-            self._waiting_on = tuple(condition.events)
+                ev._waiters[self] = None
+            self._wait_multi = condition.events
+        elif isinstance(condition, int):
+            # bool / int subclasses take the generic path.
+            if condition < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay: {condition}"
+                )
+            sim._schedule(condition, self._timer_cb)
+        elif isinstance(condition, Event):
+            condition._waiters[self] = None
+            self._wait_single = condition
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported condition "
@@ -244,28 +489,66 @@ class Simulator:
     def __init__(self) -> None:
         #: current simulated time in cycles.
         self.now: int = 0
-        self._wheel: list[tuple[int, int, Callable, Any]] = []
+        #: same-cycle callbacks: a FIFO of zero-arg callables.  The deque
+        #: object is never replaced (the drain pops it empty in place), so
+        #: its bound ``append`` can be cached by every scheduling site.
+        self._delta: deque = deque()
+        self._delta_append = self._delta.append
+        #: ring of near-future buckets (zero-arg callables each).
+        self._near: list[list] = [[] for _ in range(_NEAR_SIZE)]
+        #: number of entries currently in the near wheel.
+        self._near_count = 0
+        #: far-future heap of ``(time, seq, fn, arg)``.
+        self._far: list[tuple[int, int, Callable, Any]] = []
         self._seq = 0
         self._live_processes: set[Process] = set()
         self._stopped = False
 
     # -- scheduling ---------------------------------------------------------
 
-    def _schedule(self, delay: int, fn: Callable, arg: Any) -> None:
-        self._seq += 1
-        heapq.heappush(self._wheel, (self.now + delay, self._seq, fn, arg))
+    def _schedule(self, delay: int, fn: Callable) -> None:
+        """Schedule a no-argument callable after ``delay`` cycles.
+
+        Internal primitive: delta/near entries occupy one list slot and are
+        either a bare zero-arg callable (kernel callbacks; also called as
+        ``fn(None)`` when spilled to the far heap, so they must tolerate one
+        optional positional argument) or an ``(fn, arg)`` tuple scheduled by
+        ``call_at``/``call_after``.
+        """
+        if delay == 0:
+            self._delta_append(fn)
+        elif delay < _NEAR_SIZE:
+            self._near[(self.now + delay) & _NEAR_MASK].append(fn)
+            self._near_count += 1
+        else:
+            self._seq = seq = self._seq + 1
+            heapq.heappush(self._far, (self.now + delay, seq, fn, None))
 
     def call_at(self, time: int, fn: Callable, arg: Any = None) -> None:
         """Schedule ``fn(arg)`` at absolute cycle ``time`` (>= now)."""
         if time < self.now:
             raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
-        self._schedule(time - self.now, fn, arg)
+        self.call_after(time - self.now, fn, arg)
 
     def call_after(self, delay: int, fn: Callable, arg: Any = None) -> None:
         """Schedule ``fn(arg)`` after ``delay`` cycles."""
+        if not isinstance(delay, int):
+            raise SimulationError(
+                f"delay must be an integer number of cycles, got {delay!r}")
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self._schedule(delay, fn, arg)
+        if delay >= _NEAR_SIZE:
+            self._seq = seq = self._seq + 1
+            heapq.heappush(self._far, (self.now + delay, seq, fn, arg))
+        elif delay:
+            # near buckets hold zero-argument callables or ``(fn, arg)``
+            # tuples (their drain special-cases the tuple form for the
+            # user-facing ``fn(arg)`` convention of call_at/call_after).
+            self._schedule(delay, (fn, arg))
+        else:
+            # the delta queue is callables-only (its drain has no tuple
+            # dispatch); bind the argument once here instead.
+            self._delta_append(partial(fn, arg))
 
     def event(self, name: str = "") -> Event:
         """Create a fresh :class:`Event` bound to this simulator."""
@@ -278,7 +561,7 @@ class Simulator:
         the current time (before time advances)."""
         proc = Process(self, gen, name)
         self._live_processes.add(proc)
-        self._schedule(0, proc._step, None)
+        self._delta_append(proc._resume_cb)
         return proc
 
     # -- running ------------------------------------------------------------
@@ -290,16 +573,114 @@ class Simulator:
         the wheel drains while spawned processes are still blocked on events.
         """
         self._stopped = False
-        wheel = self._wheel
-        while wheel and not self._stopped:
-            time, _seq, fn, arg = heapq.heappop(wheel)
-            if until is not None and time > until:
-                # Put it back; the caller may resume later.
-                heapq.heappush(wheel, (time, _seq, fn, arg))
+        delta = self._delta
+        dpop = delta.popleft
+        near = self._near
+        far = self._far
+        pop_far = heapq.heappop
+        mask = _NEAR_MASK
+        has_until = until is not None
+        if has_until and until < self.now:
+            # Nothing at or before `until` can exist; mirror the old
+            # kernel: rewind the clock without processing anything.  Ring
+            # buckets and the delta queue are keyed to the current clock,
+            # so park their entries on the far heap (absolute times
+            # preserved) before moving `now` backwards — otherwise they
+            # would alias to wrong cycles after the rewind.
+            if delta or self._near_count or far:
+                now = self.now
+                if self._near_count:
+                    for k in range(1, _NEAR_SIZE):
+                        bucket = near[(now + k) & mask]
+                        if bucket:
+                            fire_time = now + k
+                            for fn in bucket:
+                                self._seq = seq = self._seq + 1
+                                heapq.heappush(
+                                    far, (fire_time, seq, _call_entry, fn))
+                            bucket.clear()
+                    self._near_count = 0
+                while delta:
+                    self._seq = seq = self._seq + 1
+                    heapq.heappush(far, (now, seq, _call_entry, dpop()))
                 self.now = until
                 return
-            self.now = time
-            fn(arg)
+        while True:
+            now = self.now
+            # 1. far-heap entries that landed exactly on the current cycle
+            # (only possible right after a time advance or on resume).
+            while far and far[0][0] == now:
+                entry = pop_far(far)
+                entry[2](entry[3])
+                if self._stopped:
+                    return
+            # 2. the near bucket for the current cycle.  Its entries were
+            # scheduled strictly before `now`, hence after every far entry
+            # for `now` and before any delta entry (module-docstring proof);
+            # nothing can be appended to it while it drains, so its length
+            # is fixed.  The try/finally is free on 3.11+ and keeps
+            # `pending`/resume exact if a callback raises or ``stop()``s.
+            bucket = near[now & mask]
+            if bucket:
+                if len(bucket) == 1:
+                    # overwhelmingly common in streaming sims: one process
+                    # timer per cycle; skip the loop/compaction machinery.
+                    fn = bucket[0]
+                    bucket.clear()
+                    self._near_count -= 1
+                    if fn.__class__ is tuple:
+                        fn[0](fn[1])
+                    else:
+                        fn()
+                    if self._stopped:
+                        return
+                else:
+                    i = 0
+                    n = len(bucket)
+                    try:
+                        while i < n:
+                            fn = bucket[i]
+                            i += 1
+                            if fn.__class__ is tuple:
+                                fn[0](fn[1])
+                            else:
+                                fn()
+                            if self._stopped:
+                                return
+                    finally:
+                        del bucket[:i]
+                        self._near_count -= i
+            # 3. the delta queue: all same-cycle work, including work
+            # appended while draining (entries are consumed as they run, so
+            # `pending` and resume-after-stop stay exact with no cleanup).
+            while delta:
+                dpop()()
+                if self._stopped:
+                    return
+            # 4. advance time to the next scheduled cycle.
+            next_time = -1
+            if self._near_count:
+                k = now + 1
+                if near[k & mask]:
+                    next_time = k  # fast path: something lands next cycle
+                else:
+                    end = now + _NEAR_SIZE
+                    k += 1
+                    while k < end:
+                        if near[k & mask]:
+                            next_time = k
+                            break
+                        k += 1
+            if far:
+                far_time = far[0][0]
+                if next_time < 0 or far_time < next_time:
+                    next_time = far_time
+            if next_time < 0:
+                break  # drained
+            if has_until and next_time > until:
+                self.now = until
+                return
+            self.now = next_time
         if detect_deadlock and not self._stopped and self._live_processes:
             stuck = sorted(p.name for p in self._live_processes)
             raise DeadlockError(
@@ -315,7 +696,7 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of scheduled-but-unprocessed wheel entries."""
-        return len(self._wheel)
+        return len(self._far) + self._near_count + len(self._delta)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self.now} pending={self.pending}>"

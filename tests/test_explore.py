@@ -110,3 +110,13 @@ class TestExplore:
         assert ex.failures          # 2 crossbars/core cannot host vgg16
         assert ex.points            # 128 can
         assert "failed" in ex.table()
+
+
+def test_explore_records_empty_exception_messages():
+    """A failing design point with an empty error message is recorded as a
+    failure (by exception type) instead of aborting the sweep."""
+    from repro.explore.space import _first_line
+
+    assert _first_line(ValueError("boom")) == "boom"
+    assert _first_line(ValueError()) == "ValueError"
+    assert _first_line(ValueError("a\nb")) == "a"

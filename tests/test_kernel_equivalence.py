@@ -1,0 +1,233 @@
+"""Kernel-equivalence suite.
+
+The scheduler was rewritten (delta queue + bucketed near wheel + far heap,
+see ``repro/sim/kernel.py``); these tests pin its observable semantics to
+the seed kernel's, via golden traces recorded on the original single-heap
+implementation:
+
+* seeded random workloads mixing timed waits, AnyOf/AllOf, Fifo /
+  Rendezvous / Mutex / Resource traffic — the full wake-order trace, final
+  time and pending count must match the seed recording bit-for-bit;
+* one end-to-end compile+simulate (``vgg8`` on the small chip) whose
+  cycles, per-category energy and NoC totals must match the seed run.
+
+Also hosts regression tests for the waiter-bookkeeping rework (O(1)
+cancellation, double-removal, duplicate events in AnyOf).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from _kernel_workload import run_workload
+from repro.sim import AllOf, AnyOf, Event, Simulator
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_workload_trace_matches_seed_kernel(seed):
+    golden = json.loads((GOLDEN_DIR / f"kernel_trace_seed{seed}.json").read_text())
+    got = json.loads(json.dumps(run_workload(seed)))
+    assert got["now"] == golden["now"]
+    assert got["pending"] == golden["pending"]
+    assert got["trace"] == golden["trace"]
+
+
+def test_simulate_vgg8_matches_seed_kernel():
+    from repro import simulate, small_chip
+
+    golden = json.loads((GOLDEN_DIR / "simulate_vgg8_small.json").read_text())
+    report = simulate("vgg8", small_chip())
+    assert report.cycles == golden["cycles"]
+    assert report.instructions == golden["instructions"]
+    assert report.cores_used == golden["cores_used"]
+    assert report.total_energy_pj == pytest.approx(
+        golden["total_energy_pj"], rel=1e-12)
+    for category, pj in golden["energy_pj"].items():
+        assert report.energy_pj[category] == pytest.approx(pj, rel=1e-12)
+    for key, value in golden["noc"].items():
+        assert report.noc[key] == value
+
+
+class TestWaiterBookkeeping:
+    """Regressions for the O(1) waiter-cancellation rework."""
+
+    def test_anyof_cancels_sibling_waits(self):
+        """After an AnyOf wake the process is deregistered everywhere."""
+        sim = Simulator()
+        a, b = Event(sim, "a"), Event(sim, "b")
+        wakes = []
+
+        def waiter():
+            cause = yield AnyOf(a, b)
+            wakes.append(cause.name)
+            yield 1_000  # still alive; must NOT be woken by b
+
+        sim.spawn(waiter())
+        a.notify(delay=1)
+        b.notify(delay=2)
+        sim.run()
+        assert wakes == ["a"]
+        assert not a._waiters and not b._waiters
+
+    def test_allof_double_removal_is_clean(self):
+        """AllOf cleanup removes already-fired members without error.
+
+        The seed kernel swallowed the resulting ValueError from
+        ``list.remove``; removal is now an O(1) defined no-op, including
+        under ``python -O``.
+        """
+        sim = Simulator()
+        a, b, c = (Event(sim, n) for n in "abc")
+        done = []
+
+        def waiter():
+            yield AllOf(a, b, c)
+            done.append(sim.now)
+
+        proc = sim.spawn(waiter())
+        a.notify(delay=1)
+        b.notify(delay=2)
+        c.notify(delay=3)
+        sim.run()
+        assert done == [3]
+        # explicit double removal is a no-op, not a swallowed error
+        a._remove_waiter(proc)
+        a._remove_waiter(proc)
+        assert proc.done
+
+    def test_anyof_duplicate_event_wakes_once(self):
+        """AnyOf(e, e) must wake the process once per notification.
+
+        The seed kernel's list-based waiters registered the process twice
+        and double-stepped it; the dict-based set registers it once.
+        """
+        sim = Simulator()
+        ev = Event(sim, "e")
+        log = []
+
+        def waiter():
+            cause = yield AnyOf(ev, ev)
+            log.append((sim.now, cause.name))
+            yield 5
+            log.append((sim.now, "timed"))
+
+        sim.spawn(waiter())
+        ev.notify(delay=2)
+        sim.run()
+        assert log == [(2, "e"), (7, "timed")]
+
+    def test_event_fired_at_updates(self):
+        sim = Simulator()
+        ev = Event(sim)
+        assert ev.fired_at is None
+        ev.notify(delay=4)
+        sim.run(detect_deadlock=False)
+        assert ev.fired_at == 4
+
+
+class TestSchedulerStructures:
+    """Delta / near-wheel / far-heap specific orderings."""
+
+    def test_fifo_order_across_delay_classes(self):
+        """Same fire-cycle callbacks run in scheduling order regardless of
+        which structure (delta, near bucket, far heap) they came from."""
+        sim = Simulator()
+        seen = []
+        target = 300  # far for the first schedule, near later, delta at T
+
+        def late_schedulers():
+            yield target - 5
+            sim.call_after(5, lambda _: seen.append("near"))
+            yield 5
+            sim.call_after(0, lambda _: seen.append("delta"))
+
+        sim.call_after(target, lambda _: seen.append("far"))
+        sim.spawn(late_schedulers())
+        sim.run()
+        assert seen == ["far", "near", "delta"]
+
+    def test_long_and_short_delays_interleave(self):
+        sim = Simulator()
+        seen = []
+        for delay in (500, 3, 129, 128, 127, 1, 0, 64):
+            sim.call_after(delay, lambda _, d=delay: seen.append(d))
+        sim.run()
+        assert seen == [0, 1, 3, 64, 127, 128, 129, 500]
+
+    def test_near_wheel_wraparound(self):
+        """Delays that wrap the bucket ring repeatedly stay ordered."""
+        sim = Simulator()
+        seen = []
+
+        def stepper():
+            for _ in range(40):
+                yield 97  # co-prime with the ring size
+                seen.append(sim.now)
+
+        sim.spawn(stepper())
+        sim.run()
+        assert seen == [97 * (i + 1) for i in range(40)]
+
+    def test_pending_counts_all_structures(self):
+        sim = Simulator()
+        sim.call_after(0, lambda _: None)     # delta
+        sim.call_after(5, lambda _: None)     # near bucket
+        sim.call_after(1_000, lambda _: None)  # far heap
+        assert sim.pending == 3
+        sim.run()
+        assert sim.pending == 0
+
+    def test_stop_preserves_unprocessed_entries(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(1, lambda _: (seen.append("a"), sim.stop()))
+        sim.call_after(1, lambda _: seen.append("b"))
+        sim.call_after(200, lambda _: seen.append("far"))
+        sim.run()
+        assert seen == ["a"]
+        assert sim.pending == 2
+        sim.run()
+        assert seen == ["a", "b", "far"]
+
+
+class TestClockRewind:
+    """run(until < now) rewinds the clock; scheduled work must still fire
+    at its original absolute cycles (review regression)."""
+
+    def test_rewind_preserves_absolute_fire_times(self):
+        sim = Simulator()
+        fired = []
+        sim.call_after(1000, lambda _: None)
+        sim.run()
+        assert sim.now == 1000
+        sim.call_after(100, lambda _: fired.append(sim.now))   # near wheel
+        sim.call_after(0, lambda _: fired.append(("delta", sim.now)))
+        sim.call_after(5000, lambda _: fired.append(sim.now))  # far heap
+        sim.run(until=500)
+        assert sim.now == 500
+        assert fired == []
+        assert sim.pending == 3
+        sim.run()
+        assert fired == [("delta", 1000), 1100, 6000]
+
+
+class TestDelayValidation:
+    def test_call_after_rejects_non_integer_delay(self):
+        import pytest as _pytest
+        from repro.sim import SimulationError
+
+        sim = Simulator()
+        with _pytest.raises(SimulationError, match="integer"):
+            sim.call_after(2.5, lambda _: None)
+        with _pytest.raises(SimulationError, match="integer"):
+            sim.call_at(sim.now + 1.5, lambda _: None)
+
+    def test_notify_rejects_non_integer_delay(self):
+        import pytest as _pytest
+
+        sim = Simulator()
+        with _pytest.raises(ValueError, match="integer"):
+            Event(sim).notify(1.5)

@@ -288,3 +288,95 @@ class TestResource:
     def test_zero_slots_rejected(self):
         with pytest.raises(ValueError):
             Resource(Simulator(), 0)
+
+
+class TestFifoEdgeNotifications:
+    """The fifo only schedules wake-ups on empty<->nonempty / full<->notfull
+    edges; steady-state streaming must generate no kernel callbacks."""
+
+    def test_nonempty_put_schedules_nothing(self):
+        sim = Simulator()
+        fifo = Fifo(sim)
+        assert fifo.try_put(1)      # empty -> nonempty edge notifies
+        base = sim.pending
+        assert fifo.try_put(2)      # no edge: no new wheel entry
+        assert fifo.try_put(3)
+        assert sim.pending == base
+
+    def test_get_above_full_boundary_schedules_nothing(self):
+        sim = Simulator()
+        fifo = Fifo(sim, capacity=4)
+        for i in range(3):          # never reaches full
+            fifo.try_put(i)
+        sim.run(detect_deadlock=False)  # drain the one not_empty fire
+        base = sim.pending
+        assert fifo.try_get() == (True, 0)
+        assert fifo.try_get() == (True, 1)
+        assert sim.pending == base  # full->notfull edge never crossed
+
+    def test_full_edge_wakes_blocked_producers(self):
+        sim = Simulator()
+        fifo = Fifo(sim, capacity=1, name="edge")
+        order = []
+
+        def producer(tag):
+            yield from fifo.put(tag)
+            order.append(("put", tag))
+
+        def consumer():
+            yield 5
+            for _ in range(3):
+                item = yield from fifo.get()
+                order.append(("got", item))
+                yield 1
+
+        sim.spawn(producer("a"))
+        sim.spawn(producer("b"))
+        sim.spawn(producer("c"))
+        sim.spawn(consumer())
+        sim.run()
+        assert order == [("put", "a"), ("got", "a"), ("put", "b"),
+                         ("got", "b"), ("put", "c"), ("got", "c")]
+
+    def test_empty_edge_wakes_blocked_consumers(self):
+        sim = Simulator()
+        fifo = Fifo(sim, capacity=2)
+        got = []
+
+        def consumer(tag):
+            item = yield from fifo.get()
+            got.append((tag, item))
+
+        def producer():
+            yield 3
+            yield from fifo.put("x")
+            yield 3
+            yield from fifo.put("y")
+
+        sim.spawn(consumer(0))
+        sim.spawn(consumer(1))
+        sim.spawn(producer())
+        sim.run()
+        assert got == [(0, "x"), (1, "y")]
+
+    def test_streaming_throughput_steady_state(self):
+        """Unbounded fifo with an always-ahead producer: the consumer must
+        never deadlock even though most puts schedule no notification."""
+        sim = Simulator()
+        fifo = Fifo(sim)
+        received = []
+
+        def producer():
+            for i in range(50):
+                yield from fifo.put(i)
+
+        def consumer():
+            for _ in range(50):
+                item = yield from fifo.get()
+                received.append(item)
+                yield 1
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert received == list(range(50))
