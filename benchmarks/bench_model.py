@@ -1,0 +1,139 @@
+"""Micro-benchmarks of the architecture models (ROB, units, NoC).
+
+PR 1 made the event kernel fast; these benchmarks track the *model*
+layer, which the ISSUE-2 rework targets: scoreboard/static-table hazard
+checks, zero-frame unit issue and the route-cached NoC.  Three synthetic
+workloads isolate the hot paths, and one end-to-end measurement times the
+simulate-only phase of vgg8/small (the ``run_bench.py`` trajectory
+metric; compilation is excluded, and the static dependence tables are
+prebuilt once like any repeated-simulation workflow would).
+
+* ``issue_bound``   — independent vector ops, no hazards: dispatch /
+  queue / unit-issue overhead per instruction.
+* ``hazard_bound``  — same-group MVMs and RAW/WAR vector chains: hazard
+  probes and blocked-issue wake-ups dominate.
+* ``noc_contention`` — four cores exchanging windowed flows over shared
+  mesh links plus global-memory traffic: per-hop arbitration, route
+  cache, credit backpressure.
+"""
+
+import dataclasses
+
+from repro import small_chip
+from repro.arch import run_program
+from repro.config import tiny_chip
+from repro.isa import (
+    ChipProgram,
+    FlowInfo,
+    GroupTable,
+    MvmInst,
+    Program,
+    TransferInst,
+    VectorInst,
+)
+from repro.runner.api import compile_model
+
+
+def _single_core_chip(instructions, groups=None):
+    chip = ChipProgram(network="bench")
+    program = Program(core=0, groups=groups or GroupTable(core=0))
+    for inst in instructions:
+        program.append(inst)
+    chip.programs[0] = program.seal()
+    return chip
+
+
+def _issue_bound_chip(n=3000):
+    """Independent vector ops on disjoint buffers: no hazards, the
+    front-end and unit issue paths are the whole cost."""
+    insts = [
+        VectorInst(op="VRELU", src1=(i % 64) * 512, src_bytes=128,
+                   dst=32768 + (i % 64) * 512, dst_bytes=128, length=32)
+        for i in range(n)
+    ]
+    return _single_core_chip(insts)
+
+
+def _hazard_bound_chip(n=1500):
+    """Alternating same-group MVMs and RAW-dependent vector ops: every
+    instruction waits on an in-flight predecessor."""
+    config = tiny_chip()
+    table = GroupTable(core=0)
+    table.define("l", 0, 0, 1, config.crossbar.rows, config.crossbar.cols)
+    insts = []
+    for i in range(n):
+        if i % 2 == 0:
+            insts.append(MvmInst(group=0, src=0, src_bytes=64, dst=1024,
+                                 dst_bytes=256, count=1))
+        else:
+            insts.append(VectorInst(op="VRELU", src1=1024, src_bytes=256,
+                                    dst=2048, dst_bytes=256, length=64))
+    return _single_core_chip(insts, groups=table)
+
+
+def _noc_contention_chip(messages=150):
+    """Four cores on the 2x2 mesh: two crossing windowed flows sharing
+    links plus LOAD traffic against the single global-memory port."""
+    chip = ChipProgram(network="bench-noc")
+    chip.flows[0] = FlowInfo(flow_id=0, src_core=0, dst_core=3, layer="f0",
+                             n_messages=messages, bytes_per_message=96,
+                             window=4)
+    chip.flows[1] = FlowInfo(flow_id=1, src_core=1, dst_core=2, layer="f1",
+                             n_messages=messages, bytes_per_message=96,
+                             window=4)
+    p0 = Program(core=0)
+    p3 = Program(core=3)
+    for seq in range(messages):
+        p0.append(TransferInst(op="SEND", peer=3, addr=0, bytes=96,
+                               flow=0, seq=seq, layer="f0"))
+        p3.append(TransferInst(op="RECV", peer=0, addr=(seq % 8) * 128,
+                               bytes=96, flow=0, seq=seq, layer="f0"))
+    p1 = Program(core=1)
+    p2 = Program(core=2)
+    for seq in range(messages):
+        p1.append(TransferInst(op="SEND", peer=2, addr=0, bytes=96,
+                               flow=1, seq=seq, layer="f1"))
+        p2.append(TransferInst(op="RECV", peer=1, addr=(seq % 8) * 128,
+                               bytes=96, flow=1, seq=seq, layer="f1"))
+        if seq % 16 == 0:
+            p2.append(TransferInst(op="LOAD", addr=4096, bytes=256,
+                                   layer="f1"))
+    chip.programs[0] = p0.seal()
+    chip.programs[1] = p1.seal()
+    chip.programs[2] = p2.seal()
+    chip.programs[3] = p3.seal()
+    return chip
+
+
+_TINY = tiny_chip()
+_TINY_ROB8 = dataclasses.replace(_TINY, core=dataclasses.replace(
+    _TINY.core, rob_size=8))
+
+
+def test_model_issue_bound(benchmark):
+    chip = _issue_bound_chip()
+    result = benchmark(run_program, chip, _TINY_ROB8)
+    assert result.cycles > 0
+
+
+def test_model_hazard_bound(benchmark):
+    chip = _hazard_bound_chip()
+    result = benchmark(run_program, chip, _TINY_ROB8)
+    assert result.cycles > 0
+
+
+def test_model_noc_contention(benchmark):
+    chip = _noc_contention_chip()
+    result = benchmark(run_program, chip, _TINY)
+    assert result.cycles > 0
+
+
+def test_model_simulate_only_vgg8(benchmark):
+    """The trajectory metric: simulate-only phase of vgg8 on the small
+    chip (compilation excluded; ISSUE 2 acceptance compares this against
+    the 138 ms simulate-only phase recorded for PR 1)."""
+    config = small_chip()
+    compiled = compile_model("vgg8", config)
+    result = benchmark.pedantic(run_program, args=(compiled.program, config),
+                                rounds=9, iterations=1, warmup_rounds=1)
+    assert result.cycles > 0

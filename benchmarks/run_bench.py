@@ -1,19 +1,52 @@
-"""Kernel-benchmark entry point: run ``bench_kernel.py`` and record results.
+"""Benchmark entry point: run the kernel + model suites and record results.
 
-Runs the micro-benchmarks through pytest-benchmark and writes a compact
-``BENCH_kernel.json`` (ops/sec and mean seconds per benchmark, plus the
-end-to-end simulate rate) so every PR leaves a perf trajectory point the
-next one can compare against.
+Runs ``bench_kernel.py`` (event-kernel micro-benchmarks) and
+``bench_model.py`` (architecture-model workloads: issue-bound,
+hazard-bound, NoC-contention, and the simulate-only phase of vgg8/small)
+through pytest-benchmark and writes a compact ``BENCH_kernel.json`` so
+every PR leaves a perf trajectory point the next one can compare against.
 
 Usage::
 
     python benchmarks/run_bench.py                       # writes BENCH_kernel.json
     python benchmarks/run_bench.py --baseline OLD.json   # embeds OLD + speedups
+    python benchmarks/run_bench.py --baseline OLD.json --check
+    python benchmarks/run_bench.py --suite model         # model benchmarks only
     python benchmarks/run_bench.py --output /tmp/b.json
 
 ``--baseline`` accepts either a previous ``BENCH_kernel.json`` or a raw
 pytest-benchmark ``--benchmark-json`` dump; per-benchmark speedups
 (baseline mean / new mean) are added under ``"speedup_vs_baseline"``.
+
+``--check`` turns the run into a regression gate: it exits nonzero when
+any benchmark present in both runs regresses more than ``--tolerance``
+(default 10%) versus the baseline.  The gate compares the *min* times
+(falling back to means when a record lacks them): on a shared-CPU box
+the mean wobbles with host noise far more than the floor does, so min
+vs min is the stable signal.  Benchmarks new since the baseline are
+reported but never fail the gate.
+
+Running a suite subset (``--suite model``) merges into an existing
+output record rather than clobbering it: benchmarks not re-run keep
+their previous entries, so the trajectory file stays complete.
+
+Output-record fields::
+
+    generated             ISO timestamp of the run
+    python                interpreter version the numbers were taken on
+    suites                which benchmark files were run
+    measured              test names this invocation actually ran (the
+                          rest of ``benchmarks`` was merged from the
+                          previous record; speedups and --check only
+                          ever consider measured entries)
+    benchmarks            {test name: {mean_s, min_s, stddev_s, rounds,
+                           ops_per_sec}} across all suites; kernel names
+                           are ``test_kernel_*`` / ``test_end_to_end_*``,
+                           model names are ``test_model_*`` (including
+                           ``test_model_simulate_only_vgg8``, the
+                           simulate-only trajectory metric)
+    baseline              the baseline's benchmarks (with --baseline)
+    speedup_vs_baseline   {test name: baseline mean / new mean}
 """
 
 from __future__ import annotations
@@ -28,7 +61,11 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
-BENCH_FILE = Path(__file__).resolve().parent / "bench_kernel.py"
+BENCH_DIR = Path(__file__).resolve().parent
+SUITES = {
+    "kernel": BENCH_DIR / "bench_kernel.py",
+    "model": BENCH_DIR / "bench_model.py",
+}
 
 
 def _simplify(pytest_benchmark_data: dict) -> dict:
@@ -53,25 +90,81 @@ def _load_baseline(path: Path) -> dict:
     return data.get("benchmarks", data)  # a previous BENCH_kernel.json
 
 
+def _run_suite(bench_file: Path, pytest_args: list[str] | None) -> tuple[dict, dict]:
+    """Run one benchmark file; returns (simplified benchmarks, raw)."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = Path(tmp.name)
+    cmd = [sys.executable, "-m", "pytest", str(bench_file), "-q",
+           "-p", "no:cacheprovider", "--benchmark-warmup=off",
+           f"--benchmark-json={raw_path}"] + (pytest_args or [])
+    try:
+        proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {proc.returncode}): "
+                             f"{bench_file.name}")
+        raw = json.loads(raw_path.read_text())
+    finally:
+        raw_path.unlink(missing_ok=True)
+    return _simplify(raw), raw
+
+
+def check_regressions(benchmarks: dict, baseline: dict,
+                      tolerance: float) -> list[str]:
+    """Names of benchmarks that regressed more than ``tolerance`` versus
+    the baseline (only benchmarks present in both are gated).
+
+    Compares min times when both records carry them (robust to host
+    noise on shared CPUs), falling back to means otherwise.
+    """
+    failures = []
+    for name, entry in benchmarks.items():
+        base = baseline.get(name)
+        if not base:
+            continue
+        if entry.get("min_s") and base.get("min_s"):
+            new, old = entry["min_s"], base["min_s"]
+        elif entry.get("mean_s") and base.get("mean_s"):
+            new, old = entry["mean_s"], base["mean_s"]
+        else:
+            continue
+        if new > old * (1.0 + tolerance):
+            failures.append(name)
+    return failures
+
+
 def run(output: Path, baseline: Path | None = None,
+        suites: list[str] | None = None,
         pytest_args: list[str] | None = None) -> dict:
     if baseline is not None and not baseline.is_file():
         raise SystemExit(f"baseline file not found: {baseline}")
-    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
-        raw_path = Path(tmp.name)
-    cmd = [sys.executable, "-m", "pytest", str(BENCH_FILE), "-q",
-           "-p", "no:cacheprovider", "--benchmark-warmup=off",
-           f"--benchmark-json={raw_path}"] + (pytest_args or [])
-    proc = subprocess.run(cmd, cwd=REPO_ROOT)
-    if proc.returncode != 0:
-        raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
-    raw = json.loads(raw_path.read_text())
-    raw_path.unlink(missing_ok=True)
+    names = list(dict.fromkeys(suites or SUITES))  # ordered, deduped
+    benchmarks: dict = {}
+    python_version = None
+    for suite in names:
+        simplified, raw = _run_suite(SUITES[suite], pytest_args)
+        benchmarks.update(simplified)
+        python_version = raw.get("machine_info", {}).get("python_version",
+                                                         python_version)
+    # Benchmarks actually run by this invocation — speedups and the
+    # --check gate only ever consider these, never entries merged in
+    # from a previous record on disk.
+    measured = set(benchmarks)
+    if set(names) < set(SUITES) and output.is_file():
+        # Suite subset: keep the not-re-run benchmarks from the existing
+        # record so the trajectory file stays complete.
+        try:
+            previous = json.loads(output.read_text()).get("benchmarks", {})
+        except (ValueError, OSError):
+            previous = {}
+        for name, entry in previous.items():
+            benchmarks.setdefault(name, entry)
 
     record: dict = {
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": raw.get("machine_info", {}).get("python_version"),
-        "benchmarks": _simplify(raw),
+        "python": python_version,
+        "suites": names,
+        "measured": sorted(measured),
+        "benchmarks": benchmarks,
     }
     if baseline is not None:
         base = _load_baseline(baseline)
@@ -79,7 +172,7 @@ def run(output: Path, baseline: Path | None = None,
         record["speedup_vs_baseline"] = {
             name: round(base[name]["mean_s"] / entry["mean_s"], 3)
             for name, entry in record["benchmarks"].items()
-            if name in base and entry["mean_s"]
+            if name in base and name in measured and entry["mean_s"]
         }
     output.write_text(json.dumps(record, indent=2) + "\n")
     return record
@@ -92,10 +185,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", type=Path, default=None,
                         help="previous BENCH_kernel.json (or raw "
                              "pytest-benchmark dump) to compare against")
+    parser.add_argument("--suite", choices=sorted(SUITES), action="append",
+                        dest="suites", default=None,
+                        help="benchmark suite(s) to run (default: all)")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: exit nonzero when any "
+                             "benchmark regresses more than --tolerance "
+                             "vs --baseline (which becomes required)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed min-time regression for --check "
+                             "(fraction of the baseline's min, default "
+                             "0.10 = 10%%)")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments forwarded to pytest")
     args = parser.parse_args(argv)
-    record = run(args.output, args.baseline, args.pytest_args)
+    if args.check and args.baseline is None:
+        parser.error("--check requires --baseline")
+    record = run(args.output, args.baseline, args.suites, args.pytest_args)
     print(f"\nwrote {args.output}")
     for name, entry in record["benchmarks"].items():
         line = f"  {name}: {entry['ops_per_sec']:.1f} ops/s"
@@ -103,6 +209,16 @@ def main(argv: list[str] | None = None) -> int:
         if speedup is not None:
             line += f"  ({speedup:.2f}x vs baseline)"
         print(line)
+    if args.check:
+        measured = {name: entry for name, entry in record["benchmarks"].items()
+                    if name in set(record["measured"])}
+        failures = check_regressions(measured, record["baseline"],
+                                     args.tolerance)
+        if failures:
+            print(f"\nREGRESSION (> {args.tolerance:.0%} vs baseline): "
+                  + ", ".join(sorted(failures)))
+            return 1
+        print(f"\ncheck ok: no benchmark regressed > {args.tolerance:.0%}")
     return 0
 
 

@@ -60,28 +60,33 @@ class ChipModel:
         for flow_id, info in program.flows.items():
             window = info.window or config.noc.sync_window
             self._flows[flow_id] = FlowChannel(self.sim, info, self.noc, window)
-        self.cores: dict[int, CoreModel] = {
-            core_id: CoreModel(self, core_program)
-            for core_id, core_program in sorted(program.programs.items())
-        }
-        self._layer_busy: dict[str, dict[str, int]] = {}
-        self._finished = False
         #: completion trace (cycle, core, unit, instruction repr) when
         #: ``sim.trace`` is enabled; bounded by ``trace_limit``.
         self.trace: list[tuple[int, int, str, str]] | None = (
             [] if config.sim.trace else None)
         self._trace_limit = 200_000
+        self.cores: dict[int, CoreModel] = {
+            core_id: CoreModel(self, core_program)
+            for core_id, core_program in sorted(program.programs.items())
+        }
+        self._finished = False
 
     # -- hooks used by units ---------------------------------------------------
 
     def flow(self, flow_id: int) -> FlowChannel:
         return self._flows[flow_id]
 
-    def layer_busy(self, layer: str, unit: str, cycles: int) -> None:
-        if not layer:
-            layer = "<untagged>"
-        per_unit = self._layer_busy.setdefault(layer, {})
-        per_unit[unit] = per_unit.get(unit, 0) + cycles
+    def _merged_layer_busy(self) -> dict[str, dict[str, int]]:
+        """layer -> unit -> busy cycles, merged from the per-unit tallies
+        (units accumulate locally so the per-instruction hot path pays one
+        dict bump instead of a chip-level method call)."""
+        merged: dict[str, dict[str, int]] = {}
+        for core in self.cores.values():
+            for unit in core.units.values():
+                for layer, cycles in unit.layer_cycles.items():
+                    per_unit = merged.setdefault(layer or "<untagged>", {})
+                    per_unit[unit.name] = per_unit.get(unit.name, 0) + cycles
+        return merged
 
     def trace_event(self, core: int, unit: str, inst) -> None:
         if self.trace is not None and len(self.trace) < self._trace_limit:
@@ -136,7 +141,7 @@ class ChipModel:
         return RawResult(
             cycles=cycles,
             energy_pj=self.energy.to_dict(),
-            layer_busy=self._layer_busy,
+            layer_busy=self._merged_layer_busy(),
             per_core={cid: core.stats() for cid, core in self.cores.items()},
             noc={
                 "messages": self.noc.messages_sent,

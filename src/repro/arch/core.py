@@ -48,8 +48,14 @@ class CoreModel:
         self.program = program
         self.groups = program.groups
         self.regs = [0] * N_REGISTERS
-        self.rob = ReorderBuffer(chip.sim, chip.config.core.rob_size,
-                                 f"core{self.core_id}.rob")
+        rob_size = chip.config.core.rob_size
+        # Straight-line programs carry a static hazard table (cached on
+        # the sealed program, amortized across sweeps/repeat runs);
+        # branchy programs fall back to the runtime scoreboard.
+        static = program.static_blockers(rob_size) if program.sealed else None
+        self.rob = ReorderBuffer(chip.sim, rob_size,
+                                 f"core{self.core_id}.rob",
+                                 static_blockers=static)
         self.units = {
             "matrix": MatrixUnit(self),
             "vector": VectorUnit(self),
@@ -76,41 +82,59 @@ class CoreModel:
         if fill:
             yield fill
         insts = self.program.instructions
+        n_insts = len(insts)
+        rob = self.rob
+        rob_entries = rob.entries
+        rob_size = rob.size
+        sim = self.sim
+        # Unit queues are unbounded (see _UnitBase), so a put is exactly
+        # a deque append plus the Fifo's edge-triggered, waiter-gated
+        # empty->nonempty wake-up — inlined here because this loop runs
+        # once per instruction.
+        queues = {unit: (u.queue._items, u.queue._not_empty)
+                  for unit, u in self.units.items()}
+        fetch_width = cfg.fetch_width
+        single_issue = fetch_width == 1
         pc = 0
-        while 0 <= pc < len(insts):
+        while 0 <= pc < n_insts:
             inst = insts[pc]
 
-            if isinstance(inst, ScalarInst) and inst.op == "HALT":
-                break
             if isinstance(inst, ScalarInst) and inst.is_control:
-                # Branch: wait for in-flight writers of its sources, then
-                # resolve against the architectural register file.
-                t0 = self.sim.now
-                while self.rob.has_conflict(inst):
-                    yield self.rob.completed
-                self.hazard_stall_cycles += self.sim.now - t0
+                if inst.op == "HALT":
+                    break
+                # Branch: wait for in-flight writers of its sources (the
+                # scoreboard names the oldest, so dispatch blocks on that
+                # entry's completion event), then resolve against the
+                # architectural register file.
+                t0 = sim.now
+                blocker = rob.oldest_conflict_inst(inst)
+                while blocker is not None:
+                    yield rob.ready_event(blocker)
+                    blocker = rob.oldest_conflict_inst(inst)
+                self.hazard_stall_cycles += sim.now - t0
                 pc = self._branch_target(inst, pc)
                 yield 1  # redirect bubble
                 continue
 
-            t0 = self.sim.now
-            while self.rob.full:
-                yield self.rob.slot_freed
-            self.rob_stall_cycles += self.sim.now - t0
+            if len(rob_entries) >= rob_size:
+                t0 = sim.now
+                while len(rob_entries) >= rob_size:
+                    yield rob.slot_freed
+                self.rob_stall_cycles += sim.now - t0
 
-            entry = self.rob.allocate(inst)
-            unit = self.units[inst.unit]
-            t0 = self.sim.now
-            yield from unit.queue.put(entry)
-            self.queue_stall_cycles += self.sim.now - t0
+            entry = rob.allocate(inst)
+            items, not_empty = queues[inst.unit]
+            items.append(entry)
+            if len(items) == 1 and not_empty._waiters:
+                not_empty.notify()
 
             self.issued += 1
             pc += 1
-            if self.issued % cfg.fetch_width == 0:
+            if single_issue or self.issued % fetch_width == 0:
                 yield 1
 
-        while not self.rob.empty:
-            yield self.rob.drained
+        while rob.entries:
+            yield rob.drained
         self.halt_time = self.sim.now
         self.halted.notify()
 
@@ -150,7 +174,7 @@ class CoreModel:
             "rob_stall_cycles": self.rob_stall_cycles,
             "hazard_stall_cycles": self.hazard_stall_cycles,
             "queue_stall_cycles": self.queue_stall_cycles,
-            "rob_peak": self.rob.occupancy.peak,
+            "rob_peak": self.rob.occupancy_peak,
             "unit_busy": {name: unit.busy_cycles
                           for name, unit in self.units.items()},
             "unit_ops": {name: unit.ops for name, unit in self.units.items()},

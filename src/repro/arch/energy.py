@@ -25,29 +25,34 @@ class EnergyMeter:
     def add(self, category: str, picojoules: float) -> None:
         self.pj[category] += picojoules
 
+    # The per-category charges below update ``pj`` directly rather than
+    # going through :meth:`add` — they run once or more per instruction.
+
     def mvm(self, energy_cfg, rows: int, cols: int, dac_phases: int,
             count: int) -> None:
         """Charge one MVM instruction: ``count`` input vectors through a
         group of ``rows`` x ``cols`` active cells."""
-        self.add("xbar", energy_cfg.xbar_read_pj_per_cell * rows * cols * count)
-        self.add("dac", energy_cfg.dac_pj_per_conversion * rows * dac_phases * count)
-        self.add("adc", energy_cfg.adc_pj_per_sample * cols * dac_phases * count)
+        pj = self.pj
+        pj["xbar"] += energy_cfg.xbar_read_pj_per_cell * rows * cols * count
+        pj["dac"] += energy_cfg.dac_pj_per_conversion * rows * dac_phases * count
+        pj["adc"] += energy_cfg.adc_pj_per_sample * cols * dac_phases * count
 
     def vector_op(self, energy_cfg, length: int, mem_bytes: int) -> None:
-        self.add("vector", energy_cfg.vector_pj_per_element * length)
-        self.add("local_mem", energy_cfg.local_mem_pj_per_byte * mem_bytes)
+        pj = self.pj
+        pj["vector"] += energy_cfg.vector_pj_per_element * length
+        pj["local_mem"] += energy_cfg.local_mem_pj_per_byte * mem_bytes
 
     def scalar_op(self, energy_cfg) -> None:
-        self.add("scalar", energy_cfg.scalar_pj_per_op)
+        self.pj["scalar"] += energy_cfg.scalar_pj_per_op
 
     def local_mem(self, energy_cfg, nbytes: int) -> None:
-        self.add("local_mem", energy_cfg.local_mem_pj_per_byte * nbytes)
+        self.pj["local_mem"] += energy_cfg.local_mem_pj_per_byte * nbytes
 
     def global_mem(self, energy_cfg, nbytes: int) -> None:
-        self.add("global_mem", energy_cfg.global_mem_pj_per_byte * nbytes)
+        self.pj["global_mem"] += energy_cfg.global_mem_pj_per_byte * nbytes
 
     def noc_traffic(self, energy_cfg, nbytes: int, hops: int) -> None:
-        self.add("noc", energy_cfg.noc_pj_per_byte_hop * nbytes * hops)
+        self.pj["noc"] += energy_cfg.noc_pj_per_byte_hop * nbytes * hops
 
     def add_leakage(self, energy_cfg, n_cores_used: int, seconds: float) -> None:
         """Integrate static power over the run (charged once, at the end)."""

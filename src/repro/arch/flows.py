@@ -45,15 +45,19 @@ class FlowChannel:
     def send(self, nbytes: int) -> Generator:
         """Coroutine: deliver the next message; blocks on the credit window
         and on the physical mesh traversal."""
-        wait_start = self.sim.now
-        while self._send_started - self._consumed >= self.window:
-            yield self._credit_event
-        self.stall_cycles += self.sim.now - wait_start
+        if self._send_started - self._consumed >= self.window:
+            wait_start = self.sim.now
+            while self._send_started - self._consumed >= self.window:
+                yield self._credit_event
+            self.stall_cycles += self.sim.now - wait_start
         self._send_started += 1
         yield from self.noc.transmit(self.info.src_core, self.info.dst_core,
                                      nbytes)
         self._arrived += 1
-        self._arrival_event.notify()
+        # Receivers re-check ``_arrived`` before blocking, so an arrival
+        # with nobody waiting needs no wake-up callback.
+        if self._arrival_event._waiters:
+            self._arrival_event.notify()
 
     # -- receiver side ---------------------------------------------------------
 
@@ -71,7 +75,10 @@ class FlowChannel:
         while self._arrived <= seq:
             yield self._arrival_event
         self._consumed += 1
-        self._credit_event.notify()
+        # Senders re-check the credit window before blocking, so a credit
+        # returned with nobody waiting needs no wake-up callback.
+        if self._credit_event._waiters:
+            self._credit_event.notify()
 
     @property
     def outstanding(self) -> int:

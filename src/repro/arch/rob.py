@@ -1,4 +1,4 @@
-"""Re-order buffer.
+"""Re-order buffer with an incremental hazard scoreboard.
 
 The ROB bounds the number of instructions a core may have in flight
 (Fig. 2b).  Dispatch allocates an entry in program order; execution units
@@ -7,31 +7,90 @@ order.  The dispatch stage consults :meth:`has_conflict` so an instruction
 never enters an execution unit while an older in-flight instruction
 conflicts with it — including the crossbar-group *structure hazard* the
 paper uses to explain the ROB-size plateau of Fig. 4.
+
+Hazard queries are answered by a *scoreboard* maintained incrementally at
+:meth:`allocate` and :meth:`mark_done` instead of the seed's O(window)
+re-scan of the whole ROB on every probe:
+
+* registers and crossbar groups are footprint-indexed — one bucket of
+  in-flight entries per register (readers and writers separately) and per
+  group, so a probe touches only the buckets its own footprint names;
+* local-memory ranges live in two flat in-flight maps (readers/writers),
+  insertion-ordered by allocation, probed with the precise interval
+  overlap — only entries that touch memory at all are visited, and the
+  scan stops at the first entry younger than the probe.
+
+All buckets and maps are insertion-ordered dicts, i.e. ordered by
+allocation sequence (= program order), so the first member is always the
+oldest and scans can cut off early.  Queries return the *oldest*
+conflicting entry, so a blocked unit can wait on exactly the entry that
+blocks it (via :meth:`ready_event`) and re-probe only when that entry
+completes, rather than being woken by every completion in the window.
+The answers are bit-identical to the seed's
+:meth:`Instruction.conflicts_with` scan (pinned by the randomized oracle
+in ``tests/test_rob_scoreboard.py`` and the ``tests/golden/`` traces).
+
+This module is on the per-instruction hot path of every simulation, so
+the scoreboard insert/remove/probe bodies are inlined rather than
+factored (mirroring the kernel's own style); ``RobEntry`` is a
+``__slots__`` class for the same reason.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 
 from ..isa import Instruction
-from ..sim import Event, Simulator, TimeWeighted
+from ..sim import Event, Simulator
 
 __all__ = ["RobEntry", "ReorderBuffer"]
 
 
-@dataclass
 class RobEntry:
-    inst: Instruction
-    done: bool = False
-    dispatched_at: int = 0
-    completed_at: int = field(default=-1)
+    """One in-flight instruction: identity-keyed, slotted (hot path)."""
+
+    __slots__ = ("inst", "fp", "done", "dispatched_at", "completed_at",
+                 "seq", "done_event")
+
+    def __init__(self, inst: Instruction, fp: tuple = None,
+                 dispatched_at: int = 0, seq: int = 0) -> None:
+        self.inst = inst
+        #: the instruction's cached dependence footprint ``(groups,
+        #: reads_regs, writes_regs, reads_mem, writes_mem)``.
+        self.fp = fp if fp is not None else _footprint(inst)
+        self.done = False
+        self.dispatched_at = dispatched_at
+        self.completed_at = -1
+        #: allocation sequence number; program order within the core.
+        self.seq = seq
+        #: lazily-created event notified at completion (``ready_event``).
+        self.done_event: Event | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "in-flight"
+        return f"RobEntry({self.inst!r}, {state}, seq={self.seq})"
+
+
+def _footprint(inst: Instruction) -> tuple:
+    try:
+        return inst._fp
+    except AttributeError:
+        return inst._footprint()
 
 
 class ReorderBuffer:
-    """In-order allocate / out-of-order complete / in-order retire."""
+    """In-order allocate / out-of-order complete / in-order retire.
 
-    def __init__(self, sim: Simulator, size: int, name: str = "rob") -> None:
+    ``static_blockers`` (from :meth:`repro.isa.Program.static_blockers`)
+    switches the hazard engine to table mode: for straight-line programs
+    the conflicting predecessors of every instruction are known up front,
+    so a hazard probe is a couple of done-flag checks on a ring of recent
+    entries and the runtime scoreboard is skipped entirely.  Both engines
+    answer identically (pinned by ``tests/test_rob_scoreboard.py``).
+    """
+
+    def __init__(self, sim: Simulator, size: int, name: str = "rob", *,
+                 static_blockers: tuple | None = None) -> None:
         if size < 1:
             raise ValueError(f"ROB size must be >= 1, got {size}")
         self.sim = sim
@@ -42,7 +101,29 @@ class ReorderBuffer:
         self.completed = Event(sim, f"{name}.completed")
         self.drained = Event(sim, f"{name}.drained")
         self.retired_count = 0
-        self.occupancy = TimeWeighted(f"{name}.occupancy")
+        #: peak in-flight occupancy (the only occupancy statistic reports
+        #: consume; tracked as a bare int to keep allocate/retire lean).
+        self.occupancy_peak = 0
+        self._seq = 0
+        # -- static hazard table (straight-line programs) --------------------
+        self._static = static_blockers
+        if static_blockers is not None:
+            # While entry i awaits its blockers (indices >= i-size+1),
+            # instructions through i+size-1 may allocate, so slots must
+            # cover 2*size-1 consecutive indices without collision.
+            ring_size = 1 << (2 * size - 1).bit_length()
+            self._ring_mask = ring_size - 1
+            #: recent entries by instruction index (in-flight ⊆ ring).
+            self._ring: list[RobEntry | None] = [None] * ring_size
+        # -- scoreboard: in-flight readers/writers, oldest first ------------
+        #: crossbar group -> ordered set of in-flight entries using it.
+        self._group_users: dict[int, dict[RobEntry, None]] = {}
+        #: register -> ordered set of in-flight readers / writers.
+        self._reg_readers: dict[int, dict[RobEntry, None]] = {}
+        self._reg_writers: dict[int, dict[RobEntry, None]] = {}
+        #: in-flight entries touching local memory -> their byte ranges.
+        self._mem_readers: dict[RobEntry, tuple] = {}
+        self._mem_writers: dict[RobEntry, tuple] = {}
 
     @property
     def full(self) -> bool:
@@ -52,34 +133,197 @@ class ReorderBuffer:
     def empty(self) -> bool:
         return not self.entries
 
-    def has_conflict(self, inst: Instruction) -> bool:
-        """Does ``inst`` conflict with any in-flight instruction?  Used by
-        the dispatch stage for instructions executed outside the ROB
-        (branch resolution)."""
-        return any(not e.done and inst.conflicts_with(e.inst)
-                   for e in self.entries)
+    # -- hazard queries -------------------------------------------------------
 
-    def conflicts_before(self, entry: RobEntry) -> bool:
-        """Does ``entry`` conflict with any *older* in-flight entry?
+    def _oldest_conflicting(self, fp: tuple,
+                            before_seq: int) -> RobEntry | None:
+        """Oldest in-flight entry with ``seq < before_seq`` whose footprint
+        conflicts with ``fp``; ``None`` when none does.  Mirrors the
+        dependence rules of :meth:`Instruction.conflicts_with` exactly
+        (RAW/WAR/WAW through registers and local memory, structural on
+        groups)."""
+        groups, reads_r, writes_r, reads_m, writes_m = fp
+        best: RobEntry | None = None
+        best_seq = before_seq
+        # Structural: the oldest in-flight user of one of my groups.  A
+        # bucket's first member is its oldest, so one probe per bucket.
+        for g in groups:
+            bucket = self._group_users.get(g)
+            if bucket:
+                e = next(iter(bucket))
+                if e.seq < best_seq:
+                    best, best_seq = e, e.seq
+        if reads_r or writes_r:
+            # RAW: an older writer of a register I read.
+            for r in reads_r:
+                bucket = self._reg_writers.get(r)
+                if bucket:
+                    e = next(iter(bucket))
+                    if e.seq < best_seq:
+                        best, best_seq = e, e.seq
+            # WAW + WAR: an older writer or reader of a register I write.
+            for r in writes_r:
+                bucket = self._reg_writers.get(r)
+                if bucket:
+                    e = next(iter(bucket))
+                    if e.seq < best_seq:
+                        best, best_seq = e, e.seq
+                bucket = self._reg_readers.get(r)
+                if bucket:
+                    e = next(iter(bucket))
+                    if e.seq < best_seq:
+                        best, best_seq = e, e.seq
+        # Memory scans: insertion order == program order, so each scan
+        # stops at the first entry not older than the current best.  The
+        # range tuples are tiny (one or two intervals), so the precise
+        # overlap test is inlined (the triple break/else ladders) rather
+        # than paying a function call per candidate.
+        if reads_m and self._mem_writers:
+            # RAW: an older writer overlapping a range I read.
+            for e, ranges in self._mem_writers.items():
+                if e.seq >= best_seq:
+                    break
+                for lo, hi in reads_m:
+                    for olo, ohi in ranges:
+                        if lo < ohi and olo < hi:
+                            best, best_seq = e, e.seq
+                            break
+                    else:
+                        continue
+                    break
+                else:
+                    continue
+                break
+        if writes_m:
+            # WAW: an older writer overlapping a range I write.
+            for e, ranges in self._mem_writers.items():
+                if e.seq >= best_seq:
+                    break
+                for lo, hi in writes_m:
+                    for olo, ohi in ranges:
+                        if lo < ohi and olo < hi:
+                            best, best_seq = e, e.seq
+                            break
+                    else:
+                        continue
+                    break
+                else:
+                    continue
+                break
+            # WAR: an older reader of a range I write.
+            for e, ranges in self._mem_readers.items():
+                if e.seq >= best_seq:
+                    break
+                for lo, hi in writes_m:
+                    for olo, ohi in ranges:
+                        if lo < ohi and olo < hi:
+                            best, best_seq = e, e.seq
+                            break
+                    else:
+                        continue
+                    break
+                else:
+                    continue
+                break
+        return best
+
+    def oldest_conflict(self, entry: RobEntry) -> RobEntry | None:
+        """The oldest in-flight entry older than ``entry`` that conflicts
+        with it, or ``None``.
 
         Execution units call this before issuing: an instruction waits for
         program-order-earlier writers/readers of its operands and for the
         crossbar group it needs, but instructions behind it in other units
-        keep flowing — the out-of-order overlap the ROB window buys.
+        keep flowing — the out-of-order overlap the ROB window buys.  The
+        returned entry is what the unit should wait on (``ready_event``).
+
+        In table mode the static blocker set is fixed at allocation and
+        only done-flags change, so the oldest *undone* static blocker is
+        exactly what the dynamic scoreboard would return.
         """
-        for older in self.entries:
-            if older is entry:
-                return False
-            if not older.done and entry.inst.conflicts_with(older.inst):
-                return True
-        return False  # pragma: no cover - entry always in the ROB
+        table = self._static
+        if table is None:
+            return self._oldest_conflicting(entry.fp, entry.seq)
+        ring = self._ring
+        mask = self._ring_mask
+        for j in table[entry.inst.index]:
+            blocker = ring[j & mask]
+            if not blocker.done:
+                return blocker
+        return None
+
+    def oldest_conflict_inst(self, inst: Instruction) -> RobEntry | None:
+        """Oldest in-flight entry conflicting with a not-yet-allocated
+        instruction (branch resolution at dispatch).  Table mode implies a
+        branch-free program, so this only runs under the scoreboard — the
+        table-mode fallback below serves external callers."""
+        if self._static is None:
+            return self._oldest_conflicting(_footprint(inst), self._seq + 1)
+        for e in self.entries:
+            if not e.done and inst.conflicts_with(e.inst):
+                return e
+        return None
+
+    def conflicts_before(self, entry: RobEntry) -> bool:
+        """Does ``entry`` conflict with any *older* in-flight entry?"""
+        return self.oldest_conflict(entry) is not None
+
+    def has_conflict(self, inst: Instruction) -> bool:
+        """Does ``inst`` conflict with any in-flight instruction?  Used by
+        the dispatch stage for instructions executed outside the ROB
+        (branch resolution)."""
+        return self.oldest_conflict_inst(inst) is not None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def ready_event(self, entry: RobEntry) -> Event:
+        """The event notified when ``entry`` completes (lazily created, so
+        entries that never block anyone cost no Event object)."""
+        event = entry.done_event
+        if event is None:
+            event = entry.done_event = Event(self.sim,
+                                             f"{self.name}.e{entry.seq}.done")
+        return event
 
     def allocate(self, inst: Instruction) -> RobEntry:
-        if self.full:
+        entries = self.entries
+        if len(entries) >= self.size:
             raise RuntimeError(f"{self.name}: allocate on full ROB")
-        entry = RobEntry(inst=inst, dispatched_at=self.sim.now)
-        self.entries.append(entry)
-        self.occupancy.update(self.sim.now, len(self.entries))
+        self._seq = seq = self._seq + 1
+        try:
+            fp = inst._fp
+        except AttributeError:
+            fp = inst._footprint()
+        entry = RobEntry(inst, fp, self.sim.now, seq)
+        entries.append(entry)
+        if self._static is not None:
+            # Table mode: in-flight lookups go through the index ring.
+            self._ring[inst.index & self._ring_mask] = entry
+        else:
+            # Scoreboard insert (inlined; see module docstring).
+            groups, reads_r, writes_r, reads_m, writes_m = fp
+            for g in groups:
+                bucket = self._group_users.get(g)
+                if bucket is None:
+                    bucket = self._group_users[g] = {}
+                bucket[entry] = None
+            for r in reads_r:
+                bucket = self._reg_readers.get(r)
+                if bucket is None:
+                    bucket = self._reg_readers[r] = {}
+                bucket[entry] = None
+            for r in writes_r:
+                bucket = self._reg_writers.get(r)
+                if bucket is None:
+                    bucket = self._reg_writers[r] = {}
+                bucket[entry] = None
+            if reads_m:
+                self._mem_readers[entry] = reads_m
+            if writes_m:
+                self._mem_writers[entry] = writes_m
+        n = len(entries)
+        if n > self.occupancy_peak:
+            self.occupancy_peak = n
         return entry
 
     def mark_done(self, entry: RobEntry) -> None:
@@ -87,17 +331,36 @@ class ReorderBuffer:
             raise RuntimeError(f"{self.name}: double completion of {entry.inst!r}")
         entry.done = True
         entry.completed_at = self.sim.now
-        self.completed.notify()
-        self._retire()
-
-    def _retire(self) -> None:
-        freed = False
-        while self.entries and self.entries[0].done:
-            self.entries.popleft()
-            self.retired_count += 1
-            freed = True
-        if freed:
-            self.occupancy.update(self.sim.now, len(self.entries))
-            self.slot_freed.notify()
-            if not self.entries:
+        if self._static is None:
+            # Scoreboard remove (inlined).
+            groups, reads_r, writes_r, reads_m, writes_m = entry.fp
+            for g in groups:
+                del self._group_users[g][entry]
+            for r in reads_r:
+                del self._reg_readers[r][entry]
+            for r in writes_r:
+                del self._reg_writers[r][entry]
+            if reads_m:
+                del self._mem_readers[entry]
+            if writes_m:
+                del self._mem_writers[entry]
+        if entry.done_event is not None:
+            entry.done_event.notify()
+        # ``completed`` is notified only when observed: nothing in the
+        # model layer polls it any more (units wait per-entry), but it
+        # remains the ROB's public completion signal.
+        if self.completed._waiters:
+            self.completed.notify()
+        # Retire (inlined): free in-order-completed head entries.  The
+        # deque still holds ``entry``, so it is never empty here.
+        entries = self.entries
+        if entries[0].done:
+            retired = 0
+            while entries and entries[0].done:
+                entries.popleft()
+                retired += 1
+            self.retired_count += retired
+            if self.slot_freed._waiters:
+                self.slot_freed.notify()
+            if not entries and self.drained._waiters:
                 self.drained.notify()

@@ -14,14 +14,27 @@
 
 Each unit pulls ROB entries from its issue queue, executes, charges energy
 and per-layer busy time, and marks the entry done.
+
+Issue-side hazard enforcement is scoreboard-driven: a unit asks the ROB
+for the *oldest* in-flight conflicting entry and waits on exactly that
+entry's completion event (``ReorderBuffer.ready_event``), re-probing the
+scoreboard after each wake, instead of re-scanning the window on every
+completion.  The hot loops are also frame-free on their fast paths: queue
+pops use the nonblocking ``Fifo.try_get`` (falling into the blocking
+coroutine only when the queue is actually empty), and an MVM on a core
+without shared-ADC arbitration executes as a pair of scheduled callbacks
+rather than a spawned child process — the callback pair replays the
+spawned child's scheduling positions exactly, so simulations are
+bit-identical either way (pinned by ``tests/golden/``).
 """
 
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import TYPE_CHECKING, Generator
 
-from ..isa import MvmInst, ScalarInst, TransferInst, VectorInst
+from ..isa import MvmInst
 from ..sim import Fifo, Resource
 from .rob import RobEntry
 
@@ -39,14 +52,22 @@ class _UnitBase:
     def __init__(self, core: "CoreModel") -> None:
         self.core = core
         self.sim = core.sim
-        # Queues never throttle below the ROB window: the ROB is the
-        # architectural lookahead limit (Fig. 4), the queue only stages.
-        depth = max(core.config.core.unit_queue_depth,
-                    core.config.core.rob_size)
-        self.queue = Fifo(core.sim, depth,
+        self.chip = core.chip
+        # Queues never throttle below the ROB window (the seed sized them
+        # max(unit_queue_depth, rob_size)): the ROB is the architectural
+        # lookahead limit (Fig. 4), the queue only stages, and every
+        # queued entry holds a ROB slot — so the capacity provably never
+        # binds and the queue is unbounded to skip the bound checks.
+        self.queue = Fifo(core.sim, None,
                           f"core{core.core_id}.{self.name}.q")
         self.busy_cycles = 0
         self.ops = 0
+        self._traced = core.chip.trace is not None
+        #: bound once: every completed instruction calls it (hot path).
+        self._mark_done = core.rob.mark_done
+        #: busy cycles per network layer; merged chip-wide by
+        #: :meth:`ChipModel._merged_layer_busy` into ``RawResult.layer_busy``.
+        self.layer_cycles: dict[str, int] = {}
 
     def start(self) -> None:
         self.sim.spawn(self._loop(), f"core{self.core.core_id}.{self.name}")
@@ -54,20 +75,30 @@ class _UnitBase:
     def _loop(self) -> Generator:
         raise NotImplementedError
 
-    def _wait_ready(self, entry: RobEntry) -> Generator:
-        """Coroutine: block until no older in-flight instruction conflicts
-        with this one (issue-side hazard enforcement)."""
-        rob = self.core.rob
-        while rob.conflicts_before(entry):
-            yield rob.completed
+    # The pop + hazard-wait sequence is inlined in every unit loop rather
+    # than shared through a helper coroutine: the units are the model
+    # layer's hottest loops and a ``yield from`` helper would put one
+    # extra generator frame on every instruction issued.  Keep the five
+    # copies (four units + the flow drainer's pop) in sync:
+    #
+    #     ok, entry = queue.try_get()
+    #     if not ok:
+    #         entry = yield from queue.get()
+    #     blocker = rob.oldest_conflict(entry)
+    #     while blocker is not None:
+    #         yield rob.ready_event(blocker)
+    #         blocker = rob.oldest_conflict(entry)
 
     def _account(self, entry: RobEntry, start: int) -> None:
         elapsed = self.sim.now - start
         self.busy_cycles += elapsed
         self.ops += 1
-        self.core.chip.layer_busy(entry.inst.layer, self.name, elapsed)
-        self.core.chip.trace_event(self.core.core_id, self.name, entry.inst)
-        self.core.rob.mark_done(entry)
+        layer = entry.inst.layer
+        cycles = self.layer_cycles
+        cycles[layer] = cycles.get(layer, 0) + elapsed
+        if self._traced:
+            self.chip.trace_event(self.core.core_id, self.name, entry.inst)
+        self._mark_done(entry)
 
 
 class MatrixUnit(_UnitBase):
@@ -78,38 +109,90 @@ class MatrixUnit(_UnitBase):
         domains = core.config.core.shared_adc_domains
         self._adc = (Resource(core.sim, domains,
                               f"core{core.core_id}.adc") if domains else None)
+        # Per-config constants of the MVM latency model, hoisted off the
+        # per-instruction path.
+        cfg = core.config
+        # Programs without MVMs may carry no group table at all.
+        self._groups = core.groups.groups if core.groups is not None else {}
+        self._mvm_cycles = cfg.crossbar.mvm_cycles()
+        self._act_bytes = cfg.compiler.activation_bytes
+        self._read_bw = cfg.core.local_memory_read_bytes_per_cycle
+        self._write_bw = cfg.core.local_memory_write_bytes_per_cycle
+        self._dac_phases = cfg.crossbar.dac_phases
+        self._e_xbar = cfg.energy.xbar_read_pj_per_cell
+        self._e_dac = cfg.energy.dac_pj_per_conversion
+        self._e_adc = cfg.energy.adc_pj_per_sample
+        self._e_lmem = cfg.energy.local_mem_pj_per_byte
 
     def _loop(self) -> Generator:
+        queue = self.queue
+        rob = self.core.rob
+        delta_append = self.sim._delta_append
+        begin = self._begin
+        fast = self._adc is None
+        child_name = f"core{self.core.core_id}.mvm"
         while True:
-            entry = yield from self.queue.get()
-            yield from self._wait_ready(entry)
-            # Each MVM runs in its own child process so independent groups
-            # overlap; issue bandwidth is one MVM per cycle.
-            self.sim.spawn(self._execute(entry),
-                           f"core{self.core.core_id}.mvm")
+            ok, entry = queue.try_get()
+            if not ok:
+                entry = yield from queue.get()
+            blocker = rob.oldest_conflict(entry)
+            while blocker is not None:
+                yield rob.ready_event(blocker)
+                blocker = rob.oldest_conflict(entry)
+            # Each MVM runs as its own child so independent groups overlap;
+            # issue bandwidth is one MVM per cycle.  Without an ADC the
+            # child can never block, so it needs no coroutine: ``_begin``
+            # is scheduled where the spawned child's first step would run
+            # and ``_finish`` where its post-latency resume would.
+            if fast:
+                delta_append(partial(begin, entry))
+            else:
+                self.sim.spawn(self._execute(entry), child_name)
             yield 1
 
-    def _execute(self, entry: RobEntry) -> Generator:
-        inst = entry.inst
-        assert isinstance(inst, MvmInst)
-        start = self.sim.now
-        cfg = self.core.config
-        group = self.core.groups.get(inst.group)
-        if self._adc is not None:
-            yield from self._adc.acquire()
-        compute = inst.count * cfg.crossbar.mvm_cycles()
-        in_bytes = inst.count * group.rows * cfg.compiler.activation_bytes
+    def _latency(self, inst: MvmInst) -> tuple[int, int, int, "object"]:
+        """(cycles, local-memory bytes in, bytes out, group) of one MVM."""
+        count = inst.count
+        group = self._groups[inst.group]
+        in_bytes = count * group.rows * self._act_bytes
         out_bytes = inst.dst_bytes
-        stream = math.ceil(in_bytes / cfg.core.local_memory_read_bytes_per_cycle) \
-            + math.ceil(out_bytes / cfg.core.local_memory_write_bytes_per_cycle)
-        yield max(compute, stream)
-        if self._adc is not None:
-            self._adc.release()
-        meter = self.core.chip.energy
-        meter.mvm(cfg.energy, group.rows, group.cols,
-                  cfg.crossbar.dac_phases, inst.count)
-        meter.local_mem(cfg.energy, in_bytes + out_bytes)
+        stream = -(-in_bytes // self._read_bw) + -(-out_bytes // self._write_bw)
+        return max(count * self._mvm_cycles, stream), in_bytes, out_bytes, group
+
+    def _begin(self, entry: RobEntry) -> None:
+        """Frame-free MVM execution, phase 1: compute latency and schedule
+        completion (the no-ADC twin of :meth:`_execute`)."""
+        latency, in_bytes, out_bytes, group = self._latency(entry.inst)
+        self.sim.call_after(latency, self._finish,
+                            (entry, self.sim.now, in_bytes, out_bytes, group))
+
+    def _finish(self, args) -> None:
+        """Frame-free MVM execution, phase 2: charge energy and complete.
+
+        The inlined charges mirror ``EnergyMeter.mvm`` + ``local_mem``
+        term by term, in the same multiplication order (float sums must
+        stay bit-comparable to the seed's)."""
+        entry, start, in_bytes, out_bytes, group = args
+        rows = group.rows
+        cols = group.cols
+        count = entry.inst.count
+        phases = self._dac_phases
+        pj = self.chip.energy.pj
+        pj["xbar"] += self._e_xbar * rows * cols * count
+        pj["dac"] += self._e_dac * rows * phases * count
+        pj["adc"] += self._e_adc * cols * phases * count
+        pj["local_mem"] += self._e_lmem * (in_bytes + out_bytes)
         self._account(entry, start)
+
+    def _execute(self, entry: RobEntry) -> Generator:
+        start = self.sim.now
+        adc = self._adc
+        if not adc.try_acquire():
+            yield from adc.acquire()
+        latency, in_bytes, out_bytes, group = self._latency(entry.inst)
+        yield latency
+        adc.release()
+        self._finish((entry, start, in_bytes, out_bytes, group))
 
 
 class VectorUnit(_UnitBase):
@@ -121,19 +204,30 @@ class VectorUnit(_UnitBase):
         issue = cfg.core.vector_issue_cycles
         read_bw = cfg.core.local_memory_read_bytes_per_cycle
         write_bw = cfg.core.local_memory_write_bytes_per_cycle
+        # Inlined energy charges mirror ``EnergyMeter.vector_op`` term by
+        # term, in the same multiplication order (bit-comparable sums).
+        e_vector = cfg.energy.vector_pj_per_element
+        e_lmem = cfg.energy.local_mem_pj_per_byte
+        pj = self.core.chip.energy.pj
+        queue = self.queue
+        rob = self.core.rob
         while True:
-            entry = yield from self.queue.get()
-            yield from self._wait_ready(entry)
+            ok, entry = queue.try_get()
+            if not ok:
+                entry = yield from queue.get()
+            blocker = rob.oldest_conflict(entry)
+            while blocker is not None:
+                yield rob.ready_event(blocker)
+                blocker = rob.oldest_conflict(entry)
             inst = entry.inst
-            assert isinstance(inst, VectorInst)
             start = self.sim.now
             read_bytes = inst.src_bytes * inst.n_sources
-            alu = math.ceil(inst.length / lanes)
-            stream = max(math.ceil(read_bytes / read_bw),
-                         math.ceil(inst.dst_bytes / write_bw))
+            alu = -(-inst.length // lanes)
+            stream = max(-(-read_bytes // read_bw),
+                         -(-inst.dst_bytes // write_bw))
             yield issue + max(alu, stream)
-            self.core.chip.energy.vector_op(
-                cfg.energy, inst.length, read_bytes + inst.dst_bytes)
+            pj["vector"] += e_vector * inst.length
+            pj["local_mem"] += e_lmem * (read_bytes + inst.dst_bytes)
             self._account(entry, start)
 
 
@@ -169,24 +263,36 @@ class TransferUnit(_UnitBase):
         chip = self.core.chip
         channel = chip.flow(flow_id)
         while True:
-            entry, issued_at = yield from queue.get()
+            ok, item = queue.try_get()
+            if not ok:
+                item = yield from queue.get()
+            entry, issued_at = item
             yield from channel.send(entry.inst.bytes)
             elapsed = self.sim.now - issued_at
             self.busy_cycles += elapsed
-            chip.layer_busy(entry.inst.layer, self.name, elapsed)
-            chip.trace_event(self.core.core_id, self.name, entry.inst)
-            self.core.rob.mark_done(entry)
+            layer = entry.inst.layer
+            cycles = self.layer_cycles
+            cycles[layer] = cycles.get(layer, 0) + elapsed
+            if self._traced:
+                chip.trace_event(self.core.core_id, self.name, entry.inst)
+            self._mark_done(entry)
 
     def _loop(self) -> Generator:
         cfg = self.core.config
         read_bw = cfg.core.local_memory_read_bytes_per_cycle
         write_bw = cfg.core.local_memory_write_bytes_per_cycle
         chip = self.core.chip
+        queue = self.queue
+        rob = self.core.rob
         while True:
-            entry = yield from self.queue.get()
-            yield from self._wait_ready(entry)
+            ok, entry = queue.try_get()
+            if not ok:
+                entry = yield from queue.get()
+            blocker = rob.oldest_conflict(entry)
+            while blocker is not None:
+                yield rob.ready_event(blocker)
+                blocker = rob.oldest_conflict(entry)
             inst = entry.inst
-            assert isinstance(inst, TransferInst)
             start = self.sim.now
             if inst.op == "SEND":
                 yield math.ceil(inst.bytes / read_bw)  # drain local memory
@@ -215,13 +321,23 @@ class ScalarUnit(_UnitBase):
 
     def _loop(self) -> Generator:
         cfg = self.core.config
+        latency = max(1, cfg.core.scalar_cycles)
+        energy = self.core.chip.energy
+        execute = self.core.execute_scalar
+        queue = self.queue
+        rob = self.core.rob
         while True:
-            entry = yield from self.queue.get()
-            yield from self._wait_ready(entry)
+            ok, entry = queue.try_get()
+            if not ok:
+                entry = yield from queue.get()
+            blocker = rob.oldest_conflict(entry)
+            while blocker is not None:
+                yield rob.ready_event(blocker)
+                blocker = rob.oldest_conflict(entry)
             inst = entry.inst
-            assert isinstance(inst, ScalarInst)
             start = self.sim.now
-            yield max(1, cfg.core.scalar_cycles)
-            self.core.execute_scalar(inst)
-            self.core.chip.energy.scalar_op(cfg.energy)
+            yield latency
+            execute(inst)
+            energy.scalar_op(cfg.energy)
             self._account(entry, start)
+

@@ -9,6 +9,7 @@ static verifier need.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -71,6 +72,38 @@ class Program:
         for inst in self.instructions:
             counts[inst.unit] += 1
         return counts
+
+    def static_blockers(self, window: int) -> tuple | None:
+        """Per-instruction static hazard predecessors under a ``window``-entry
+        ROB, or ``None`` when the program branches.
+
+        For a straight-line program (no branches — compiled programs are
+        straight-line; a trailing ``HALT`` is fine) the ROB's in-flight set
+        when instruction ``i`` dispatches is always a subset of the
+        ``window - 1`` instructions before it in program order, so which
+        older instructions can ever block ``i`` is a *static* property:
+        ``result[i]`` is the ascending tuple of indices ``j`` with
+        ``i - j < window`` whose dependence footprint conflicts with
+        ``i``'s.  The simulator's hazard checks then reduce to done-flag
+        tests on those entries (:class:`~repro.arch.rob.ReorderBuffer`
+        consumes this), with no per-issue window scan.
+
+        Computed by one program-order sweep over footprint-indexed
+        last-access maps (the static twin of the ROB's runtime scoreboard)
+        and cached per ``window``, so repeated simulations of one compiled
+        program — ROB sweeps, batched runs, benchmark repetitions — pay
+        the dependence analysis once.
+        """
+        cache = getattr(self, "_blocker_cache", None)
+        if cache is None:
+            cache = self._blocker_cache = {}
+        try:
+            return cache[window]
+        except KeyError:
+            pass
+        table = _build_static_blockers(self.instructions, window)
+        cache[window] = table
+        return table
 
     def listing(self, limit: int | None = None) -> str:
         """Readable assembly-style dump (first ``limit`` instructions)."""
@@ -163,3 +196,95 @@ class ChipProgram:
             f"  layers placed   : {len(self.layer_cores)}",
         ]
         return "\n".join(lines)
+
+
+def _build_static_blockers(instructions: list[Instruction],
+                           window: int) -> tuple | None:
+    """One-sweep static dependence analysis for ``Program.static_blockers``.
+
+    Maintains footprint-indexed maps of the last ``window - 1``
+    instructions' register/group/memory accesses while walking the program
+    in order; each instruction's conflicting predecessors are read
+    straight out of the buckets its own footprint names.  Returns ``None``
+    on the first branch (allocation order is no longer program order) —
+    the runtime scoreboard handles those programs.
+    """
+    group_users: dict[int, list[int]] = {}
+    reg_readers: dict[int, list[int]] = {}
+    reg_writers: dict[int, list[int]] = {}
+    mem_readers: deque = deque()  # (lo, hi, index), ascending index
+    mem_writers: deque = deque()
+    out: list[tuple[int, ...]] = []
+    for i, inst in enumerate(instructions):
+        if isinstance(inst, ScalarInst) and inst.is_control:
+            if inst.op != "HALT":
+                return None  # branchy: fall back to the runtime scoreboard
+            out.append(())  # HALT is handled at dispatch, never allocated
+            continue
+        try:
+            fp = inst._fp
+        except AttributeError:
+            fp = inst._footprint()
+        groups, reads_r, writes_r, reads_m, writes_m = fp
+        bound = i - window + 1
+        conf: set[int] = set()
+        for g in groups:
+            for j in group_users.get(g, ()):
+                if j >= bound:
+                    conf.add(j)
+        for r in reads_r:
+            for j in reg_writers.get(r, ()):
+                if j >= bound:
+                    conf.add(j)
+        for r in writes_r:
+            for j in reg_writers.get(r, ()):
+                if j >= bound:
+                    conf.add(j)
+            for j in reg_readers.get(r, ()):
+                if j >= bound:
+                    conf.add(j)
+        if reads_m or writes_m:
+            while mem_writers and mem_writers[0][2] < bound:
+                mem_writers.popleft()
+            for olo, ohi, j in mem_writers:
+                for lo, hi in reads_m:
+                    if lo < ohi and olo < hi:
+                        conf.add(j)
+                        break
+                else:
+                    for lo, hi in writes_m:
+                        if lo < ohi and olo < hi:
+                            conf.add(j)
+                            break
+        if writes_m:
+            while mem_readers and mem_readers[0][2] < bound:
+                mem_readers.popleft()
+            for olo, ohi, j in mem_readers:
+                for lo, hi in writes_m:
+                    if lo < ohi and olo < hi:
+                        conf.add(j)
+                        break
+        # Record this instruction's own accesses (prune lazily: the
+        # per-element lists stay short because older indices age out of
+        # the window and are dropped on the next touch).
+        for g in groups:
+            users = group_users.setdefault(g, [])
+            if users and users[0] < bound:
+                users[:] = [j for j in users if j >= bound]
+            users.append(i)
+        for r in reads_r:
+            readers = reg_readers.setdefault(r, [])
+            if readers and readers[0] < bound:
+                readers[:] = [j for j in readers if j >= bound]
+            readers.append(i)
+        for r in writes_r:
+            writers = reg_writers.setdefault(r, [])
+            if writers and writers[0] < bound:
+                writers[:] = [j for j in writers if j >= bound]
+            writers.append(i)
+        for lo, hi in reads_m:
+            mem_readers.append((lo, hi, i))
+        for lo, hi in writes_m:
+            mem_writers.append((lo, hi, i))
+        out.append(tuple(sorted(conf)))
+    return tuple(out)

@@ -56,11 +56,17 @@ class Fifo:
     def empty(self) -> bool:
         return not self._items
 
-    # Notifications are edge-triggered: ``_not_empty`` fires only on the
-    # empty->nonempty transition and ``_not_full`` only on full->notfull.
-    # Waiters only ever block on the corresponding boundary state, so every
-    # blocked coroutine still sees a wake-up, while steady-state streaming
-    # puts/gets schedule no kernel callbacks at all.
+    # Notifications are edge-triggered AND waiter-gated: ``_not_empty``
+    # fires only on the empty->nonempty transition and ``_not_full`` only
+    # on full->notfull, and only when some coroutine is actually blocked
+    # on that boundary.  Waiters re-check the queue state before blocking,
+    # so a transition with nobody waiting needs no kernel callback at all
+    # — steady-state streaming schedules nothing, and a consumer that
+    # arrives after the transition sees the items directly.
+    #
+    # ``try_put``/``try_get`` are the frame-free twins of the coroutines'
+    # nonblocking paths: hot loops call them first and fall into the
+    # generator only when the queue would actually block.
 
     def put(self, item: Any) -> Generator:
         """Coroutine: append ``item``, blocking while the fifo is full."""
@@ -70,7 +76,7 @@ class Fifo:
             while len(items) >= capacity:
                 yield self._not_full
         items.append(item)
-        if len(items) == 1:
+        if len(items) == 1 and self._not_empty._waiters:
             self._not_empty.notify()
 
     def get(self) -> Generator:
@@ -84,17 +90,19 @@ class Fifo:
             yield self._not_empty
         item = items.popleft()
         capacity = self.capacity
-        if capacity is not None and len(items) == capacity - 1:
+        if capacity is not None and len(items) == capacity - 1 \
+                and self._not_full._waiters:
             self._not_full.notify()
         return item
 
     def try_put(self, item: Any) -> bool:
         """Nonblocking put; returns False when full."""
-        if self.full:
-            return False
         items = self._items
+        capacity = self.capacity
+        if capacity is not None and len(items) >= capacity:
+            return False
         items.append(item)
-        if len(items) == 1:
+        if len(items) == 1 and self._not_empty._waiters:
             self._not_empty.notify()
         return True
 
@@ -105,7 +113,8 @@ class Fifo:
             return False, None
         item = items.popleft()
         capacity = self.capacity
-        if capacity is not None and len(items) == capacity - 1:
+        if capacity is not None and len(items) == capacity - 1 \
+                and self._not_full._waiters:
             self._not_full.notify()
         return True, item
 
@@ -192,6 +201,19 @@ class Mutex:
             yield wake
         self._locked = True
 
+    def try_acquire(self) -> bool:
+        """Nonblocking acquire; returns False when the lock is held.
+
+        Equivalent to the no-suspension path of :meth:`acquire` (including
+        its barging behaviour: an unlocked mutex is taken immediately even
+        while released-but-not-yet-woken waiters are queued), minus the
+        coroutine frame — the fast path for uncontended hot loops.
+        """
+        if self._locked:
+            return False
+        self._locked = True
+        return True
+
     def release(self) -> None:
         if not self._locked:
             raise ChannelError(f"release of unlocked mutex {self.name!r}")
@@ -231,6 +253,17 @@ class Resource:
             self._waiters.append(wake)
             yield wake
         self._in_use += 1
+
+    def try_acquire(self) -> bool:
+        """Nonblocking acquire; returns False when all slots are taken.
+
+        The frame-free twin of the no-suspension path of :meth:`acquire`
+        (same barging semantics as :meth:`Mutex.try_acquire`).
+        """
+        if self._in_use >= self.slots:
+            return False
+        self._in_use += 1
+        return True
 
     def release(self) -> None:
         if self._in_use <= 0:

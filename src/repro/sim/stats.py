@@ -71,10 +71,12 @@ class TimeWeighted:
     time-average follows.
     """
 
-    __slots__ = ("name", "_last_time", "_last_value", "_integral", "peak")
+    __slots__ = ("name", "_start_time", "_last_time", "_last_value",
+                 "_integral", "peak")
 
     def __init__(self, name: str = "", start_time: int = 0, start_value: float = 0.0) -> None:
         self.name = name
+        self._start_time = start_time
         self._last_time = start_time
         self._last_value = start_value
         self._integral = 0.0
@@ -94,8 +96,14 @@ class TimeWeighted:
         return self._integral + self._last_value * (now - self._last_time)
 
     def average(self, now: int) -> float:
-        """Time-average of the signal over ``[start, now]``."""
-        span = now - 0
+        """Time-average of the signal over ``[start_time, now]``.
+
+        The span is measured from the collector's ``start_time``, not
+        from 0 — a collector created mid-run averages only over its own
+        lifetime (regression: the seed divided by ``now``, deflating the
+        average of any late-created collector).
+        """
+        span = now - self._start_time
         return self.integral(now) / span if span else self._last_value
 
     @property

@@ -1,0 +1,214 @@
+"""Deterministic architecture-level workloads with completion-trace recording.
+
+Shared by the model-layer equivalence suite: each workload builds a
+hand-written chip program, runs it with instruction tracing enabled and
+returns a JSON-friendly record of *everything observable* — final cycle
+count, per-category energy, NoC totals, per-core stats, architectural
+registers and the full ``(cycle, core, unit, instruction)`` completion
+trace.  Golden copies recorded before the model-layer fast paths
+(incremental ROB scoreboard, per-entry ready events, route-cached NoC,
+zero-frame unit issue) pin the fast paths to the seed semantics
+*wake-order-exactly*, not just end-state-exactly.
+
+Two workloads:
+
+* ``branchy`` — a single core running scalar control flow (backward
+  branches, branch-source hazards) interleaved with MVMs that collide on
+  crossbar groups, vector ops with RAW/WAR memory overlaps and
+  global-memory traffic, under a tiny 4-entry ROB.  Exercises every
+  hazard kind the dispatch/issue path distinguishes.
+* ``contended`` — four cores on the 2x2 mesh: two cross-traffic flows
+  whose XY routes share links, a window=1 flow forcing credit stalls,
+  global-memory port contention from two cores, and shared-ADC
+  arbitration (``shared_adc_domains=1``) between MVMs to different
+  groups.  Exercises the NoC per-hop arbitration and ADC paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch import ChipModel
+from repro.config import tiny_chip
+from repro.isa import (
+    ChipProgram,
+    FlowInfo,
+    GroupTable,
+    MvmInst,
+    Program,
+    ScalarInst,
+    TransferInst,
+    VectorInst,
+)
+
+__all__ = ["run_arch_workload", "WORKLOADS"]
+
+
+def _traced(config, **core_overrides):
+    sim = dataclasses.replace(config.sim, trace=True)
+    core = dataclasses.replace(config.core, **core_overrides) \
+        if core_overrides else config.core
+    return dataclasses.replace(config, sim=sim, core=core)
+
+
+def _groups(config, core, n):
+    table = GroupTable(core=core)
+    for g in range(n):
+        table.define(f"l{g}", g, g, 1, config.crossbar.rows,
+                     config.crossbar.cols)
+    return table
+
+
+def _branchy() -> ChipModel:
+    # fetch_width=2 lets dispatch outrun the 1-cycle scalar chain, so the
+    # branch-source hazard wait is a measurable multi-cycle stall.
+    config = _traced(tiny_chip(), fetch_width=2)
+    table = _groups(config, 0, 2)
+    prog = Program(core=0, groups=table)
+    # Warm-up: a serial scalar chain feeding a branch while the ROB is
+    # still empty — the front-end reaches the branch before the chain
+    # retires, so dispatch measurably stalls on in-flight writers.
+    prog.append(ScalarInst(op="LI", rd=9, imm=1))
+    prog.append(ScalarInst(op="SADD", rd=10, rs1=9, rs2=9))
+    prog.append(ScalarInst(op="SADD", rd=10, rs1=10, rs2=9))
+    prog.append(ScalarInst(op="SADD", rd=10, rs1=10, rs2=9))
+    prog.append(ScalarInst(op="SBNE", rs1=10, rs2=9, target=6))  # taken: 4 != 1
+    prog.append(ScalarInst(op="LI", rd=11, imm=77))  # skipped
+    # Loop counter: 3 iterations of a body mixing all four units.
+    prog.append(ScalarInst(op="LI", rd=1, imm=3))
+    prog.append(ScalarInst(op="LI", rd=2, imm=1))
+    prog.append(ScalarInst(op="LI", rd=3, imm=0))
+    body = 9
+    # Two MVMs to the same group: structural hazard back-to-back.
+    prog.append(MvmInst(group=0, src=0, src_bytes=64, dst=1024,
+                        dst_bytes=256, count=2))
+    prog.append(MvmInst(group=0, src=64, src_bytes=64, dst=2048,
+                        dst_bytes=256, count=1))
+    # RAW through local memory on the first MVM's output.
+    prog.append(VectorInst(op="VRELU", src1=1024, src_bytes=256, dst=4096,
+                           dst_bytes=256, length=64))
+    # WAR: overwrite the VRELU source while it may still be reading.
+    prog.append(MvmInst(group=1, src=128, src_bytes=64, dst=1024,
+                        dst_bytes=256, count=1))
+    # Independent vector op that must flow past the blocked ones.
+    prog.append(VectorInst(op="VADD", src1=8192, src2=8448, src_bytes=256,
+                           dst=8704, dst_bytes=256, length=64))
+    # Global memory round trip (gmem port + mesh to the access point).
+    prog.append(TransferInst(op="STORE", addr=4096, bytes=256))
+    prog.append(TransferInst(op="LOAD", addr=12288, bytes=128))
+    # Register chain feeding the loop branch: the branch reads the end of
+    # a serial scalar chain, so dispatch must stall on in-flight writers
+    # (branch-source hazard through the ROB).
+    prog.append(ScalarInst(op="SADD", rd=4, rs1=1, rs2=2))
+    prog.append(ScalarInst(op="SMUL", rd=7, rs1=4, rs2=2))
+    prog.append(ScalarInst(op="SADD", rd=7, rs1=7, rs2=4))
+    prog.append(ScalarInst(op="SSUB", rd=1, rs1=1, rs2=2))
+    prog.append(ScalarInst(op="SBNE", rs1=1, rs2=3, target=body))
+    # Forward branch whose source is the tail of the serial r7 chain:
+    # dispatch stalls several cycles on the in-flight writers before it
+    # can resolve (nonzero hazard_stall_cycles).
+    prog.append(ScalarInst(op="SSUB", rd=8, rs1=7, rs2=7))
+    prog.append(ScalarInst(op="SBEQ", rs1=8, rs2=3, target=prog_len(prog) + 2))
+    prog.append(ScalarInst(op="LI", rd=5, imm=99))  # skipped: r8 is always 0
+    prog.append(ScalarInst(op="SADD", rd=6, rs1=4, rs2=2))
+    chip = ChipProgram(network="branchy")
+    chip.programs[0] = prog.seal()
+    return ChipModel(chip, config)
+
+
+def prog_len(prog: Program) -> int:
+    return len(prog.instructions)
+
+
+def _contended() -> ChipModel:
+    config = _traced(tiny_chip(), shared_adc_domains=1)
+    chip = ChipProgram(network="contended")
+    chip.flows[0] = FlowInfo(flow_id=0, src_core=0, dst_core=3, layer="f0",
+                             n_messages=4, bytes_per_message=96, window=2)
+    chip.flows[1] = FlowInfo(flow_id=1, src_core=1, dst_core=2, layer="f1",
+                             n_messages=4, bytes_per_message=96, window=1)
+    chip.flows[2] = FlowInfo(flow_id=2, src_core=3, dst_core=0, layer="f2",
+                             n_messages=2, bytes_per_message=64, window=2)
+
+    # core 0: sends on flow 0, receives flow 2, MVMs contending on one ADC.
+    t0 = _groups(config, 0, 2)
+    p0 = Program(core=0, groups=t0)
+    p0.append(MvmInst(group=0, src=0, src_bytes=64, dst=1024,
+                      dst_bytes=192, count=2, layer="f0"))
+    p0.append(MvmInst(group=1, src=64, src_bytes=64, dst=2048,
+                      dst_bytes=192, count=1, layer="f0"))
+    for seq in range(4):
+        p0.append(TransferInst(op="SEND", peer=3, addr=1024, bytes=96,
+                               flow=0, seq=seq, layer="f0"))
+    for seq in range(2):
+        p0.append(TransferInst(op="RECV", peer=3, addr=4096 + 64 * seq,
+                               bytes=64, flow=2, seq=seq, layer="f2"))
+    chip.programs[0] = p0.seal()
+
+    # core 1: window-1 flow to core 2 plus gmem traffic (port contention).
+    p1 = Program(core=1, groups=GroupTable(core=1))
+    for seq in range(4):
+        p1.append(TransferInst(op="SEND", peer=2, addr=0, bytes=96,
+                               flow=1, seq=seq, layer="f1"))
+    p1.append(TransferInst(op="LOAD", addr=8192, bytes=256, layer="f1"))
+    chip.programs[1] = p1.seal()
+
+    # core 2: receives flow 1 slowly — each RECV is followed by a long
+    # vector op whose source window spans the *next* receive buffer, so
+    # the WAR hazard serializes the stream and the window-1 sender hits
+    # credit backpressure — then stores to global memory (contending on
+    # the gmem port with core 1's LOAD).
+    p2 = Program(core=2, groups=GroupTable(core=2))
+    for seq in range(4):
+        p2.append(TransferInst(op="RECV", peer=1, addr=512 * seq, bytes=96,
+                               flow=1, seq=seq, layer="f1"))
+        p2.append(VectorInst(op="VRELU", src1=512 * seq, src_bytes=4096,
+                             dst=8192 + 512 * seq, dst_bytes=96, length=1024,
+                             layer="f1"))
+    p2.append(TransferInst(op="STORE", addr=8192, bytes=256, layer="f1"))
+    chip.programs[2] = p2.seal()
+
+    # core 3: receives flow 0, replies on flow 2.
+    p3 = Program(core=3, groups=GroupTable(core=3))
+    for seq in range(4):
+        p3.append(TransferInst(op="RECV", peer=0, addr=256 * seq, bytes=96,
+                               flow=0, seq=seq, layer="f0"))
+    for seq in range(2):
+        p3.append(TransferInst(op="SEND", peer=0, addr=0, bytes=64,
+                               flow=2, seq=seq, layer="f2"))
+    chip.programs[3] = p3.seal()
+    return ChipModel(chip, config)
+
+
+WORKLOADS = {"branchy": _branchy, "contended": _contended}
+
+
+def run_arch_workload(name: str) -> dict:
+    """Run one workload; returns a JSON-friendly full-observability record."""
+    model = WORKLOADS[name]()
+    result = model.run()
+    return {
+        "workload": name,
+        "cycles": result.cycles,
+        "energy_pj": result.energy_pj,
+        "noc": {k: v for k, v in result.noc.items() if k != "hottest_links"},
+        "hottest_links": result.noc["hottest_links"],
+        "flow_stalls": result.flow_stalls,
+        "per_core": {str(cid): stats for cid, stats in result.per_core.items()},
+        "regs": {str(cid): core.regs for cid, core in model.cores.items()},
+        "trace": [[t, c, u, i] for t, c, u, i in result.trace],
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover - golden (re)recording aid
+    import json
+    import pathlib
+    import sys
+
+    out_dir = pathlib.Path(__file__).parent / "golden"
+    for name in sys.argv[1:] or WORKLOADS:
+        record = run_arch_workload(name)
+        path = out_dir / f"arch_trace_{name}.json"
+        path.write_text(json.dumps(record, indent=1) + "\n")
+        print(f"wrote {path} ({record['cycles']} cycles, "
+              f"{len(record['trace'])} trace events)")

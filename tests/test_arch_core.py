@@ -183,6 +183,28 @@ class TestMatrixUnit:
         assert raw.energy_pj["adc"] > 0
         assert raw.energy_pj["dac"] > 0
 
+    def test_mvm_energy_matches_energy_meter(self):
+        """The matrix unit's inlined per-instruction charges must equal
+        what :class:`EnergyMeter` computes for the same MVM — the hot
+        path hand-copies the formulas, this pins the copies together
+        (and the no-ADC callback path to the ADC coroutine path, which
+        share the charge site)."""
+        from repro.arch.energy import EnergyMeter
+
+        config = tiny_chip()
+        table = GroupTable(core=0)
+        table.define("l", 0, 0, 2, 64, 128)
+        inst = MvmInst(group=0, src=0, src_bytes=64, dst=256,
+                       dst_bytes=512, count=3)
+        raw = run_single([inst], groups=table, config=config)
+
+        reference = EnergyMeter()
+        reference.mvm(config.energy, 64, 128, config.crossbar.dac_phases, 3)
+        in_bytes = 3 * 64 * config.compiler.activation_bytes
+        reference.local_mem(config.energy, in_bytes + inst.dst_bytes)
+        for category in ("xbar", "dac", "adc", "local_mem"):
+            assert raw.energy_pj[category] == reference.pj[category], category
+
 
 class TestVectorUnit:
     def test_latency_scales_with_length(self):
@@ -221,6 +243,22 @@ class TestVectorUnit:
                                      length=64)], config=config)
         assert raw.energy_pj["vector"] == pytest.approx(
             config.energy.vector_pj_per_element * 64)
+
+    def test_vector_energy_matches_energy_meter(self):
+        """The vector unit's inlined charges must equal
+        :meth:`EnergyMeter.vector_op` for the same instruction (the hot
+        loop hand-copies the formula — this pins the copy)."""
+        from repro.arch.energy import EnergyMeter
+
+        config = tiny_chip()
+        inst = VectorInst(op="VADD", src1=0, src2=512, dst=1024,
+                          dst_bytes=256, src_bytes=256, length=64)
+        raw = run_single([inst], config=config)
+        reference = EnergyMeter()
+        reference.vector_op(config.energy, inst.length,
+                            inst.src_bytes * 2 + inst.dst_bytes)
+        assert raw.energy_pj["vector"] == reference.pj["vector"]
+        assert raw.energy_pj["local_mem"] == reference.pj["local_mem"]
 
 
 class TestTransferAndRob:

@@ -79,6 +79,28 @@ class TestMeshNoc:
         assert done == [0]
         assert noc.byte_hops == 0
 
+    def test_same_node_accounting(self):
+        """A zero-hop message is a real message (the local delivery
+        happens, so ``messages_sent``/``bytes_sent`` count it) but it
+        touches no link: no byte-hops, no per-link traffic, no NoC energy
+        and no latency."""
+        sim = Simulator()
+        cfg = paper_chip()
+        meter = EnergyMeter()
+        noc = MeshNoc(sim, cfg, meter)
+
+        def sender():
+            yield from noc.transmit(3, 3, 512)
+
+        sim.spawn(sender())
+        sim.run()
+        assert noc.messages_sent == 1
+        assert noc.bytes_sent == 512
+        assert noc.byte_hops == 0
+        assert noc.link_bytes == {}
+        assert meter.pj["noc"] == 0.0
+        assert sim.now == 0  # delivered without advancing time
+
     def test_contention_serializes_shared_link(self):
         cfg = paper_chip()
         sim, noc = _noc(cfg)
@@ -109,6 +131,41 @@ class TestMeshNoc:
         sim.spawn(sender())
         sim.run()
         assert finish[0] == finish[1]
+
+    def test_no_contention_cycle_count(self):
+        """Pin the single-yield fast path: an uncontended traversal takes
+        exactly hops * (hop_cycles + serialization) and a multi-process
+        mix (mesh + gmem port) stays cycle-deterministic."""
+        cfg = tiny_chip()
+        cfg = dataclasses.replace(cfg, noc=dataclasses.replace(
+            cfg.noc, model_contention=False))
+        sim = Simulator()
+        meter = EnergyMeter()
+        noc = MeshNoc(sim, cfg, meter)
+        gmem = GlobalMemory(sim, cfg, noc, meter)
+        finish = {}
+
+        def sender(tag, src, dst, nbytes):
+            yield from noc.transmit(src, dst, nbytes)
+            finish[tag] = sim.now
+
+        def loader(tag, core, nbytes):
+            yield from gmem.access(core, nbytes, write=False)
+            finish[tag] = sim.now
+
+        sim.spawn(sender("mesh", 0, 3, 96))       # 2 hops on the 2x2 mesh
+        sim.spawn(loader("near_load", 1, 64))     # 1 hop to gmem at (0,0)
+        sim.spawn(loader("far_load", 3, 64))      # 2 hops, loses the port
+        sim.run()
+        per_hop = cfg.noc.hop_cycles + -(-96 // cfg.noc.link_bytes_per_cycle)
+        assert finish["mesh"] == 2 * per_hop
+        gmem_cost = cfg.chip.global_memory_latency_cycles \
+            + -(-64 // cfg.chip.global_memory_bytes_per_cycle)
+        hop64 = cfg.noc.hop_cycles + -(-64 // cfg.noc.link_bytes_per_cycle)
+        assert finish["near_load"] == hop64 + gmem_cost
+        # the far core reaches the port second and waits for it
+        assert finish["far_load"] == max(2 * hop64, finish["near_load"]) \
+            + gmem_cost
 
     def test_traffic_accounting(self):
         sim, noc = _noc()

@@ -91,7 +91,7 @@ class TestRetirement:
         entries = [rob.allocate(mvm(group=i, dst=i * 10)) for i in range(5)]
         for entry in entries:
             rob.mark_done(entry)
-        assert rob.occupancy.peak == 5
+        assert rob.occupancy_peak == 5
 
 
 class TestHazards:

@@ -1,13 +1,20 @@
-"""Kernel-equivalence suite.
+"""Kernel- and model-equivalence suite.
 
 The scheduler was rewritten (delta queue + bucketed near wheel + far heap,
-see ``repro/sim/kernel.py``); these tests pin its observable semantics to
-the seed kernel's, via golden traces recorded on the original single-heap
-implementation:
+see ``repro/sim/kernel.py``) and the model layer gained fast paths
+(incremental ROB scoreboard + static blocker tables, per-entry ready
+events, route-cached NoC, zero-frame unit issue); these tests pin the
+observable semantics to the seed's, via golden traces recorded on the
+pre-optimization implementations:
 
-* seeded random workloads mixing timed waits, AnyOf/AllOf, Fifo /
+* seeded random kernel workloads mixing timed waits, AnyOf/AllOf, Fifo /
   Rendezvous / Mutex / Resource traffic — the full wake-order trace, final
   time and pending count must match the seed recording bit-for-bit;
+* architecture-level workloads (a branchy scalar program, a contended
+  NoC/ADC/gmem mesh) whose *entire* observable record — cycles, per-core
+  stats, registers, NoC totals and the per-instruction completion trace,
+  including same-cycle ordering — must match the pre-fast-path recording
+  (wake-order pinning, not just end-state pinning);
 * one end-to-end compile+simulate (``vgg8`` on the small chip) whose
   cycles, per-category energy and NoC totals must match the seed run.
 
@@ -20,6 +27,7 @@ from pathlib import Path
 
 import pytest
 
+from _arch_workload import run_arch_workload
 from _kernel_workload import run_workload
 from repro.sim import AllOf, AnyOf, Event, Simulator
 
@@ -33,6 +41,24 @@ def test_workload_trace_matches_seed_kernel(seed):
     assert got["now"] == golden["now"]
     assert got["pending"] == golden["pending"]
     assert got["trace"] == golden["trace"]
+
+
+@pytest.mark.parametrize("name", ["branchy", "contended"])
+def test_arch_workload_trace_matches_seed_models(name):
+    """Model-layer fast paths are wake-order-equivalent to the seed
+    models: every field of the record — including the completion trace's
+    same-cycle event ordering — matches the golden recorded before the
+    scoreboard/NoC/zero-frame rework.  Energy sums are floats whose
+    accumulation order may legitimately differ within a cycle, so they
+    get a tolerance; everything else is exact."""
+    golden = json.loads((GOLDEN_DIR / f"arch_trace_{name}.json").read_text())
+    got = json.loads(json.dumps(run_arch_workload(name)))
+    for category, pj in golden["energy_pj"].items():
+        assert got["energy_pj"][category] == pytest.approx(pj, rel=1e-12), category
+    for key in golden:
+        if key == "energy_pj":
+            continue
+        assert got[key] == golden[key], f"{name}: {key} diverged"
 
 
 def test_simulate_vgg8_matches_seed_kernel():

@@ -1,0 +1,180 @@
+"""Randomized oracle tests for the ROB hazard engines.
+
+The seed answered hazard queries with a linear ``conflicts_with`` scan of
+the window; the ROB now answers them with an incremental scoreboard
+(footprint-indexed buckets + flat memory maps) or, for straight-line
+programs, a precomputed static blocker table.  These tests drive both
+engines through randomized instruction mixes — all four unit types,
+deliberately colliding register/memory/group footprints, branches for the
+``has_conflict`` path — against the brute-force oracle, across random
+allocate/complete interleavings.
+"""
+
+import random
+
+import pytest
+
+from repro.arch import ReorderBuffer
+from repro.isa import (
+    MvmInst,
+    Program,
+    ScalarInst,
+    TransferInst,
+    VectorInst,
+)
+from repro.sim import Simulator
+
+
+def random_inst(rng: random.Random):
+    """A random instruction with a small footprint universe so overlaps
+    are frequent: 4 groups, 6 registers, 8 memory slots of 64 bytes with
+    random extents (partial overlaps included)."""
+    roll = rng.random()
+    addr = rng.randrange(8) * 64
+    nbytes = rng.choice((32, 64, 96, 128))
+    if roll < 0.3:
+        return MvmInst(group=rng.randrange(4), src=addr, src_bytes=nbytes,
+                       dst=rng.randrange(8) * 64, dst_bytes=nbytes,
+                       count=rng.randint(1, 3))
+    if roll < 0.6:
+        op = rng.choice(("VADD", "VRELU", "VMOV"))
+        return VectorInst(op=op, src1=addr, src2=rng.randrange(8) * 64,
+                          src_bytes=nbytes, dst=rng.randrange(8) * 64,
+                          dst_bytes=nbytes, length=16)
+    if roll < 0.8:
+        op = rng.choice(("SEND", "RECV", "LOAD", "STORE"))
+        return TransferInst(op=op, addr=addr, bytes=nbytes,
+                            flow=rng.randrange(3), seq=0)
+    op = rng.choice(("LI", "SADD", "SMUL", "SAND"))
+    return ScalarInst(op=op, rd=rng.randrange(6), rs1=rng.randrange(6),
+                      rs2=rng.randrange(6), imm=rng.randrange(100))
+
+
+def oracle_conflicts_before(rob, entry):
+    """The seed's linear scan, verbatim."""
+    for older in rob.entries:
+        if older is entry:
+            return False
+        if not older.done and entry.inst.conflicts_with(older.inst):
+            return True
+    return False
+
+
+def oracle_oldest(rob, entry):
+    for older in rob.entries:
+        if older is entry:
+            return None
+        if not older.done and entry.inst.conflicts_with(older.inst):
+            return older
+    return None
+
+
+def oracle_has_conflict(rob, inst):
+    return any(not e.done and inst.conflicts_with(e.inst)
+               for e in rob.entries)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_scoreboard_matches_linear_scan(seed):
+    """Random allocate/complete interleavings: every scoreboard answer
+    (boolean and oldest-entry) must match the seed's linear scan."""
+    rng = random.Random(seed)
+    rob = ReorderBuffer(Simulator(), rng.choice((2, 3, 4, 8, 16)))
+    live = []
+    for _ in range(300):
+        if live and (rng.random() < 0.4 or rob.full):
+            victim = rng.choice(live)
+            live.remove(victim)
+            rob.mark_done(victim)
+            continue
+        entry = rob.allocate(random_inst(rng))
+        live.append(entry)
+        # probe every in-flight entry plus a fresh branch-style inst
+        for probe in live:
+            assert rob.conflicts_before(probe) == \
+                oracle_conflicts_before(rob, probe)
+            assert rob.oldest_conflict(probe) is oracle_oldest(rob, probe)
+        branch = ScalarInst(op="SBEQ", rs1=rng.randrange(6),
+                            rs2=rng.randrange(6), target=0)
+        assert rob.has_conflict(branch) == oracle_has_conflict(rob, branch)
+        scalar = random_inst(rng)
+        assert rob.has_conflict(scalar) == oracle_has_conflict(rob, scalar)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_static_table_matches_linear_scan(seed):
+    """Table mode (straight-line sealed program): drive an in-order
+    allocate / out-of-order complete walk and compare every answer with
+    the oracle, plus the branch-path linear fallback."""
+    rng = random.Random(1000 + seed)
+    window = rng.choice((2, 3, 4, 8))
+    program = Program(core=0)
+    for _ in range(120):
+        program.append(random_inst(rng))
+    program.seal()
+    table = program.static_blockers(window)
+    assert table is not None
+
+    rob = ReorderBuffer(Simulator(), window, static_blockers=table)
+    insts = program.instructions
+    live = []
+    pc = 0
+    while pc < len(insts) or live:
+        can_alloc = pc < len(insts) and not rob.full \
+            and not (isinstance(insts[pc], ScalarInst)
+                     and insts[pc].is_control)
+        if can_alloc and (not live or rng.random() < 0.6):
+            entry = rob.allocate(insts[pc])
+            live.append(entry)
+            pc += 1
+        elif live:
+            victim = rng.choice(live)
+            live.remove(victim)
+            rob.mark_done(victim)
+        else:
+            break
+        for probe in live:
+            assert rob.conflicts_before(probe) == \
+                oracle_conflicts_before(rob, probe)
+            assert rob.oldest_conflict(probe) is oracle_oldest(rob, probe)
+        branch = ScalarInst(op="SBNE", rs1=rng.randrange(6),
+                            rs2=rng.randrange(6), target=0)
+        assert rob.has_conflict(branch) == oracle_has_conflict(rob, branch)
+
+
+def test_static_blockers_none_for_branchy_programs():
+    program = Program(core=0)
+    program.append(ScalarInst(op="LI", rd=1, imm=3))
+    program.append(ScalarInst(op="SBNE", rs1=1, rs2=0, target=0))
+    program.seal()
+    assert program.static_blockers(4) is None
+
+
+def test_static_blockers_cached_per_window():
+    program = Program(core=0)
+    for i in range(10):
+        program.append(VectorInst(op="VMOV", src1=64 * i, src_bytes=64,
+                                  dst=64 * (i + 1), dst_bytes=64, length=16))
+    program.seal()
+    t4 = program.static_blockers(4)
+    assert program.static_blockers(4) is t4  # cached
+    t2 = program.static_blockers(2)
+    assert t2 is not t4
+    # the chain VMOVs conflict with their immediate predecessor (RAW)
+    assert all(i - 1 in t4[i] for i in range(1, 10))
+
+
+def test_static_blockers_window_bound():
+    """Conflicts further apart than the window are excluded: they can
+    never be in flight together."""
+    program = Program(core=0)
+    # instructions 0 and 5 write the same memory; 1..4 are unrelated
+    program.append(VectorInst(op="VMOV", src1=0, src_bytes=32, dst=1024,
+                              dst_bytes=32, length=8))
+    for i in range(4):
+        program.append(ScalarInst(op="LI", rd=i, imm=i))
+    program.append(VectorInst(op="VMOV", src1=64, src_bytes=32, dst=1024,
+                              dst_bytes=32, length=8))
+    program.seal()
+    assert 0 in program.static_blockers(8)[5]
+    assert 0 not in program.static_blockers(4)[5]

@@ -1,0 +1,68 @@
+"""Tests for the run_bench.py regression gate (--check)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+RUN_BENCH = Path(__file__).parent.parent / "benchmarks" / "run_bench.py"
+
+
+def _load_run_bench():
+    spec = importlib.util.spec_from_file_location("run_bench", RUN_BENCH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("run_bench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+run_bench = _load_run_bench()
+
+
+def _bench(mean):
+    return {"mean_s": mean, "min_s": mean, "stddev_s": 0.0,
+            "rounds": 3, "ops_per_sec": 1.0 / mean}
+
+
+class TestCheckRegressions:
+    def test_within_tolerance_passes(self):
+        current = {"a": _bench(0.105)}
+        baseline = {"a": _bench(0.100)}
+        assert run_bench.check_regressions(current, baseline, 0.10) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        current = {"a": _bench(0.125)}
+        baseline = {"a": _bench(0.100)}
+        assert run_bench.check_regressions(current, baseline, 0.10) == ["a"]
+
+    def test_improvement_passes(self):
+        current = {"a": _bench(0.050)}
+        baseline = {"a": _bench(0.100)}
+        assert run_bench.check_regressions(current, baseline, 0.10) == []
+
+    def test_noisy_mean_with_stable_min_passes(self):
+        """The gate compares minima: a mean inflated by host noise does
+        not fail the check while the floor holds."""
+        current = {"a": dict(_bench(0.100), mean_s=0.200)}
+        baseline = {"a": _bench(0.100)}
+        assert run_bench.check_regressions(current, baseline, 0.10) == []
+
+    def test_falls_back_to_mean_without_min(self):
+        current = {"a": {"mean_s": 0.2}}
+        baseline = {"a": {"mean_s": 0.1}}
+        assert run_bench.check_regressions(current, baseline, 0.10) == ["a"]
+
+    def test_new_benchmark_not_gated(self):
+        current = {"brand_new": _bench(9.9)}
+        baseline = {"a": _bench(0.1)}
+        assert run_bench.check_regressions(current, baseline, 0.10) == []
+
+    def test_multiple_failures_collected(self):
+        current = {"a": _bench(0.2), "b": _bench(0.3), "c": _bench(0.1)}
+        baseline = {"a": _bench(0.1), "b": _bench(0.1), "c": _bench(0.1)}
+        assert sorted(run_bench.check_regressions(current, baseline, 0.10)) \
+            == ["a", "b"]
+
+    def test_check_requires_baseline(self, capsys):
+        import pytest
+        with pytest.raises(SystemExit):
+            run_bench.main(["--check"])

@@ -48,6 +48,21 @@ class TestTimeWeighted:
         w.update(5, 0.0)
         assert w.average(10) == pytest.approx(5.0)
 
+    def test_average_respects_start_time(self):
+        """A collector created mid-run averages over its own lifetime,
+        not from cycle 0 (regression: the seed divided by ``now``,
+        deflating the average of late-created collectors)."""
+        w = TimeWeighted(start_time=100, start_value=4.0)
+        # constant 4.0 over [100, 150): the average is 4.0, not 4.0 * 50/150
+        assert w.average(150) == pytest.approx(4.0)
+        w.update(150, 8.0)
+        # 4.0 over [100,150) + 8.0 over [150,200) -> average 6.0
+        assert w.average(200) == pytest.approx(6.0)
+
+    def test_average_at_start_time_is_current_value(self):
+        w = TimeWeighted(start_time=42, start_value=3.5)
+        assert w.average(42) == 3.5
+
     def test_peak_tracking(self):
         w = TimeWeighted()
         w.update(1, 3.0)
