@@ -15,6 +15,11 @@ prebuilt once like any repeated-simulation workflow would).
 * ``noc_contention`` — four cores exchanging windowed flows over shared
   mesh links plus global-memory traffic: per-hop arbitration, route
   cache, credit backpressure.
+
+ISSUE 3 adds a second end-to-end metric: the simulate-only phase of
+``vit_tiny`` on the small chip, so the BENCH trajectory tracks
+attention-heavy simulate time (dynamic VMATMUL streams, transcendental
+vector ops, full-input flow windows) alongside the CNN metric.
 """
 
 import dataclasses
@@ -134,6 +139,18 @@ def test_model_simulate_only_vgg8(benchmark):
     the 138 ms simulate-only phase recorded for PR 1)."""
     config = small_chip()
     compiled = compile_model("vgg8", config)
+    result = benchmark.pedantic(run_program, args=(compiled.program, config),
+                                rounds=9, iterations=1, warmup_rounds=1)
+    assert result.cycles > 0
+
+
+def test_model_simulate_only_vit_tiny(benchmark):
+    """Attention-heavy trajectory metric (ISSUE 3): simulate-only phase
+    of vit_tiny on the small chip.  Unlike the CNN metric this exercises
+    the dynamic-matmul / softmax / layernorm vector-unit paths and the
+    full-input flow windows attention compiles to."""
+    config = small_chip()
+    compiled = compile_model("vit_tiny", config)
     result = benchmark.pedantic(run_program, args=(compiled.program, config),
                                 rounds=9, iterations=1, warmup_rounds=1)
     assert result.cycles > 0

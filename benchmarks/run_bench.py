@@ -43,8 +43,10 @@ Output-record fields::
                            ops_per_sec}} across all suites; kernel names
                            are ``test_kernel_*`` / ``test_end_to_end_*``,
                            model names are ``test_model_*`` (including
-                           ``test_model_simulate_only_vgg8``, the
-                           simulate-only trajectory metric)
+                           the simulate-only trajectory metrics
+                           ``test_model_simulate_only_vgg8`` and the
+                           attention-heavy
+                           ``test_model_simulate_only_vit_tiny``)
     baseline              the baseline's benchmarks (with --baseline)
     speedup_vs_baseline   {test name: baseline mean / new mean}
 """

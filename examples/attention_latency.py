@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Attention workload walkthrough: a ViT-tiny latency/energy sweep.
+
+Transformers split their work across the two halves of a PIM core:
+per-token projections (Q/K/V, output, MLP) are static weights living in
+crossbars, while the attention products (scores = Q.K^T, softmax,
+context = scores.V) are *dynamic* — both operands are activations — so
+they run as MAC streams on the vector unit.  This example sweeps the
+token count (image resolution) and shows how the dynamic share grows:
+attention MACs scale with tokens^2 while projection work scales with
+tokens, which is exactly why long sequences push PIM designs toward
+beefier vector units.
+
+    python examples/attention_latency.py [--paper] [--depth N] [--dim D]
+"""
+
+import argparse
+
+from repro import paper_chip, simulate, small_chip
+from repro.analysis import ascii_bars, attention_share, op_class_breakdown
+from repro.models import vit_tiny
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper", action="store_true",
+                        help="use the 64-core paper chip (slower)")
+    parser.add_argument("--depth", type=int, default=2)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--heads", type=int, default=2)
+    parser.add_argument("--sizes", default="16,24,32",
+                        help="comma-separated input resolutions")
+    args = parser.parse_args()
+
+    config = paper_chip() if args.paper else small_chip()
+    sizes = [int(s) for s in args.sizes.split(",")]
+
+    latencies = {}
+    for size in sizes:
+        patch = 4 if size <= 64 else 16
+        net = vit_tiny((3, size, size), dim=args.dim, depth=args.depth,
+                       heads=args.heads, patch=patch)
+        report = simulate(net, config)
+        tokens = (size // patch) ** 2
+        latencies[f"{size}x{size} ({tokens:>3} tokens)"] = report.latency_ms
+        print(f"ViT-tiny @ {size}x{size}: {report.cycles:,} cycles = "
+              f"{report.latency_ms:.3f} ms, {report.energy_uj:.2f} uJ, "
+              f"attention share {attention_share(report):.1%}")
+        by_op = op_class_breakdown(report)
+        busiest = sorted(by_op.items(),
+                         key=lambda kv: -sum(kv[1].values()))[:4]
+        for op, units in busiest:
+            total = sum(units.values())
+            where = ", ".join(f"{u}={c:,}" for u, c in
+                              sorted(units.items(), key=lambda kv: -kv[1]))
+            print(f"    {op:<10} {total:>10,} busy cycles  ({where})")
+
+    print()
+    print(ascii_bars(latencies, title="ViT-tiny latency (ms) vs resolution:"))
+
+
+if __name__ == "__main__":
+    main()

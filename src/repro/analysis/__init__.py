@@ -1,6 +1,13 @@
 """Result analysis: breakdowns, normalization, text charts, reports."""
 
-from .breakdown import comm_ratios, energy_breakdown, nth_conv_layer, unit_breakdown
+from .breakdown import (
+    attention_share,
+    comm_ratios,
+    energy_breakdown,
+    nth_conv_layer,
+    op_class_breakdown,
+    unit_breakdown,
+)
 from .charts import ascii_bars, normalize, series_table
 from .report import core_table, full_report, layer_table
 from .timeline import core_activity, timeline
@@ -10,6 +17,8 @@ __all__ = [
     "comm_ratios",
     "energy_breakdown",
     "nth_conv_layer",
+    "op_class_breakdown",
+    "attention_share",
     "normalize",
     "ascii_bars",
     "series_table",

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from ..runner.results import SimReport
 
-__all__ = ["unit_breakdown", "comm_ratios", "energy_breakdown", "nth_conv_layer"]
+__all__ = ["unit_breakdown", "comm_ratios", "energy_breakdown",
+           "nth_conv_layer", "op_class_breakdown", "attention_share"]
+
+#: graph ops that make up the dynamic attention path (vector-unit work
+#: that crossbars cannot absorb).
+ATTENTION_OPS = ("matmul", "softmax", "layernorm", "gelu", "transpose")
 
 
 def unit_breakdown(report: SimReport) -> dict[str, int]:
@@ -28,6 +33,50 @@ def energy_breakdown(report: SimReport) -> dict[str, float]:
     if total <= 0:
         return {k: 0.0 for k in report.energy_pj}
     return {k: v / total for k, v in report.energy_pj.items()}
+
+
+def op_class_breakdown(report: SimReport) -> dict[str, dict[str, int]]:
+    """Busy cycles per graph op class, per execution unit.
+
+    Groups :attr:`~repro.runner.results.SimReport.layer_busy` by the
+    originating graph operator (``conv``, ``fc``, ``matmul``,
+    ``softmax``, ``layernorm``, ...), using the compiler's ``stage_ops``
+    metadata.  This is how attention-heavy workloads are read: dynamic
+    matmuls and normalizations land on the vector unit, projections on
+    the matrix unit.  Layers without metadata (hand-written programs)
+    group under ``"?"``.
+    """
+    stage_ops: dict[str, str] = report.meta.get("stage_ops", {})
+    out: dict[str, dict[str, int]] = {}
+    for layer, busy in report.layer_busy.items():
+        op = stage_ops.get(layer, "?")
+        per_unit = out.setdefault(op, {})
+        for unit, cycles in busy.items():
+            per_unit[unit] = per_unit.get(unit, 0) + cycles
+    return out
+
+
+def attention_share(report: SimReport) -> float:
+    """Share of total busy time spent in the dynamic vector-unit ops
+    attention leans on (matmul / softmax / layernorm / gelu /
+    transpose).  0.0 for networks that compile none of these stages —
+    the zoo CNNs — but note the set is op-based, not topology-based: a
+    standalone softmax classifier or an unfused gelu stage in a CNN
+    counts toward the share too.
+
+    Attribution follows the compiled stage, which matches how the
+    hardware executes: a gelu *fused* into its producing conv/fc stage
+    (the default under ``operator_fusion``) counts toward that stage's
+    op, not toward this share — so the metric is a property of the
+    compiled program, not fusion-invariant across compiler settings.
+    """
+    by_op = op_class_breakdown(report)
+    total = sum(c for per_unit in by_op.values() for c in per_unit.values())
+    if not total:
+        return 0.0
+    attn = sum(c for op, per_unit in by_op.items() if op in ATTENTION_OPS
+               for c in per_unit.values())
+    return attn / total
 
 
 def nth_conv_layer(report: SimReport, n: int) -> str:

@@ -42,6 +42,18 @@ class EnergyMeter:
         pj["vector"] += energy_cfg.vector_pj_per_element * length
         pj["local_mem"] += energy_cfg.local_mem_pj_per_byte * mem_bytes
 
+    def vector_special_op(self, energy_cfg, length: int, mem_bytes: int) -> None:
+        """Transcendental-heavy vector op (softmax / layernorm / gelu)."""
+        pj = self.pj
+        pj["vector"] += energy_cfg.vector_special_pj_per_element * length
+        pj["local_mem"] += energy_cfg.local_mem_pj_per_byte * mem_bytes
+
+    def vector_macs(self, energy_cfg, macs: int, mem_bytes: int) -> None:
+        """Dynamic matmul on the vector unit: ``macs`` multiply-accumulates."""
+        pj = self.pj
+        pj["vector"] += energy_cfg.vector_mac_pj * macs
+        pj["local_mem"] += energy_cfg.local_mem_pj_per_byte * mem_bytes
+
     def scalar_op(self, energy_cfg) -> None:
         self.pj["scalar"] += energy_cfg.scalar_pj_per_op
 

@@ -34,7 +34,7 @@ import math
 from functools import partial
 from typing import TYPE_CHECKING, Generator
 
-from ..isa import MvmInst
+from ..isa import MvmInst, VECTOR_SPECIAL_OPS
 from ..sim import Fifo, Resource
 from .rob import RobEntry
 
@@ -196,18 +196,46 @@ class MatrixUnit(_UnitBase):
 
 
 class VectorUnit(_UnitBase):
+    """SIMD unit with a per-op cost model.
+
+    Plain element-wise ops retire ``vector_lanes`` elements per cycle at
+    ``vector_pj_per_element``.  Two op classes cost differently (the
+    attention extension):
+
+    * ``VECTOR_SPECIAL_OPS`` (softmax / layernorm / gelu) run an exp /
+      rsqrt / erf micro-pipeline per element:
+      ``vector_special_cycles_per_element`` cycles of ALU time and
+      ``vector_special_pj_per_element`` of energy per element;
+    * ``VMATMUL`` — the dynamic activation x activation product that
+      cannot live in crossbars — counts ``length`` multiply-accumulates
+      (``vector_lanes`` MACs/cycle, ``vector_mac_pj`` each).
+
+    All other opcodes keep the exact seed arithmetic (order included),
+    so CNN simulations stay bit-identical to the golden recordings.
+    Note ``VSOFTMAX`` predates this model but joins the special class —
+    softmax *is* an exp pipeline, and the seed's 1-element/cycle cost
+    undercharged it; no zoo network or golden trace emits it, but
+    hand-built graphs with a standalone softmax stage will report higher
+    (more faithful) latency/energy than under the seed.
+    """
+
     name = "vector"
 
     def _loop(self) -> Generator:
         cfg = self.core.config
         lanes = cfg.core.vector_lanes
         issue = cfg.core.vector_issue_cycles
+        special_cycles = cfg.core.vector_special_cycles_per_element
         read_bw = cfg.core.local_memory_read_bytes_per_cycle
         write_bw = cfg.core.local_memory_write_bytes_per_cycle
-        # Inlined energy charges mirror ``EnergyMeter.vector_op`` term by
-        # term, in the same multiplication order (bit-comparable sums).
+        # Inlined energy charges mirror ``EnergyMeter.vector_op`` /
+        # ``vector_special_op`` / ``vector_macs`` term by term, in the
+        # same multiplication order (bit-comparable sums).
         e_vector = cfg.energy.vector_pj_per_element
+        e_special = cfg.energy.vector_special_pj_per_element
+        e_mac = cfg.energy.vector_mac_pj
         e_lmem = cfg.energy.local_mem_pj_per_byte
+        special = VECTOR_SPECIAL_OPS
         pj = self.core.chip.energy.pj
         queue = self.queue
         rob = self.core.rob
@@ -221,12 +249,26 @@ class VectorUnit(_UnitBase):
                 blocker = rob.oldest_conflict(entry)
             inst = entry.inst
             start = self.sim.now
-            read_bytes = inst.src_bytes * inst.n_sources
-            alu = -(-inst.length // lanes)
+            length = inst.length
+            if inst.n_sources == 2:
+                read_bytes = inst.src_bytes + (inst.src2_bytes
+                                               or inst.src_bytes)
+            else:
+                read_bytes = inst.src_bytes
+            op = inst.op
+            if op == "VMATMUL":
+                e_elem = e_mac           # length counts MACs
+                alu = -(-length // lanes)
+            elif op in special:
+                e_elem = e_special
+                alu = -(-length * special_cycles // lanes)
+            else:
+                e_elem = e_vector
+                alu = -(-length // lanes)
             stream = max(-(-read_bytes // read_bw),
                          -(-inst.dst_bytes // write_bw))
             yield issue + max(alu, stream)
-            pj["vector"] += e_vector * inst.length
+            pj["vector"] += e_elem * length
             pj["local_mem"] += e_lmem * (read_bytes + inst.dst_bytes)
             self._account(entry, start)
 

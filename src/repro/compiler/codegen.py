@@ -401,6 +401,8 @@ class _CodeGenerator:
             "tile_pixels": self.tile_pixels,
             "local_memory_usage": self.allocs.usage(),
             "stage_homes": {k: v for k, v in self.home.items() if v is not None},
+            "stage_ops": {s.name: s.op for s in self.pipeline
+                          if s.kind != "input"},
             "n_stages": len(self.pipeline),
             **self.placement.meta,
         }
@@ -531,9 +533,10 @@ class _CodeGenerator:
         pre_len = ppx * ch
         wrote_out = False
         for op in stage.post_ops:
-            if op == "relu":
+            if op in ("relu", "gelu"):
                 program.append(VectorInst(
-                    op="VRELU", src1=acc.base, dst=acc.base, length=pre_len,
+                    op="VRELU" if op == "relu" else "VGELU",
+                    src1=acc.base, dst=acc.base, length=pre_len,
                     src_bytes=pre_len * ACC_BYTES, dst_bytes=pre_len * ACC_BYTES,
                     layer=stage.name))
             elif op in ("maxpool", "avgpool"):
@@ -607,20 +610,44 @@ class _CodeGenerator:
                 op=opname, src1=src_lo, dst=out_lo, length=length,
                 src_bytes=src_hi - src_lo, dst_bytes=out_bytes,
                 layer=stage.name))
-        elif stage.op in ("relu", "softmax", "lrn"):
-            opname = {"relu": "VRELU", "softmax": "VSOFTMAX", "lrn": "VLRN"}[stage.op]
+        elif stage.op in ("relu", "softmax", "lrn", "layernorm", "gelu"):
+            opname = {"relu": "VRELU", "softmax": "VSOFTMAX", "lrn": "VLRN",
+                      "layernorm": "VLAYERNORM", "gelu": "VGELU"}[stage.op]
             src_lo, src_hi = self._aux_input_range(stage, 0, home, tile)
             program.append(VectorInst(
                 op=opname, src1=src_lo, dst=out_lo, length=length,
+                src_bytes=src_hi - src_lo, dst_bytes=out_bytes,
+                layer=stage.name))
+        elif stage.op == "matmul":
+            # Dynamic activation x activation product: operand A's tile
+            # plus the whole resident operand B stream through VMATMUL;
+            # `length` counts this tile's multiply-accumulates (the MAC
+            # total is exact per output token, so the per-tile share is
+            # pixels x macs-per-token).
+            a_lo, a_hi = self._aux_input_range(stage, 0, home, tile)
+            b_lo, b_hi = self._aux_input_range(stage, 1, home, tile)
+            macs_per_token = stage.attrs["macs"] // stage.out_pixels
+            program.append(VectorInst(
+                op="VMATMUL", src1=a_lo, src2=b_lo, dst=out_lo,
+                length=px * macs_per_token,
+                src_bytes=a_hi - a_lo, src2_bytes=b_hi - b_lo,
+                dst_bytes=out_bytes, layer=stage.name))
+        elif stage.op == "transpose":
+            # Token/channel axis swap: a strided gather over the whole
+            # resident input, one element written per output element.
+            src_lo, src_hi = self._aux_input_range(stage, 0, home, tile)
+            program.append(VectorInst(
+                op="VTRANS", src1=src_lo, dst=out_lo, length=length,
                 src_bytes=src_hi - src_lo, dst_bytes=out_bytes,
                 layer=stage.name))
         else:  # pragma: no cover - frontend keeps aux ops in sync
             raise CompileError(f"codegen cannot lower aux op {stage.op!r}")
 
         for op in stage.post_ops:
-            if op == "relu":
+            if op in ("relu", "gelu"):
                 program.append(VectorInst(
-                    op="VRELU", src1=out_lo, dst=out_lo, length=length,
+                    op="VRELU" if op == "relu" else "VGELU",
+                    src1=out_lo, dst=out_lo, length=length,
                     src_bytes=out_bytes, dst_bytes=out_bytes, layer=stage.name))
 
     def _emit_distribution(self, stage: Stage, tile: int) -> None:

@@ -9,11 +9,15 @@ list of :class:`Stage` objects:
   same core's vector unit — the flexibility the paper contrasts against
   MNSIM2.0's fixed PE data-path;
 * ``aux`` — remaining ops (add, concat, standalone pools, lrn, softmax,
-  global_avgpool) executed on the vector unit of their *home* core.
+  global_avgpool, and the attention ops: matmul, layernorm, gelu,
+  transpose) executed on the vector unit of their *home* core.  A
+  ``matmul`` of two activations is *dynamic* — neither operand is a
+  weight, so it cannot be mapped onto crossbars; the vector unit runs it
+  as a MAC stream (``VMATMUL``).
 
-Identity-at-inference ops are folded away: ``flatten`` (pure reshape),
-``dropout`` (inference no-op) and ``batchnorm`` (folded into the preceding
-layer's weights, as deployments do).
+Identity-at-inference ops are folded away: ``flatten`` / ``reshape``
+(pure relayouts), ``dropout`` (inference no-op) and ``batchnorm`` (folded
+into the preceding layer's weights, as deployments do).
 
 Each stage also records its *edges* — which stages feed it — together with
 the dependency geometry (kernel/stride/pad or full-input) that
@@ -29,11 +33,12 @@ from ..graph import Graph, GraphError, Node, weight_shape
 __all__ = ["Stage", "StageEdge", "Pipeline", "build_pipeline", "CompileError"]
 
 #: ops folded away at inference time.
-_FOLDED_OPS = ("flatten", "dropout", "batchnorm")
+_FOLDED_OPS = ("flatten", "dropout", "batchnorm", "reshape")
 
 #: ops that become aux stages when not fused.
 _AUX_OPS = ("add", "concat", "maxpool", "avgpool", "global_avgpool",
-            "relu", "softmax", "lrn")
+            "relu", "softmax", "lrn",
+            "matmul", "layernorm", "gelu", "transpose")
 
 
 class CompileError(ValueError):
@@ -166,7 +171,45 @@ def _edge_geometry(node: Node) -> tuple[int, int, int, bool]:
     if node.op == "lrn":
         # cross-channel window; spatially element-wise.
         return (1, 1, 0, False)
+    if node.op == "transpose":
+        # every output token is built from one channel of *all* input
+        # tokens: the whole producer output must be resident.
+        return (1, 1, 0, True)
     return (1, 1, 0, False)
+
+
+def _channels_pixels(shape: tuple[int, ...]) -> tuple[int, int]:
+    n = 1
+    for d in shape[1:]:
+        n *= d
+    return shape[0], n
+
+
+def _check_reshape_foldable(node, graph) -> None:
+    """A reshape folds away only when it preserves the (channels, pixels)
+    factorization — a pure pixel-axis relayout like (C,H,W) -> (C,H*W,1).
+
+    Downstream stages size tiles, transfers and vector lengths from their
+    producer's channel/pixel split, so a split-changing reshape cannot be
+    treated as the identity; it would silently emit wrong operand
+    footprints.  Fail at compile time instead.
+    """
+    in_shape = graph.node(node.inputs[0]).output.shape
+    out_shape = node.output.shape
+    if _channels_pixels(in_shape) != _channels_pixels(out_shape):
+        raise CompileError(
+            f"reshape {node.name!r} changes the channel/pixel split "
+            f"{in_shape} -> {out_shape}; only pixel-axis relayouts "
+            f"(same channels, same pixel count) can be compiled — "
+            f"use transpose for an axis swap"
+        )
+
+
+def _matmul_edges(producers: list[str]) -> list[StageEdge]:
+    """matmul reads operand A token-by-token (output token ``n`` needs A
+    token ``n`` only) but contracts over *all* of operand B."""
+    return [StageEdge(producers[0]),
+            StageEdge(producers[1], full_input=True)]
 
 
 def build_pipeline(graph: Graph, *, operator_fusion: bool = True) -> Pipeline:
@@ -204,19 +247,22 @@ def build_pipeline(graph: Graph, *, operator_fusion: bool = True) -> Pipeline:
             continue
 
         if node.op in _FOLDED_OPS:
+            if node.op == "reshape":
+                _check_reshape_foldable(node, graph)
             alias[node.name] = node.inputs[0]
             continue
 
         producers = [resolve(i) for i in node.inputs]
 
         # -- fusion opportunities ------------------------------------------
-        if operator_fusion and node.op == "relu" and len(producers) == 1:
+        if (operator_fusion and node.op in ("relu", "gelu")
+                and len(producers) == 1):
             target = stages.get(producers[0])
             if (target is not None and target.kind in ("compute", "aux")
                     and consumer_count.get(node.inputs[0], 0) == 1
                     and "maxpool" not in target.post_ops
                     and "avgpool" not in target.post_ops):
-                target.post_ops.append("relu")
+                target.post_ops.append(node.op)
                 alias[node.name] = target.name
                 continue
 
@@ -237,11 +283,14 @@ def build_pipeline(graph: Graph, *, operator_fusion: bool = True) -> Pipeline:
                 continue
 
         # -- materialized stage -------------------------------------------
-        edges = []
-        k, s, p, full = _edge_geometry(node)
-        for producer in producers:
-            edges.append(StageEdge(producer, kernel=k, stride=s, padding=p,
-                                   full_input=full))
+        if node.op == "matmul":
+            edges = _matmul_edges(producers)
+        else:
+            edges = []
+            k, s, p, full = _edge_geometry(node)
+            for producer in producers:
+                edges.append(StageEdge(producer, kernel=k, stride=s,
+                                       padding=p, full_input=full))
         if node.op in ("conv", "fc"):
             stage = Stage(node.name, "compute", node.op, node.output.shape,
                           edges=edges, weight=weight_shape(node),

@@ -98,6 +98,10 @@ class CoreConfig:
     unit_queue_depth: int = 4
     vector_lanes: int = 32
     vector_issue_cycles: int = 1
+    #: per-element cycle cost of transcendental-heavy vector ops
+    #: (softmax / layernorm / gelu): each element runs an exp / rsqrt /
+    #: erf micro-pipeline instead of one ALU op.
+    vector_special_cycles_per_element: int = 4
     scalar_cycles: int = 1
     local_memory_bytes: int = 2 * 1024 * 1024
     local_memory_read_bytes_per_cycle: int = 64
@@ -146,6 +150,11 @@ class EnergyConfig:
     dac_pj_per_conversion: float = 0.1
     adc_pj_per_sample: float = 2.0
     vector_pj_per_element: float = 0.5
+    #: transcendental-heavy vector ops (softmax / layernorm / gelu).
+    vector_special_pj_per_element: float = 2.5
+    #: one multiply-accumulate on the vector unit (dynamic matmuls that
+    #: cannot live in crossbars: attention scores / context products).
+    vector_mac_pj: float = 0.8
     scalar_pj_per_op: float = 0.1
     local_mem_pj_per_byte: float = 0.6
     global_mem_pj_per_byte: float = 12.0

@@ -44,6 +44,7 @@ def validate(config: ArchConfig) -> ArchConfig:
     _positive(errors, "core", crossbars_per_core=core.crossbars_per_core,
               rob_size=core.rob_size, fetch_width=core.fetch_width,
               unit_queue_depth=core.unit_queue_depth, vector_lanes=core.vector_lanes,
+              vector_special_cycles_per_element=core.vector_special_cycles_per_element,
               local_memory_bytes=core.local_memory_bytes,
               local_memory_read_bytes_per_cycle=core.local_memory_read_bytes_per_cycle,
               local_memory_write_bytes_per_cycle=core.local_memory_write_bytes_per_cycle)

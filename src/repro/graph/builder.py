@@ -87,8 +87,13 @@ class GraphBuilder:
     def flatten(self, *, after: str | None = None, name: str | None = None) -> str:
         return self.op("flatten", inputs=[self._resolve(after)], name=name)
 
-    def softmax(self, *, after: str | None = None, name: str | None = None) -> str:
-        return self.op("softmax", inputs=[self._resolve(after)], name=name)
+    def softmax(self, *, heads: int | None = None, after: str | None = None,
+                name: str | None = None) -> str:
+        """Softmax; ``heads`` marks attention scores (normalization per
+        head over the key axis rather than over the whole tensor)."""
+        attrs = {} if heads is None else {"heads": heads}
+        return self.op("softmax", inputs=[self._resolve(after)], name=name,
+                       **attrs)
 
     def lrn(self, *, after: str | None = None, name: str | None = None) -> str:
         return self.op("lrn", inputs=[self._resolve(after)], name=name)
@@ -99,12 +104,38 @@ class GraphBuilder:
     def batchnorm(self, *, after: str | None = None, name: str | None = None) -> str:
         return self.op("batchnorm", inputs=[self._resolve(after)], name=name)
 
+    def layernorm(self, *, after: str | None = None, name: str | None = None) -> str:
+        return self.op("layernorm", inputs=[self._resolve(after)], name=name)
+
+    def gelu(self, *, after: str | None = None, name: str | None = None) -> str:
+        return self.op("gelu", inputs=[self._resolve(after)], name=name)
+
+    def transpose(self, *, after: str | None = None, name: str | None = None) -> str:
+        return self.op("transpose", inputs=[self._resolve(after)], name=name)
+
+    def reshape(self, shape: tuple[int, ...], *, after: str | None = None,
+                name: str | None = None) -> str:
+        return self.op("reshape", inputs=[self._resolve(after)], name=name,
+                       shape=tuple(shape))
+
     # -- multi-input layers -------------------------------------------------------
 
     def add(self, *branches: str, name: str | None = None) -> str:
         if len(branches) < 2:
             raise GraphError("add() needs at least two branch names")
         return self.op("add", inputs=list(branches), name=name)
+
+    def matmul(self, a: str, b: str, *, transpose_b: bool = False,
+               heads: int = 1, scale: float = 1.0,
+               name: str | None = None) -> str:
+        """Activation x activation product (attention scores / context).
+
+        ``scale`` multiplies the result (the 1/sqrt(d_k) of scaled
+        dot-product attention); it is free in the timing model (fused
+        into the MAC stream) but matters for functional execution.
+        """
+        return self.op("matmul", inputs=[a, b], name=name,
+                       transpose_b=transpose_b, heads=heads, scale=scale)
 
     def concat(self, *branches: str, name: str | None = None) -> str:
         if len(branches) < 2:

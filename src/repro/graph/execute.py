@@ -146,7 +146,16 @@ def _eval_node(node: Node, inputs: list[np.ndarray],
     if op == "flatten":
         return inputs[0].reshape(-1)
     if op == "softmax":
-        shifted = inputs[0] - inputs[0].max()
+        x = inputs[0]
+        heads = node.attr("heads")
+        if heads and x.ndim == 3:
+            # attention scores (heads*keys, queries, 1): normalize over
+            # the key axis independently per (head, query)
+            n = x.shape[1] * x.shape[2]
+            s = x.reshape(heads, -1, n)
+            e = np.exp(s - s.max(axis=1, keepdims=True))
+            return (e / e.sum(axis=1, keepdims=True)).reshape(x.shape)
+        shifted = x - x.max()
         e = np.exp(shifted)
         return e / e.sum()
     if op == "lrn":
@@ -161,4 +170,38 @@ def _eval_node(node: Node, inputs: list[np.ndarray],
         return x / (k + alpha * acc) ** beta
     if op in ("dropout", "batchnorm"):
         return inputs[0]  # identity at inference (bn assumed folded)
+    if op == "matmul":
+        return _matmul(node, inputs[0], inputs[1])
+    if op == "layernorm":
+        # normalize across the channel (feature) axis per token/pixel
+        x = inputs[0]
+        mean = x.mean(axis=0, keepdims=True)
+        var = x.var(axis=0, keepdims=True)
+        return (x - mean) / np.sqrt(var + 1e-5)
+    if op == "gelu":
+        x = inputs[0]
+        return 0.5 * x * (1.0 + np.tanh(
+            np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)))
+    if op == "transpose":
+        c = inputs[0].shape[0]
+        return inputs[0].reshape(c, -1).T.reshape(node.output.shape)
+    if op == "reshape":
+        return inputs[0].reshape(node.attr("shape"))
     raise GraphError(f"executor cannot evaluate op {op!r}")  # pragma: no cover
+
+
+def _matmul(node: Node, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Token-layout activation product (see ``ops._matmul_shape``)."""
+    heads = node.attr("heads", 1)
+    ca, cb = a.shape[0], b.shape[0]
+    n = a.shape[1] * a.shape[2]
+    m = b.shape[1] * b.shape[2]
+    if node.attr("transpose_b", False):
+        q = a.reshape(heads, ca // heads, n)
+        k = b.reshape(heads, cb // heads, m)
+        scores = np.einsum("hdn,hdm->hmn", q, k) * node.attr("scale", 1.0)
+        return scores.reshape(heads * m, n, 1)
+    s = a.reshape(heads, m, n)
+    v = b.reshape(heads, cb // heads, m)
+    ctx = np.einsum("hmn,hdm->hdn", s, v) * node.attr("scale", 1.0)
+    return ctx.reshape(cb, n, 1)

@@ -10,6 +10,17 @@ squeezenet / VGG need):
 ``input``, ``conv``, ``fc``, ``maxpool``, ``avgpool``, ``global_avgpool``,
 ``relu``, ``add``, ``concat``, ``flatten``, ``softmax``, ``lrn``,
 ``dropout``, ``batchnorm``.
+
+Transformer / attention operators:
+
+``matmul`` (two *activation* operands — dynamic, so it cannot live in
+crossbars), ``layernorm``, ``gelu``, ``transpose``, ``reshape``.
+
+Token tensors reuse the channel-first convention: a ``(tokens, dim)``
+activation is carried as a ``(dim, tokens, 1)`` feature map, so per-token
+linear projections are 1x1 convolutions (crossbar-mapped like any conv)
+and the pixel axis enumerates tokens.  Multi-head layouts concatenate
+heads on the channel axis (``heads * head_dim``).
 """
 
 from __future__ import annotations
@@ -118,6 +129,21 @@ def _same_shape(node: Node, inputs: list[Tensor]) -> Tensor:
     return _one_input(node, inputs)
 
 
+def _softmax_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    """Softmax; a ``heads`` attr marks per-head attention normalization
+    and must be consistent with the scores layout ``(heads*keys, N, 1)``."""
+    t = _one_input(node, inputs)
+    heads = node.attr("heads")
+    if heads is not None:
+        _require(heads >= 1, node, "heads must be >= 1")
+        _require(t.rank == 3, node,
+                 f"per-head softmax expects (heads*keys, N, 1) scores, "
+                 f"got {t.shape}")
+        _require(t.shape[0] % heads == 0, node,
+                 f"channels {t.shape[0]} not divisible by heads={heads}")
+    return t
+
+
 def _add_shape(node: Node, inputs: list[Tensor]) -> Tensor:
     _require(len(inputs) >= 2, node, f"expects >= 2 inputs, got {len(inputs)}")
     first = inputs[0]
@@ -141,6 +167,65 @@ def _flatten_shape(node: Node, inputs: list[Tensor]) -> Tensor:
     return Tensor((_one_input(node, inputs).size,))
 
 
+def _tokens(node: Node, t: Tensor) -> tuple[int, int]:
+    """Interpret a tensor as (channels, tokens); tokens = pixel count."""
+    _require(t.rank == 3, node,
+             f"expects a (C, tokens, 1)-style input, got {t.shape}")
+    return t.shape[0], t.shape[1] * t.shape[2]
+
+
+def _matmul_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    """Activation x activation product (attention scores / context).
+
+    Both operands are runtime values, so the op executes on the vector
+    unit, never in crossbars.  With ``transpose_b`` (scores): A carries
+    queries ``(heads*dk, N, 1)``, B keys ``(heads*dk, M, 1)``; output is
+    the per-head score maps ``(heads*M, N, 1)``.  Without (context): A
+    carries scores ``(heads*M, N, 1)``, B values ``(heads*dv, M, 1)``;
+    output ``(heads*dv, N, 1)``.  Records the total multiply-accumulate
+    count in ``attrs['macs']`` for the compiler's latency/energy model.
+    """
+    _require(len(inputs) == 2, node, f"expects 2 inputs, got {len(inputs)}")
+    heads = node.attr("heads", 1)
+    _require(heads >= 1, node, "heads must be >= 1")
+    ca, n = _tokens(node, inputs[0])
+    cb, m = _tokens(node, inputs[1])
+    if node.attr("transpose_b", False):
+        _require(ca == cb, node,
+                 f"contraction dims differ: A has {ca} channels, B has {cb}")
+        _require(ca % heads == 0, node,
+                 f"channels {ca} not divisible by heads={heads}")
+        out = Tensor((heads * m, n, 1))
+        macs = n * m * ca
+    else:
+        _require(ca == heads * m, node,
+                 f"A channels {ca} != heads*B_tokens = {heads}*{m}")
+        _require(cb % heads == 0, node,
+                 f"B channels {cb} not divisible by heads={heads}")
+        out = Tensor((cb, n, 1))
+        macs = n * m * cb
+    node.attrs["macs"] = macs
+    return out
+
+
+def _transpose_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    """Swap the channel and token axes: (C, N, 1) -> (N, C, 1)."""
+    c, n = _tokens(node, _one_input(node, inputs))
+    return Tensor((n, c, 1))
+
+
+def _reshape_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    """Size-preserving relayout (pure metadata; folded by the compiler)."""
+    t = _one_input(node, inputs)
+    shape = node.attr("shape")
+    _require(shape is not None, node, "reshape requires a 'shape' attr")
+    out = Tensor(tuple(shape))
+    _require(out.size == t.size, node,
+             f"reshape {t.shape} -> {tuple(shape)} changes element count "
+             f"({t.size} != {out.size})")
+    return out
+
+
 OPS: dict[str, Callable[[Node, list[Tensor]], Tensor]] = {
     "input": _input_shape,
     "conv": _conv_shape,
@@ -149,13 +234,18 @@ OPS: dict[str, Callable[[Node, list[Tensor]], Tensor]] = {
     "avgpool": _pool_shape,
     "global_avgpool": _global_pool_shape,
     "relu": _same_shape,
-    "softmax": _same_shape,
+    "softmax": _softmax_shape,
     "lrn": _same_shape,
     "dropout": _same_shape,
     "batchnorm": _same_shape,
     "add": _add_shape,
     "concat": _concat_shape,
     "flatten": _flatten_shape,
+    "matmul": _matmul_shape,
+    "layernorm": _same_shape,
+    "gelu": _same_shape,
+    "transpose": _transpose_shape,
+    "reshape": _reshape_shape,
 }
 
 
@@ -178,7 +268,8 @@ def is_weight_op(node: Node) -> bool:
 
 def is_elementwise(node: Node) -> bool:
     """Ops the vector unit executes element-by-element."""
-    return node.op in ("relu", "add", "softmax", "lrn", "batchnorm", "dropout")
+    return node.op in ("relu", "add", "softmax", "lrn", "batchnorm", "dropout",
+                       "layernorm", "gelu")
 
 
 def weight_shape(node: Node) -> tuple[int, int] | None:

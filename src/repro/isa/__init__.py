@@ -14,6 +14,7 @@ from .instructions import (
     SCALAR_OPS,
     TRANSFER_OPS,
     VECTOR_OPS,
+    VECTOR_SPECIAL_OPS,
     Instruction,
     MemRange,
     MvmInst,
@@ -32,6 +33,7 @@ __all__ = [
     "TransferInst",
     "ScalarInst",
     "VECTOR_OPS",
+    "VECTOR_SPECIAL_OPS",
     "TRANSFER_OPS",
     "SCALAR_OPS",
     "MemRange",

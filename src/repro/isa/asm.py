@@ -32,7 +32,8 @@ class AsmError(ValueError):
 
 _INT_FIELDS = {
     "MVM": ("group", "src", "src_bytes", "dst", "dst_bytes", "count"),
-    "VECTOR": ("src1", "src2", "dst", "length", "src_bytes", "dst_bytes"),
+    "VECTOR": ("src1", "src2", "dst", "length", "src_bytes", "dst_bytes",
+               "src2_bytes"),
     "TRANSFER": ("peer", "addr", "bytes", "flow", "seq"),
     "SCALAR": ("rd", "rs1", "rs2", "imm", "target"),
 }

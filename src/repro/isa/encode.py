@@ -47,8 +47,11 @@ _SCALAR_OP_IDS = {op: i for i, op in enumerate(SCALAR_OPS)}
 _FIELDS: dict[str, tuple[tuple[str, int], ...]] = {
     "matrix": (("group", 20), ("src", 26), ("src_bytes", 26),
                ("dst", 26), ("dst_bytes", 26), ("count", 20)),
+    # length is 28 bits: VMATMUL counts multiply-accumulates, which grow
+    # with tokens^2 x dim — 24 bits overflowed on mid-sized transformers.
     "vector": (("src1", 26), ("src2", 26), ("dst", 26),
-               ("length", 24), ("src_bytes", 26), ("dst_bytes", 26)),
+               ("length", 28), ("src_bytes", 26), ("dst_bytes", 26),
+               ("src2_bytes", 26)),
     "transfer": (("peer", 16), ("addr", 26), ("bytes", 26),
                  ("flow", 26), ("seq", 26)),
     "scalar": (("rd", 6), ("rs1", 6), ("rs2", 6),

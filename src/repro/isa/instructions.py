@@ -175,7 +175,18 @@ VECTOR_OPS: dict[str, int] = {
     "VRELU": 1, "VMOV": 1, "VSCALE": 1,
     "VMAXPOOL": 1, "VAVGPOOL": 1,
     "VSOFTMAX": 1, "VLRN": 1,
+    # attention / transformer extension: dynamic (activation x activation)
+    # matrix product — `length` counts multiply-accumulates, not elements —
+    # plus the transcendental-heavy normalizations and the token/channel
+    # axis swap.
+    "VMATMUL": 2, "VLAYERNORM": 1, "VGELU": 1, "VTRANS": 1,
 }
+
+#: vector opcodes whose per-element work is transcendental-heavy (exp /
+#: rsqrt / erf pipelines); the vector unit applies
+#: ``CoreConfig.vector_special_cycles_per_element`` and charges
+#: ``EnergyConfig.vector_special_pj_per_element`` for these.
+VECTOR_SPECIAL_OPS = frozenset({"VSOFTMAX", "VLAYERNORM", "VGELU"})
 
 
 @dataclass
@@ -184,7 +195,11 @@ class VectorInst(Instruction):
 
     ``src2`` is only meaningful for two-operand ops; pooling ops read a
     window whose footprint is ``src_bytes`` (>= length elements) and write
-    ``dst_bytes``.
+    ``dst_bytes``.  ``src2_bytes`` sizes the second operand's footprint
+    when it differs from the first (``VMATMUL`` reads a tile of A but all
+    of B); 0 means "same as ``src_bytes``".  For ``VMATMUL``, ``length``
+    is the multiply-accumulate count (the unit retires ``vector_lanes``
+    MACs per cycle), not an element count.
     """
 
     unit: ClassVar[str] = "vector"
@@ -196,6 +211,7 @@ class VectorInst(Instruction):
     length: int = 0
     src_bytes: int = 0
     dst_bytes: int = 0
+    src2_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.op not in VECTOR_OPS:
@@ -208,7 +224,8 @@ class VectorInst(Instruction):
     def reads_mem(self) -> tuple[MemRange, ...]:
         first = (self.src1, self.src1 + self.src_bytes)
         if self.n_sources == 2:
-            return (first, (self.src2, self.src2 + self.src_bytes))
+            second = self.src2_bytes or self.src_bytes
+            return (first, (self.src2, self.src2 + second))
         return (first,)
 
     def writes_mem(self) -> tuple[MemRange, ...]:

@@ -81,6 +81,11 @@ def _check_stream(errors: list[str], prefix: str, program, chip: ChipProgram,
         elif isinstance(inst, VectorInst):
             if inst.length < 1:
                 errors.append(f"{where}: vector length must be >= 1")
+            if inst.n_sources == 2 and inst.src2_bytes < 0:
+                errors.append(f"{where}: negative src2_bytes")
+            if inst.n_sources < 2 and inst.src2_bytes:
+                errors.append(
+                    f"{where}: src2_bytes set on one-operand {inst.op}")
         elif isinstance(inst, TransferInst):
             if inst.op in ("SEND", "RECV") and not 0 <= inst.peer < n_cores:
                 errors.append(f"{where}: peer {inst.peer} outside the chip")

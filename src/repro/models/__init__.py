@@ -1,12 +1,13 @@
 """Model zoo: the networks used in the paper's evaluation."""
 
 from .alexnet import alexnet
+from .attention import bert_tiny, encoder_block, vit_tiny
 from .googlenet import googlenet
 from .resnet import resnet18
 from .small import lenet5, mlp
 from .squeezenet import squeezenet
 from .vgg import vgg8, vgg16
-from .zoo import FIG3_MODELS, FIG5_MODELS, MODELS, build_model
+from .zoo import ATTENTION_MODELS, FIG3_MODELS, FIG5_MODELS, MODELS, build_model
 
 __all__ = [
     "alexnet",
@@ -17,8 +18,12 @@ __all__ = [
     "squeezenet",
     "vgg8",
     "vgg16",
+    "vit_tiny",
+    "bert_tiny",
+    "encoder_block",
     "MODELS",
     "build_model",
     "FIG3_MODELS",
     "FIG5_MODELS",
+    "ATTENTION_MODELS",
 ]

@@ -11,13 +11,15 @@ from typing import Callable
 
 from ..graph import Graph
 from .alexnet import alexnet
+from .attention import bert_tiny, vit_tiny
 from .googlenet import googlenet
 from .resnet import resnet18
 from .small import lenet5, mlp
 from .squeezenet import squeezenet
 from .vgg import vgg16, vgg8
 
-__all__ = ["MODELS", "build_model", "FIG3_MODELS", "FIG5_MODELS"]
+__all__ = ["MODELS", "build_model", "FIG3_MODELS", "FIG5_MODELS",
+           "ATTENTION_MODELS"]
 
 MODELS: dict[str, Callable[..., Graph]] = {
     "alexnet": alexnet,
@@ -28,12 +30,19 @@ MODELS: dict[str, Callable[..., Graph]] = {
     "squeezenet": squeezenet,
     "vgg8": vgg8,
     "vgg16": vgg16,
+    "vit_tiny": vit_tiny,
+    "bert_tiny": bert_tiny,
 }
 
 #: the four networks of Fig. 3 / Fig. 4.
 FIG3_MODELS = ("alexnet", "googlenet", "resnet18", "squeezenet")
 #: the three networks of Fig. 5 (the MNSIM2.0 comparison).
 FIG5_MODELS = ("vgg8", "vgg16", "resnet18")
+#: the attention / transformer scenario (not part of the paper's figures).
+ATTENTION_MODELS = ("vit_tiny", "bert_tiny")
+
+#: zoo entries that do not take an image input_shape.
+_NON_IMAGE = ("mlp", "lenet5", "bert_tiny")
 
 
 def build_model(name: str, *, imagenet: bool = False,
@@ -43,10 +52,9 @@ def build_model(name: str, *, imagenet: bool = False,
         factory = MODELS[name]
     except KeyError:
         raise KeyError(f"unknown model {name!r}; available: {sorted(MODELS)}") from None
-    if name == "mlp":
-        return factory(num_classes=num_classes or 10)
-    if name == "lenet5":
-        return factory(num_classes=num_classes or 10)
+    if name in _NON_IMAGE:
+        return factory(num_classes=num_classes or (2 if name == "bert_tiny"
+                                                   else 10))
     if imagenet:
         return factory(input_shape=(3, 224, 224), num_classes=num_classes or 1000)
     return factory(input_shape=(3, 32, 32), num_classes=num_classes or 10)

@@ -95,7 +95,7 @@ class SimReport:
             "instructions": self.instructions,
             "cores_used": self.cores_used,
             "meta": {k: v for k, v in self.meta.items()
-                     if isinstance(v, (str, int, float, bool, list))},
+                     if isinstance(v, (str, int, float, bool, list, dict))},
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -260,6 +260,54 @@ class TestVectorUnit:
         assert raw.energy_pj["vector"] == reference.pj["vector"]
         assert raw.energy_pj["local_mem"] == reference.pj["local_mem"]
 
+    def test_vmatmul_energy_matches_energy_meter(self):
+        """The inlined VMATMUL MAC-stream charge must equal
+        :meth:`EnergyMeter.vector_macs` (pins the hand-copied formula)."""
+        from repro.arch.energy import EnergyMeter
+
+        config = tiny_chip()
+        inst = VectorInst(op="VMATMUL", src1=0, src2=512, dst=4096,
+                          length=2048, src_bytes=128, src2_bytes=1024,
+                          dst_bytes=256)
+        raw = run_single([inst], config=config)
+        reference = EnergyMeter()
+        reference.vector_macs(config.energy, inst.length,
+                              inst.src_bytes + inst.src2_bytes
+                              + inst.dst_bytes)
+        assert raw.energy_pj["vector"] == reference.pj["vector"]
+        assert raw.energy_pj["local_mem"] == reference.pj["local_mem"]
+
+    @pytest.mark.parametrize("op", ["VSOFTMAX", "VLAYERNORM", "VGELU"])
+    def test_special_op_energy_matches_energy_meter(self, op):
+        """The inlined transcendental-op charge must equal
+        :meth:`EnergyMeter.vector_special_op` (pins the hand copy)."""
+        from repro.arch.energy import EnergyMeter
+
+        config = tiny_chip()
+        inst = VectorInst(op=op, src1=0, dst=4096, length=96,
+                          src_bytes=96, dst_bytes=96)
+        raw = run_single([inst], config=config)
+        reference = EnergyMeter()
+        reference.vector_special_op(config.energy, inst.length,
+                                    inst.src_bytes + inst.dst_bytes)
+        assert raw.energy_pj["vector"] == reference.pj["vector"]
+        assert raw.energy_pj["local_mem"] == reference.pj["local_mem"]
+
+    def test_special_op_latency_scales_with_cycles_per_element(self):
+        """Transcendental ops take vector_special_cycles_per_element x
+        the ALU time of a plain element-wise op of the same length."""
+        config = tiny_chip()
+        plain = VectorInst(op="VRELU", src1=0, dst=4096, length=256,
+                           src_bytes=256, dst_bytes=256)
+        special = VectorInst(op="VGELU", src1=0, dst=4096, length=256,
+                             src_bytes=256, dst_bytes=256)
+        lanes = config.core.vector_lanes
+        factor = config.core.vector_special_cycles_per_element
+        t_plain = run_single([plain], config=config).cycles
+        t_special = run_single([special], config=config).cycles
+        assert t_special - t_plain == (-(-256 * factor // lanes)
+                                       - (-(-256 // lanes)))
+
 
 class TestTransferAndRob:
     def test_two_core_send_recv(self):

@@ -1,10 +1,22 @@
 """Tests for batched (multi-image pipelined) inference."""
 
+import dataclasses
+
 import pytest
 
 from repro import simulate
+from repro.arch import ChipModel
 from repro.compiler import compile_network, repeat_chip_program
-from repro.isa import ScalarInst, TransferInst, verify_program
+from repro.config import tiny_chip
+from repro.isa import (
+    ChipProgram,
+    Program,
+    ProgramError,
+    ScalarInst,
+    TransferInst,
+    VectorInst,
+    verify_program,
+)
 from tests.conftest import build_chain_net, build_residual_net
 
 
@@ -60,6 +72,140 @@ class TestRepeatProgram:
         after = {fid: [s.seq for s in sends]
                  for fid, sends in chip.sends_by_flow().items()}
         assert before == after
+
+
+def _branchy_chip() -> ChipProgram:
+    """A single-core program with a backward loop and a branch-to-HALT.
+
+    Stream layout (absolute indices, as the assembler would resolve
+    labels):
+
+    ====  =========================================
+    0-3   LI r1=3 (counter), r2=1, r3=0, r4=0 (acc)
+    4     VRELU (loop body does real unit work)
+    5     SADD r4 += r1
+    6     SSUB r1 -= r2
+    7     SBNE r1 != r3 -> 4 (backward branch)
+    8     SBEQ r3 == r3 -> 10 (branch to HALT)
+    9     LI r5=99 (must be skipped)
+    10    HALT (appended by seal)
+    ====  =========================================
+
+    Final architectural state per image: r4 = 3+2+1 = 6, r5 = 0, three
+    VRELUs executed.
+    """
+    prog = Program(core=0)
+    prog.append(ScalarInst(op="LI", rd=1, imm=3))
+    prog.append(ScalarInst(op="LI", rd=2, imm=1))
+    prog.append(ScalarInst(op="LI", rd=3, imm=0))
+    prog.append(ScalarInst(op="LI", rd=4, imm=0))
+    prog.append(VectorInst(op="VRELU", src1=0, src_bytes=64, dst=1024,
+                           dst_bytes=64, length=16))
+    prog.append(ScalarInst(op="SADD", rd=4, rs1=4, rs2=1))
+    prog.append(ScalarInst(op="SSUB", rd=1, rs1=1, rs2=2))
+    prog.append(ScalarInst(op="SBNE", rs1=1, rs2=3, target=4))
+    prog.append(ScalarInst(op="SBEQ", rs1=3, rs2=3, target=10))
+    prog.append(ScalarInst(op="LI", rd=5, imm=99))
+    chip = ChipProgram(network="branchy-batch")
+    chip.programs[0] = prog.seal()
+    return chip
+
+
+def _traced(config):
+    return dataclasses.replace(
+        config, sim=dataclasses.replace(config.sim, trace=True))
+
+
+def _unit_sequences(trace):
+    """Completion trace projected to per-(core, unit) repr sequences
+    (each unit completes in issue order, so these are deterministic and
+    batch-offset-free, unlike absolute cycles)."""
+    seqs: dict[tuple[int, str], list[str]] = {}
+    for _cycle, core, unit, text in trace:
+        seqs.setdefault((core, unit), []).append(text)
+    return seqs
+
+
+class TestBranchTargetRebase:
+    """Regression: repeat_chip_program used to leave absolute branch
+    targets pointing into image 0's copy, silently corrupting any
+    batched branchy program."""
+
+    def test_targets_rebased_per_image(self):
+        chip = _branchy_chip()
+        batched = repeat_chip_program(chip, 3)
+        branches = [i for i in batched.programs[0]
+                    if isinstance(i, ScalarInst) and i.op == "SBNE"]
+        assert [b.target for b in branches] == [4, 14, 24]
+        to_halt = [i for i in batched.programs[0]
+                   if isinstance(i, ScalarInst) and i.op == "SBEQ"]
+        # branch-to-HALT falls through into the next image's copy; the
+        # last image's lands on the single final HALT (index 30).
+        assert [b.target for b in to_halt] == [10, 20, 30]
+
+    def test_batched_trace_equals_sequential_runs(self):
+        batch = 3
+        config = _traced(tiny_chip())
+        single_model = ChipModel(_branchy_chip(), config)
+        single = single_model.run()
+        batched_model = ChipModel(
+            repeat_chip_program(_branchy_chip(), batch), config)
+        batched = batched_model.run()
+
+        single_seqs = _unit_sequences(single.trace)
+        batched_seqs = _unit_sequences(batched.trace)
+        assert set(batched_seqs) == set(single_seqs)
+        for key, seq in single_seqs.items():
+            assert batched_seqs[key] == seq * batch, key
+        # architectural registers: every image re-runs the same code, so
+        # the batched end state equals one sequential run's end state
+        assert batched_model.cores[0].regs == single_model.cores[0].regs
+        assert batched_model.cores[0].regs[4] == 6   # loop ran 3 times
+        assert batched_model.cores[0].regs[5] == 0   # skip still skips
+
+    def test_batched_branchy_program_verifies(self, tiny_cfg):
+        verify_program(repeat_chip_program(_branchy_chip(), 4), tiny_cfg)
+
+    def test_mid_stream_halt_rejected(self):
+        """A HALT that is not the last instruction is an early exit;
+        stripping it would un-skip code, so batching must refuse."""
+        prog = Program(core=0)
+        prog.append(ScalarInst(op="SBEQ", rs1=0, rs2=0, target=2))
+        prog.append(ScalarInst(op="HALT"))
+        prog.append(ScalarInst(op="LI", rd=1, imm=5))
+        chip = ChipProgram(network="early-exit")
+        chip.programs[0] = prog.seal()
+        with pytest.raises(ProgramError, match="HALT at index 1"):
+            repeat_chip_program(chip, 2)
+
+    def test_unbatched_not_mutated(self):
+        chip = _branchy_chip()
+        before = [(i.op, i.target) for i in chip.programs[0]
+                  if isinstance(i, ScalarInst)]
+        repeat_chip_program(chip, 3)
+        after = [(i.op, i.target) for i in chip.programs[0]
+                 if isinstance(i, ScalarInst)]
+        assert before == after
+
+
+class TestDanglingFlowDiagnostics:
+    def test_missing_flow_fails_loudly(self):
+        chip = ChipProgram(network="dangling")
+        prog = Program(core=2)
+        prog.append(TransferInst(op="SEND", peer=0, addr=0, bytes=32,
+                                 flow=7, seq=0))
+        chip.programs[2] = prog.seal()
+        with pytest.raises(ProgramError, match=r"core 2.*flow 7"):
+            repeat_chip_program(chip, 2)
+
+    def test_error_names_the_op(self):
+        chip = ChipProgram(network="dangling")
+        prog = Program(core=1)
+        prog.append(TransferInst(op="RECV", peer=0, addr=0, bytes=32,
+                                 flow=3, seq=0))
+        chip.programs[1] = prog.seal()
+        with pytest.raises(ProgramError, match="RECV"):
+            repeat_chip_program(chip, 2)
 
 
 class TestThroughput:
