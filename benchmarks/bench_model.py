@@ -20,6 +20,12 @@ ISSUE 3 adds a second end-to-end metric: the simulate-only phase of
 ``vit_tiny`` on the small chip, so the BENCH trajectory tracks
 attention-heavy simulate time (dynamic VMATMUL streams, transcendental
 vector ops, full-input flow windows) alongside the CNN metric.
+
+ISSUE 4 adds the token-sharded twin
+(``test_model_simulate_only_vit_tiny_sharded``): the same network with
+``attention_shards=4``, so BENCH records the shard-scaling point — both
+the simulated-latency win (fewer critical-path cycles) and whatever the
+extra shard flows cost the simulator itself.
 """
 
 import dataclasses
@@ -154,3 +160,20 @@ def test_model_simulate_only_vit_tiny(benchmark):
     result = benchmark.pedantic(run_program, args=(compiled.program, config),
                                 rounds=9, iterations=1, warmup_rounds=1)
     assert result.cycles > 0
+
+
+def test_model_simulate_only_vit_tiny_sharded(benchmark):
+    """Token-sharded trajectory metric (ISSUE 4): vit_tiny with every
+    dynamic attention op's token range split across 4 cores (per-shard
+    VMATMUL/VSOFTMAX streams + partial gathers).  The simulated chip gets
+    faster; this tracks what the sharded program costs to *simulate* and
+    pins the simulated-latency win so BENCH records the scaling curve."""
+    config = small_chip()
+    sharded = dataclasses.replace(config, compiler=dataclasses.replace(
+        config.compiler, attention_shards=4))
+    baseline = compile_model("vit_tiny", config)
+    compiled = compile_model("vit_tiny", sharded)
+    result = benchmark.pedantic(run_program, args=(compiled.program, sharded),
+                                rounds=9, iterations=1, warmup_rounds=1)
+    assert result.cycles > 0
+    assert result.cycles < run_program(baseline.program, config).cycles

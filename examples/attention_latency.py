@@ -11,14 +11,33 @@ attention MACs scale with tokens^2 while projection work scales with
 tokens, which is exactly why long sequences push PIM designs toward
 beefier vector units.
 
+The second axis is the compiler's answer: ``attention_shards`` splits
+each dynamic op's token range across a group of cores (per-shard
+VMATMUL/VSOFTMAX streams, partial gathers back to the home core — the
+same scale-out move the crossbar mapping makes for split conv layers),
+so long sequences stop serializing on one core's vector unit.
+
     python examples/attention_latency.py [--paper] [--depth N] [--dim D]
+        [--shards 1,2,4] [--workers N]
 """
 
 import argparse
+import dataclasses
 
-from repro import paper_chip, simulate, small_chip
-from repro.analysis import ascii_bars, attention_share, op_class_breakdown
+from repro import paper_chip, small_chip
+from repro.analysis import (
+    ascii_bars,
+    attention_shard_balance,
+    attention_share,
+    op_class_breakdown,
+)
 from repro.models import vit_tiny
+from repro.runner import SweepJob, run_sweep
+
+
+def _with_shards(config, shards: int):
+    return dataclasses.replace(config, compiler=dataclasses.replace(
+        config.compiler, attention_shards=shards))
 
 
 def main() -> None:
@@ -30,22 +49,47 @@ def main() -> None:
     parser.add_argument("--heads", type=int, default=2)
     parser.add_argument("--sizes", default="16,24,32",
                         help="comma-separated input resolutions")
+    parser.add_argument("--shards", default="1",
+                        help="comma-separated attention_shards values "
+                             "(token-range sharding of the dynamic ops)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel sweep workers (process pool)")
     args = parser.parse_args()
 
     config = paper_chip() if args.paper else small_chip()
     sizes = [int(s) for s in args.sizes.split(",")]
+    shard_counts = [int(s) for s in args.shards.split(",")]
 
-    latencies = {}
+    jobs = []
     for size in sizes:
         patch = 4 if size <= 64 else 16
         net = vit_tiny((3, size, size), dim=args.dim, depth=args.depth,
                        heads=args.heads, patch=patch)
-        report = simulate(net, config)
+        for shards in shard_counts:
+            jobs.append(SweepJob(net, _with_shards(config, shards),
+                                 tag=(size, patch, shards)))
+    reports = run_sweep(jobs, workers=args.workers)
+
+    latencies = {}
+    baselines: dict[int, int] = {}
+    for report in reports:
+        size, patch, shards = report.meta["sweep_tag"]
         tokens = (size // patch) ** 2
-        latencies[f"{size}x{size} ({tokens:>3} tokens)"] = report.latency_ms
-        print(f"ViT-tiny @ {size}x{size}: {report.cycles:,} cycles = "
-              f"{report.latency_ms:.3f} ms, {report.energy_uj:.2f} uJ, "
+        label = f"{size}x{size} ({tokens:>3} tokens) x{shards}"
+        latencies[label] = report.latency_ms
+        baselines.setdefault(size, report.cycles)
+        speedup = baselines[size] / report.cycles
+        print(f"ViT-tiny @ {size}x{size} shards={shards}: "
+              f"{report.cycles:,} cycles = {report.latency_ms:.3f} ms "
+              f"({speedup:.2f}x vs shards={shard_counts[0]}), "
+              f"{report.energy_uj:.2f} uJ, "
               f"attention share {attention_share(report):.1%}")
+        balance = attention_shard_balance(report)
+        if shards > 1 and balance:
+            spread = ", ".join(f"c{c}={cyc:,}" for c, cyc in
+                               sorted(balance.items(),
+                                      key=lambda kv: -kv[1])[:4])
+            print(f"    attention vector cycles per core (top 4): {spread}")
         by_op = op_class_breakdown(report)
         busiest = sorted(by_op.items(),
                          key=lambda kv: -sum(kv[1].values()))[:4]
@@ -56,7 +100,8 @@ def main() -> None:
             print(f"    {op:<10} {total:>10,} busy cycles  ({where})")
 
     print()
-    print(ascii_bars(latencies, title="ViT-tiny latency (ms) vs resolution:"))
+    print(ascii_bars(latencies,
+                     title="ViT-tiny latency (ms) vs resolution x shards:"))
 
 
 if __name__ == "__main__":

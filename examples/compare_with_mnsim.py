@@ -35,7 +35,7 @@ def main() -> None:
               f"{cmp.baseline_cycles:,} "
               f"(+{(cmp.latency_vs_baseline - 1) * 100:.0f}%)")
         # Section IV-B's metric: communication-latency ratio of one layer.
-        conv_layers = [l for l in cmp.ours.layer_names() if "conv" in l]
+        conv_layers = [name for name in cmp.ours.layer_names() if "conv" in name]
         if len(conv_layers) >= 2:
             layer = sorted(conv_layers)[1]
             print(f"  comm ratio of {layer}: "

@@ -1,6 +1,7 @@
 """Result analysis: breakdowns, normalization, text charts, reports."""
 
 from .breakdown import (
+    attention_shard_balance,
     attention_share,
     comm_ratios,
     energy_breakdown,
@@ -19,6 +20,7 @@ __all__ = [
     "nth_conv_layer",
     "op_class_breakdown",
     "attention_share",
+    "attention_shard_balance",
     "normalize",
     "ascii_bars",
     "series_table",

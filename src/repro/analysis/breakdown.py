@@ -5,7 +5,8 @@ from __future__ import annotations
 from ..runner.results import SimReport
 
 __all__ = ["unit_breakdown", "comm_ratios", "energy_breakdown",
-           "nth_conv_layer", "op_class_breakdown", "attention_share"]
+           "nth_conv_layer", "op_class_breakdown", "attention_share",
+           "attention_shard_balance"]
 
 #: graph ops that make up the dynamic attention path (vector-unit work
 #: that crossbars cannot absorb).
@@ -77,6 +78,27 @@ def attention_share(report: SimReport) -> float:
     attn = sum(c for op, per_unit in by_op.items() if op in ATTENTION_OPS
                for c in per_unit.values())
     return attn / total
+
+
+def attention_shard_balance(report: SimReport) -> dict[int, int]:
+    """Per-core vector-unit busy cycles of the dynamic attention ops.
+
+    With ``compiler.attention_shards == 1`` every attention stage's
+    vector work sits on its home core; with sharding the tokens^2 work
+    spreads over each stage's shard group (``meta["shard_groups"]``),
+    and this is the view that shows the spread — ``layer_busy`` merges
+    cores away.  Keys are core ids, values attention-op vector cycles;
+    an empty dict means the report predates per-core collection (e.g.
+    one deserialized from an older JSON) or compiles no attention ops.
+    """
+    stage_ops: dict[str, str] = report.meta.get("stage_ops", {})
+    out: dict[int, int] = {}
+    for core, layers in report.vector_layer_cycles.items():
+        total = sum(cycles for layer, cycles in layers.items()
+                    if stage_ops.get(layer) in ATTENTION_OPS)
+        if total:
+            out[int(core)] = total
+    return out
 
 
 def nth_conv_layer(report: SimReport, n: int) -> str:

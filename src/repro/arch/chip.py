@@ -37,6 +37,10 @@ class RawResult:
     noc: dict[str, int]
     flow_stalls: int
     meta: dict = field(default_factory=dict)
+    #: core -> layer -> vector-unit busy cycles (the un-merged view behind
+    #: ``layer_busy``'s vector column; how token-sharded attention work
+    #: spreads over a shard group is only visible here).
+    vector_layer_cycles: dict[int, dict[str, int]] = field(default_factory=dict)
     #: (cycle, core, unit, instruction) completion trace, when enabled.
     trace: list[tuple[int, int, str, str]] | None = None
 
@@ -143,6 +147,11 @@ class ChipModel:
             energy_pj=self.energy.to_dict(),
             layer_busy=self._merged_layer_busy(),
             per_core={cid: core.stats() for cid, core in self.cores.items()},
+            vector_layer_cycles={
+                cid: dict(core.units["vector"].layer_cycles)
+                for cid, core in self.cores.items()
+                if core.units["vector"].layer_cycles
+            },
             noc={
                 "messages": self.noc.messages_sent,
                 "bytes": self.noc.bytes_sent,

@@ -4,10 +4,17 @@ from .allocator import AllocatorSet, CoreAllocator, Region
 from .batching import repeat_chip_program
 from .cache import CompileCache, compile_cache, config_fingerprint
 from .codegen import ACC_BYTES, generate_code
-from .frontend import CompileError, Pipeline, Stage, StageEdge, build_pipeline
+from .frontend import (
+    CompileError,
+    Pipeline,
+    Stage,
+    StageEdge,
+    build_pipeline,
+    shard_tile_ranges,
+)
 from .mapping import map_network, map_performance_first, map_utilization_first
 from .pipeline import CompilationResult, compile_network
-from .placement import Placement, Slice, StagePlan
+from .placement import Placement, Slice, StagePlan, assign_shard_groups
 from .tiling import (
     WeightTiling,
     compute_levels,
@@ -35,6 +42,8 @@ __all__ = [
     "Placement",
     "StagePlan",
     "Slice",
+    "assign_shard_groups",
+    "shard_tile_ranges",
     "WeightTiling",
     "weight_tiling",
     "n_tiles",

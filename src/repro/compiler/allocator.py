@@ -15,7 +15,7 @@ keeps producers at most ``slots`` tiles ahead (see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .frontend import CompileError
 

@@ -18,7 +18,6 @@ import dataclasses
 
 from ..isa import (
     ChipProgram,
-    FlowInfo,
     Program,
     ProgramError,
     ScalarInst,

@@ -40,8 +40,8 @@ from ..isa import (
     VectorInst,
 )
 from .allocator import AllocatorSet, Region
-from .frontend import CompileError, Pipeline, Stage
-from .placement import Placement, StagePlan
+from .frontend import CompileError, Pipeline, Stage, shard_tile_ranges
+from .placement import Placement, StagePlan, assign_shard_groups
 from .tiling import (
     compute_levels,
     edge_requirements,
@@ -92,7 +92,17 @@ class _CodeGenerator:
         self.prec_regions: dict[tuple[str, int], Region] = {}
         self.flows: dict[int, FlowInfo] = {}
         self.flow_ids: dict[tuple, int] = {}
+        #: first producer tile a data flow carries (sharded consumers
+        #: slice the producer stream; message seq = tile - base).
+        self.flow_base: dict[tuple, int] = {}
         self.programs: dict[int, Program] = {}
+        # Token sharding of dynamic attention ops (attention_shards > 1):
+        # stage -> shard cores (home first), per-shard tile ranges, and a
+        # tile -> shard-index map.
+        self.shard_groups: dict[str, list[int]] = {}
+        self.shard_ranges: dict[str, list[tuple[int, int]]] = {}
+        self.shard_owner: dict[str, list[int]] = {}
+        self.sout_regions: dict[tuple[str, int], Region] = {}
 
     # ------------------------------------------------------------------ setup
 
@@ -112,14 +122,71 @@ class _CodeGenerator:
                         break
                 self.home[stage.name] = 0 if home is None else home
 
+    def _assign_shards(self) -> None:
+        """Shard groups for dynamic attention ops (after homes are known):
+        placement picks the cores, this derives the per-shard tile slices."""
+        if self.config.compiler.attention_shards <= 1:
+            return
+        assign_shard_groups(self.pipeline, self.placement, self.config,
+                            self.home, self.tile_pixels)
+        self.shard_groups = self.placement.shard_groups
+        for name, cores in self.shard_groups.items():
+            stage = self.stages[name]
+            ranges = shard_tile_ranges(n_tiles(stage, self.tile_pixels),
+                                       len(cores))
+            self.shard_ranges[name] = ranges
+            owner: list[int] = []
+            for s, (lo, hi) in enumerate(ranges):
+                owner.extend([s] * (hi - lo))
+            self.shard_owner[name] = owner
+
     def _assign_receivers(self) -> None:
         for stage in self.pipeline:
             if stage.kind == "input":
                 self.receivers[stage.name] = []
             elif stage.kind == "compute":
                 self.receivers[stage.name] = self.placement.plan(stage.name).cores
+            elif stage.name in self.shard_groups:
+                self.receivers[stage.name] = list(self.shard_groups[stage.name])
             else:
                 self.receivers[stage.name] = [self.home[stage.name]]
+
+    def _shard_range_of(self, stage: Stage, core: int) -> tuple[int, int]:
+        """Tile slice a shard core owns of a sharded stage."""
+        cores = self.shard_groups[stage.name]
+        return self.shard_ranges[stage.name][cores.index(core)]
+
+    def _tile_exec_core(self, stage: Stage, tile: int) -> int:
+        """Core computing one output tile (home unless sharded away)."""
+        cores = self.shard_groups.get(stage.name)
+        if cores is None:
+            return self.home[stage.name]
+        return cores[self.shard_owner[stage.name][tile]]
+
+    def _edge_need_range(self, stage: Stage, edge_idx: int,
+                         core: int) -> tuple[int, int]:
+        """Producer-tile range ``[q_lo, q_hi)`` one receiver core consumes.
+
+        Unsharded consumers (and every full-input edge — operand B of a
+        sharded matmul is broadcast whole to each shard) start at tile 0;
+        a sharded consumer's element-wise edge starts past the last tile
+        the previous shard's slice pulled (``required_tile`` is monotone,
+        so the slices partition the producer stream).
+        """
+        edge = stage.edges[edge_idx]
+        producer = self.stages[edge.producer]
+        if stage.name in self.shard_groups and core is not None:
+            t_lo, t_hi = self._shard_range_of(stage, core)
+            q_hi = required_tile(stage, edge, producer,
+                                 self.tile_pixels, t_hi - 1) + 1
+            if edge.full_input or t_lo == 0:
+                return 0, q_hi
+            q_lo = required_tile(stage, edge, producer,
+                                 self.tile_pixels, t_lo - 1) + 1
+            return q_lo, q_hi
+        last = n_tiles(stage, self.tile_pixels) - 1
+        return 0, required_tile(stage, edge, producer,
+                                self.tile_pixels, last) + 1
 
     def _tile_bytes(self, stage: Stage, tile: int) -> int:
         lo, hi = tile_pixel_range(stage, self.tile_pixels, tile)
@@ -298,6 +365,17 @@ class _CodeGenerator:
                         self.allocs.core(home).alloc(
                             f"prec:{stage.name}:{partner}",
                             px * cpp * cells * ACC_BYTES, 2))
+            # shard-output staging rings (token-sharded dynamic ops):
+            # a finished tile parks here until its partial-gather SEND
+            # drains it to the home core's output ring.
+            if stage.name in self.shard_groups:
+                for core in self.shard_groups[stage.name]:
+                    if core == self.home[stage.name]:
+                        continue
+                    self.sout_regions[(stage.name, core)] = (
+                        self.allocs.core(core).alloc(
+                            f"sout:{stage.name}",
+                            self._nominal_tile_bytes(stage), 2))
             # output ring on the home core
             home = self.home[stage.name]
             self.out_regions[stage.name] = self.allocs.core(home).alloc(
@@ -316,14 +394,15 @@ class _CodeGenerator:
                 if producer.kind == "input":
                     continue  # global-memory LOADs need no flow
                 p_home = self.home[edge.producer]
-                # Strided consumers may never touch the producer's last rows
-                # (e.g. 1x1 stride-2 projections): only ship what is needed.
-                last = n_tiles(stage, self.tile_pixels) - 1
-                needed = required_tile(stage, edge, producer,
-                                       self.tile_pixels, last) + 1
                 for core in self.receivers[stage.name]:
                     if p_home == core:
                         continue
+                    # Strided consumers may never touch the producer's
+                    # last rows (e.g. 1x1 stride-2 projections) and a
+                    # shard core only consumes its token slice: only
+                    # ship what this core needs.
+                    q_lo, q_hi = self._edge_need_range(stage, edge_idx, core)
+                    needed = q_hi - q_lo
                     window = min(needed, self._edge_window(stage, edge_idx))
                     info = FlowInfo(
                         flow_id=next_id, src_core=p_home, dst_core=core,
@@ -334,6 +413,7 @@ class _CodeGenerator:
                     )
                     self.flows[next_id] = info
                     self.flow_ids[(stage.name, edge_idx, core)] = next_id
+                    self.flow_base[(stage.name, edge_idx, core)] = q_lo
                     next_id += 1
             if stage.kind == "compute":
                 plan = self.placement.plan(stage.name)
@@ -350,9 +430,33 @@ class _CodeGenerator:
                         bytes_per_message=px * stage.compute_per_pixel
                         * cells * ACC_BYTES,
                         window=2,  # matches the prec ping-pong staging ring
+                        kind="partial",
                     )
                     self.flows[next_id] = info
                     self.flow_ids[(stage.name, "partial", partner)] = next_id
+                    next_id += 1
+            if stage.name in self.shard_groups:
+                # Partial gathers of a token-sharded dynamic op: each
+                # shard streams its finished output tiles to the home
+                # core, which owns the stage's output ring (the split-conv
+                # gather pattern, minus the VADD — token slices are
+                # disjoint, not partial sums).
+                home = self.home[stage.name]
+                cores = self.shard_groups[stage.name]
+                for s, core in enumerate(cores):
+                    if core == home:
+                        continue
+                    t_lo, t_hi = self.shard_ranges[stage.name][s]
+                    info = FlowInfo(
+                        flow_id=next_id, src_core=core, dst_core=home,
+                        layer=stage.name,
+                        n_messages=t_hi - t_lo,
+                        bytes_per_message=self._nominal_tile_bytes(stage),
+                        window=2,  # matches the sout ping-pong staging ring
+                        kind="shard",
+                    )
+                    self.flows[next_id] = info
+                    self.flow_ids[(stage.name, "shard", core)] = next_id
                     next_id += 1
 
     def _program(self, core: int) -> Program:
@@ -364,6 +468,7 @@ class _CodeGenerator:
 
     def generate(self) -> ChipProgram:
         self._assign_homes()
+        self._assign_shards()
         self._assign_receivers()
         self._build_groups()
         self._allocate()
@@ -404,20 +509,36 @@ class _CodeGenerator:
             "stage_ops": {s.name: s.op for s in self.pipeline
                           if s.kind != "input"},
             "n_stages": len(self.pipeline),
+            "attention_shards": self.config.compiler.attention_shards,
+            "shard_groups": {name: list(cores)
+                             for name, cores in self.shard_groups.items()},
             **self.placement.meta,
         }
         return chip
 
-    def _new_input_tiles(self, stage: Stage, edge_idx: int, tile: int) -> range:
+    def _new_input_tiles(self, stage: Stage, edge_idx: int, tile: int, *,
+                         shard_first: bool = False, q_base: int = 0) -> range:
         edge = stage.edges[edge_idx]
         producer = self.stages[edge.producer]
         req = required_tile(stage, edge, producer, self.tile_pixels, tile)
+        if shard_first:
+            # First tile a shard owns: pull everything from the start of
+            # this core's slice of the producer stream (the whole stream
+            # for a broadcast full-input edge).
+            return range(q_base, req + 1)
         prev = (required_tile(stage, edge, producer, self.tile_pixels, tile - 1)
                 if tile > 0 else -1)
         return range(prev + 1, req + 1)
 
     def _emit_inputs(self, stage: Stage, tile: int) -> None:
+        sharded = stage.name in self.shard_groups
         for core in self.receivers[stage.name]:
+            first = False
+            if sharded:
+                t_lo, t_hi = self._shard_range_of(stage, core)
+                if not t_lo <= tile < t_hi:
+                    continue  # another shard's token slice
+                first = tile == t_lo
             program = self._program(core)
             for edge_idx, edge in enumerate(stage.edges):
                 producer = self.stages[edge.producer]
@@ -425,7 +546,13 @@ class _CodeGenerator:
                 if producer.kind != "input" and p_home == core:
                     continue
                 region = self.in_regions[(stage.name, edge_idx, core)]
-                for q in self._new_input_tiles(stage, edge_idx, tile):
+                # Matches the flow declaration's base (LOAD edges have no
+                # flow but slice the gmem stream the same way).
+                q_base = (self._edge_need_range(stage, edge_idx, core)[0]
+                          if sharded else 0)
+                for q in self._new_input_tiles(stage, edge_idx, tile,
+                                               shard_first=first,
+                                               q_base=q_base):
                     nbytes = self._tile_bytes(producer, q)
                     addr = region.slot(q)
                     if producer.kind == "input":
@@ -436,7 +563,7 @@ class _CodeGenerator:
                         program.append(TransferInst(
                             op="RECV", peer=p_home, addr=addr, bytes=nbytes,
                             flow=self.flow_ids[(stage.name, edge_idx, core)],
-                            seq=q, layer=stage.name))
+                            seq=q - q_base, layer=stage.name))
 
     def _input_src(self, stage: Stage, core: int, tile: int) -> tuple[int, int]:
         """Byte range the matrix unit reads its input vectors from."""
@@ -570,24 +697,33 @@ class _CodeGenerator:
 
     def _emit_aux(self, stage: Stage, tile: int) -> None:
         home = self.home[stage.name]
-        program = self._program(home)
+        # Token-sharded stages execute each tile on the shard core owning
+        # its token slice; the result streams back to the home core's
+        # output ring through the shard's partial-gather flow.
+        exec_core = self._tile_exec_core(stage, tile)
+        program = self._program(exec_core)
         lo, hi = tile_pixel_range(stage, self.tile_pixels, tile)
         px = hi - lo
         ch = stage.out_channels
         out = self.out_regions[stage.name]
         out_bytes = self._tile_bytes(stage, tile)
-        out_lo, _ = out.range_of(tile, out_bytes)
+        if exec_core == home:
+            out_lo, _ = out.range_of(tile, out_bytes)
+        else:
+            sout = self.sout_regions[(stage.name, exec_core)]
+            out_lo, _ = sout.range_of(tile, out_bytes)
         length = px * ch if len(stage.out_shape) == 3 else stage.out_elements
 
         if stage.op == "add":
-            first_lo, first_hi = self._aux_input_range(stage, 0, home, tile)
-            src2_lo, _ = self._aux_input_range(stage, 1, home, tile)
+            first_lo, first_hi = self._aux_input_range(stage, 0, exec_core, tile)
+            src2_lo, _ = self._aux_input_range(stage, 1, exec_core, tile)
             program.append(VectorInst(
                 op="VADD", src1=first_lo, src2=src2_lo, dst=out_lo,
                 length=length, src_bytes=first_hi - first_lo,
                 dst_bytes=out_bytes, layer=stage.name))
             for edge_idx in range(2, len(stage.edges)):
-                extra_lo, extra_hi = self._aux_input_range(stage, edge_idx, home, tile)
+                extra_lo, extra_hi = self._aux_input_range(stage, edge_idx,
+                                                           exec_core, tile)
                 program.append(VectorInst(
                     op="VADD", src1=extra_lo, src2=out_lo, dst=out_lo,
                     length=length, src_bytes=extra_hi - extra_lo,
@@ -597,14 +733,15 @@ class _CodeGenerator:
             for edge_idx, edge in enumerate(stage.edges):
                 producer = self.stages[edge.producer]
                 pch = producer.out_channels
-                src_lo, src_hi = self._aux_input_range(stage, edge_idx, home, tile)
+                src_lo, src_hi = self._aux_input_range(stage, edge_idx,
+                                                       exec_core, tile)
                 program.append(VectorInst(
                     op="VMOV", src1=src_lo, dst=out_lo + offset,
                     length=px * pch, src_bytes=src_hi - src_lo,
                     dst_bytes=px * pch * self.act_bytes, layer=stage.name))
                 offset += px * pch * self.act_bytes
         elif stage.op in ("maxpool", "avgpool", "global_avgpool"):
-            src_lo, src_hi = self._aux_input_range(stage, 0, home, tile)
+            src_lo, src_hi = self._aux_input_range(stage, 0, exec_core, tile)
             opname = "VAVGPOOL" if "avg" in stage.op else "VMAXPOOL"
             program.append(VectorInst(
                 op=opname, src1=src_lo, dst=out_lo, length=length,
@@ -613,7 +750,7 @@ class _CodeGenerator:
         elif stage.op in ("relu", "softmax", "lrn", "layernorm", "gelu"):
             opname = {"relu": "VRELU", "softmax": "VSOFTMAX", "lrn": "VLRN",
                       "layernorm": "VLAYERNORM", "gelu": "VGELU"}[stage.op]
-            src_lo, src_hi = self._aux_input_range(stage, 0, home, tile)
+            src_lo, src_hi = self._aux_input_range(stage, 0, exec_core, tile)
             program.append(VectorInst(
                 op=opname, src1=src_lo, dst=out_lo, length=length,
                 src_bytes=src_hi - src_lo, dst_bytes=out_bytes,
@@ -624,9 +761,9 @@ class _CodeGenerator:
             # `length` counts this tile's multiply-accumulates (the MAC
             # total is exact per output token, so the per-tile share is
             # pixels x macs-per-token).
-            a_lo, a_hi = self._aux_input_range(stage, 0, home, tile)
-            b_lo, b_hi = self._aux_input_range(stage, 1, home, tile)
-            macs_per_token = stage.attrs["macs"] // stage.out_pixels
+            a_lo, a_hi = self._aux_input_range(stage, 0, exec_core, tile)
+            b_lo, b_hi = self._aux_input_range(stage, 1, exec_core, tile)
+            macs_per_token = stage.attrs["macs_per_token"]
             program.append(VectorInst(
                 op="VMATMUL", src1=a_lo, src2=b_lo, dst=out_lo,
                 length=px * macs_per_token,
@@ -635,7 +772,7 @@ class _CodeGenerator:
         elif stage.op == "transpose":
             # Token/channel axis swap: a strided gather over the whole
             # resident input, one element written per output element.
-            src_lo, src_hi = self._aux_input_range(stage, 0, home, tile)
+            src_lo, src_hi = self._aux_input_range(stage, 0, exec_core, tile)
             program.append(VectorInst(
                 op="VTRANS", src1=src_lo, dst=out_lo, length=length,
                 src_bytes=src_hi - src_lo, dst_bytes=out_bytes,
@@ -649,6 +786,19 @@ class _CodeGenerator:
                     op="VRELU" if op == "relu" else "VGELU",
                     src1=out_lo, dst=out_lo, length=length,
                     src_bytes=out_bytes, dst_bytes=out_bytes, layer=stage.name))
+
+        if exec_core != home:
+            # Partial gather: the shard's finished token slice streams to
+            # the home core's output ring, which then distributes as usual.
+            flow_id = self.flow_ids[(stage.name, "shard", exec_core)]
+            t_lo, _t_hi = self._shard_range_of(stage, exec_core)
+            program.append(TransferInst(
+                op="SEND", peer=home, addr=out_lo, bytes=out_bytes,
+                flow=flow_id, seq=tile - t_lo, layer=stage.name))
+            dst_lo, _ = out.range_of(tile, out_bytes)
+            self._program(home).append(TransferInst(
+                op="RECV", peer=exec_core, addr=dst_lo, bytes=out_bytes,
+                flow=flow_id, seq=tile - t_lo, layer=stage.name))
 
     def _emit_distribution(self, stage: Stage, tile: int) -> None:
         home = self.home[stage.name]
@@ -665,11 +815,14 @@ class _CodeGenerator:
                     key = (consumer.name, edge_idx, core)
                     if key not in self.flow_ids:
                         continue  # co-resident
-                    if tile >= self.flows[self.flow_ids[key]].n_messages:
-                        continue  # consumer never needs this tile
+                    base = self.flow_base[key]
+                    if not (base <= tile
+                            < base + self.flows[self.flow_ids[key]].n_messages):
+                        continue  # outside this core's slice of the stream
                     program.append(TransferInst(
                         op="SEND", peer=core, addr=out_lo, bytes=out_bytes,
-                        flow=self.flow_ids[key], seq=tile, layer=stage.name))
+                        flow=self.flow_ids[key], seq=tile - base,
+                        layer=stage.name))
 
         if stage in self.pipeline.output_stages:
             program.append(TransferInst(

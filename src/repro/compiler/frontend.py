@@ -28,9 +28,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..graph import Graph, GraphError, Node, weight_shape
+from ..graph import Graph, Node, is_token_shardable, weight_shape
 
-__all__ = ["Stage", "StageEdge", "Pipeline", "build_pipeline", "CompileError"]
+__all__ = ["Stage", "StageEdge", "Pipeline", "build_pipeline", "CompileError",
+           "shard_tile_ranges"]
 
 #: ops folded away at inference time.
 _FOLDED_OPS = ("flatten", "dropout", "batchnorm", "reshape")
@@ -80,6 +81,10 @@ class Stage:
     compute_per_pixel: int = 1
     #: attrs of the anchor node (kernel/stride/... for pools).
     attrs: dict = field(default_factory=dict)
+    #: dynamic vector-unit op whose output tokens are independent, so the
+    #: compiler may split its token range across a shard group of cores
+    #: (``compiler.attention_shards``); see ``graph.ops.is_token_shardable``.
+    shardable: bool = False
     topo_index: int = -1
 
     @property
@@ -212,6 +217,30 @@ def _matmul_edges(producers: list[str]) -> list[StageEdge]:
             StageEdge(producers[1], full_input=True)]
 
 
+def shard_tile_ranges(n_tiles: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous per-shard token-tile slices of a sharded stage.
+
+    Deals ``n_tiles`` output tiles to ``min(shards, n_tiles)`` shards in
+    contiguous chunks (earlier shards take the remainder), so operand A's
+    element-wise edge splits into per-shard token slices while the tile
+    index stays the global coordinate everywhere else.  Every returned
+    range is non-empty.
+    """
+    if n_tiles < 1 or shards < 1:
+        raise CompileError(
+            f"shard_tile_ranges needs positive counts, got "
+            f"{n_tiles} tiles / {shards} shards")
+    shards = min(shards, n_tiles)
+    base, extra = divmod(n_tiles, shards)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
 def build_pipeline(graph: Graph, *, operator_fusion: bool = True) -> Pipeline:
     """Lower a finalized graph into a stage pipeline.
 
@@ -297,7 +326,8 @@ def build_pipeline(graph: Graph, *, operator_fusion: bool = True) -> Pipeline:
                           attrs=dict(node.attrs))
         elif node.op in _AUX_OPS:
             stage = Stage(node.name, "aux", node.op, node.output.shape,
-                          edges=edges, attrs=dict(node.attrs))
+                          edges=edges, attrs=dict(node.attrs),
+                          shardable=is_token_shardable(node))
         else:  # pragma: no cover - op registry and frontend kept in sync
             raise CompileError(f"frontend cannot lower op {node.op!r}")
         stages[node.name] = stage

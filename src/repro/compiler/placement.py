@@ -16,10 +16,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from .frontend import CompileError, Stage
-from .tiling import WeightTiling
+from .frontend import CompileError, Pipeline, Stage
+from .tiling import WeightTiling, n_tiles
 
-__all__ = ["Slice", "StagePlan", "Placement"]
+__all__ = ["Slice", "StagePlan", "Placement", "assign_shard_groups"]
 
 
 @dataclass(frozen=True)
@@ -160,6 +160,10 @@ class Placement:
     policy: str
     plans: dict[str, StagePlan] = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
+    #: dynamic (token-shardable) aux stage -> cores sharing its token
+    #: range, home core first; filled by :func:`assign_shard_groups`
+    #: when ``compiler.attention_shards > 1``.
+    shard_groups: dict[str, list[int]] = field(default_factory=dict)
 
     def plan(self, stage_name: str) -> StagePlan:
         try:
@@ -203,6 +207,47 @@ class Placement:
                 f"{'SPLIT' if plan.is_split() else ''}"
             )
         return "\n".join(lines)
+
+
+def assign_shard_groups(pipeline: Pipeline, placement: Placement, config,
+                        homes: dict[str, int | None],
+                        tile_pixels: int) -> None:
+    """Assign a shard group to every token-shardable dynamic stage.
+
+    The scale-out move of the crossbar mapping's split conv layers,
+    applied to the vector unit: each dynamic attention op (matmul /
+    per-head softmax / layernorm / gelu) gets ``attention_shards`` cores
+    that each compute a contiguous slice of its token range and gather
+    partial results back to the home core.  The group is the home core
+    plus its nearest mesh neighbours (Manhattan distance, core-id
+    tie-break — deterministic), capped by the stage's tile count: a
+    shard with no tiles would be pure overhead.
+
+    Stores the groups on ``placement.shard_groups`` (home first); stages
+    keep the classic single-core lowering when the effective group is 1.
+    """
+    shards = config.compiler.attention_shards
+    if shards <= 1:
+        return
+    n_cores = config.chip.n_cores
+    for stage in pipeline:
+        if stage.kind != "aux" or not stage.shardable:
+            continue
+        n = min(shards, n_tiles(stage, tile_pixels), n_cores)
+        if n <= 1:
+            continue
+        home = homes[stage.name]
+        if home is None:  # pragma: no cover - aux homes are always set
+            continue
+        hx, hy = config.core_xy(home)
+
+        def distance(core: int) -> int:
+            x, y = config.core_xy(core)
+            return abs(x - hx) + abs(y - hy)
+
+        order = sorted(range(n_cores),
+                       key=lambda c: (c != home, distance(c), c))
+        placement.shard_groups[stage.name] = order[:n]
 
 
 def copies_that_fit(tiling: WeightTiling, spare_crossbars: int,

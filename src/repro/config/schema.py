@@ -179,6 +179,11 @@ class CompilerConfig:
     operator_fusion: bool = True
     #: bytes per activation element (fixed-point width).
     activation_bytes: int = 1
+    #: shard each dynamic attention op's token range across this many
+    #: cores (VMATMUL / per-head VSOFTMAX / VLAYERNORM / VGELU streams
+    #: with partial gathers back to the home core); 1 = home-core only,
+    #: the classic lowering.
+    attention_shards: int = 1
 
 
 @dataclass

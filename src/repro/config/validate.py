@@ -99,7 +99,13 @@ def validate(config: ArchConfig) -> ArchConfig:
             f"'performance_first', got {comp.mapping!r}"
         )
     _positive(errors, "compiler", max_duplication=comp.max_duplication,
-              tile_pixels=comp.tile_pixels, activation_bytes=comp.activation_bytes)
+              tile_pixels=comp.tile_pixels, activation_bytes=comp.activation_bytes,
+              attention_shards=comp.attention_shards)
+    if comp.attention_shards > chip.n_cores:
+        errors.append(
+            f"compiler.attention_shards ({comp.attention_shards}) exceeds "
+            f"the chip's {chip.n_cores} cores"
+        )
 
     _positive(errors, "sim", frequency_mhz=sim.frequency_mhz)
     if sim.max_cycles is not None and sim.max_cycles <= 0:

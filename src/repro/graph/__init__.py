@@ -5,9 +5,11 @@ from .execute import execute, random_weights
 from .ir import Graph, GraphError, Node, Tensor
 from .ops import (
     OPS,
+    TOKEN_SHARDABLE_OPS,
     conv_out_hw,
     infer_shape,
     is_elementwise,
+    is_token_shardable,
     is_weight_op,
     weight_shape,
 )
@@ -26,6 +28,8 @@ __all__ = [
     "weight_shape",
     "is_weight_op",
     "is_elementwise",
+    "is_token_shardable",
+    "TOKEN_SHARDABLE_OPS",
     "conv_out_hw",
     "graph_to_dict",
     "graph_from_dict",

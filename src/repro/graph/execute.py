@@ -17,7 +17,6 @@ from __future__ import annotations
 import numpy as np
 
 from .ir import Graph, GraphError, Node
-from .ops import weight_shape
 
 __all__ = ["execute", "random_weights"]
 

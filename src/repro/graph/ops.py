@@ -35,9 +35,20 @@ __all__ = [
     "weight_shape",
     "is_weight_op",
     "is_elementwise",
+    "is_token_shardable",
+    "TOKEN_SHARDABLE_OPS",
     "OPS",
     "conv_out_hw",
 ]
+
+#: dynamic vector-unit ops whose output tokens (pixels) are mutually
+#: independent, so the compiler may shard their token range across cores:
+#: a ``matmul`` output token reads one A token plus all of B; per-head
+#: ``softmax`` normalizes over the key (channel) axis per query token;
+#: ``layernorm`` normalizes over channels per token; ``gelu`` is
+#: element-wise.  Plain ``softmax`` (no ``heads``) normalizes over the
+#: *whole* tensor and is excluded by :func:`is_token_shardable`.
+TOKEN_SHARDABLE_OPS = frozenset({"matmul", "softmax", "layernorm", "gelu"})
 
 
 def _require(cond: bool, node: Node, message: str) -> None:
@@ -205,6 +216,9 @@ def _matmul_shape(node: Node, inputs: list[Tensor]) -> Tensor:
         out = Tensor((cb, n, 1))
         macs = n * m * cb
     node.attrs["macs"] = macs
+    # Per-token MAC count (exact: macs = n_tokens * macs_per_token), so a
+    # token-sharded lowering can account each shard's work precisely.
+    node.attrs["macs_per_token"] = macs // n
     return out
 
 
@@ -270,6 +284,18 @@ def is_elementwise(node: Node) -> bool:
     """Ops the vector unit executes element-by-element."""
     return node.op in ("relu", "add", "softmax", "lrn", "batchnorm", "dropout",
                        "layernorm", "gelu")
+
+
+def is_token_shardable(node: Node) -> bool:
+    """Whether this op's output tokens are independent, so its token
+    range may be computed on several cores (see TOKEN_SHARDABLE_OPS)."""
+    if node.op not in TOKEN_SHARDABLE_OPS:
+        return False
+    if node.op == "softmax":
+        # Only the per-head attention form is token-independent; global
+        # softmax normalizes across every element.
+        return node.attr("heads") is not None
+    return True
 
 
 def weight_shape(node: Node) -> tuple[int, int] | None:

@@ -131,6 +131,10 @@ class FlowInfo:
     bytes_per_message: int
     #: credit window (receiver ring depth); 0 = simulator default.
     window: int = 0
+    #: what the stream carries: ``data`` (producer tiles to a consumer
+    #: core), ``partial`` (split-weight partial sums to the home core) or
+    #: ``shard`` (a token-shard's finished output tiles to the home core).
+    kind: str = "data"
 
 
 @dataclass

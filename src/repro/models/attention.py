@@ -6,7 +6,11 @@ Token tensors use the channel-first convention of :mod:`repro.graph.ops`:
 projection, the MLP) are 1x1 convolutions — crossbar-mapped weights like
 any conv — while the *dynamic* pieces of attention (scores = Q.K^T,
 softmax, context = scores.V) and the normalizations run on the vector
-unit (``VMATMUL`` / ``VSOFTMAX`` / ``VLAYERNORM`` / ``VGELU``).
+unit (``VMATMUL`` / ``VSOFTMAX`` / ``VLAYERNORM`` / ``VGELU``).  With
+``compiler.attention_shards > 1`` the compiler splits each dynamic op's
+token range across a shard group of cores (partial gathers back to the
+home core), so long sequences scale out instead of serializing on one
+vector unit.
 
 Both models are deliberately "tiny": small enough that a cycle-accurate
 simulation finishes in test time, while still exercising every layer the

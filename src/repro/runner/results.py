@@ -30,6 +30,10 @@ class SimReport:
     instructions: int
     cores_used: int
     meta: dict = field(default_factory=dict)
+    #: core -> layer -> vector-unit busy cycles (un-merged view of
+    #: ``layer_busy``'s vector column; see
+    #: :func:`repro.analysis.attention_shard_balance`).
+    vector_layer_cycles: dict[int, dict[str, int]] = field(default_factory=dict)
 
     # -- derived metrics ------------------------------------------------------
 
@@ -94,6 +98,8 @@ class SimReport:
             "noc": self.noc,
             "instructions": self.instructions,
             "cores_used": self.cores_used,
+            "vector_layer_cycles": {str(cid): dict(layers) for cid, layers
+                                    in self.vector_layer_cycles.items()},
             "meta": {k: v for k, v in self.meta.items()
                      if isinstance(v, (str, int, float, bool, list, dict))},
         }
@@ -138,4 +144,5 @@ class SimReport:
             instructions=instructions,
             cores_used=len(raw.per_core),
             meta=raw.meta,
+            vector_layer_cycles=raw.vector_layer_cycles,
         )

@@ -14,8 +14,8 @@ from repro import simulate, small_chip
 from repro.analysis import attention_share, op_class_breakdown
 from repro.compiler import compile_network, repeat_chip_program
 from repro.graph import Graph, GraphBuilder, GraphError, Node, Tensor, execute, infer_shape
-from repro.isa import MvmInst, VectorInst, verify_program
-from repro.models import bert_tiny, build_model, vit_tiny
+from repro.isa import VectorInst, verify_program
+from repro.models import build_model, vit_tiny
 
 
 def _tensor(*shape):

@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.baseline import DEFAULT_PE_PARALLELISM, run_baseline
-from repro.config import mnsim_like_chip, small_chip
+from repro.config import mnsim_like_chip
 from repro.models import build_model
 from tests.conftest import build_chain_net, build_residual_net
 

@@ -17,7 +17,7 @@ from repro.isa import (
     VectorInst,
     verify_program,
 )
-from tests.conftest import build_chain_net, build_residual_net
+from tests.conftest import build_chain_net
 
 
 class TestRepeatProgram:

@@ -6,7 +6,7 @@ import pytest
 
 from repro import simulate
 from repro.compiler import build_pipeline, compile_network, weight_tiling
-from repro.config import ConfigError, CrossbarConfig, small_chip, validate
+from repro.config import ConfigError, CrossbarConfig, validate
 from tests.conftest import build_chain_net
 
 

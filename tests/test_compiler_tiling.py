@@ -11,7 +11,6 @@ from repro.compiler import (
     weight_tiling,
 )
 from repro.compiler.tiling import WeightTiling, edge_requirements, edge_skews
-from tests.conftest import build_chain_net, build_residual_net
 
 
 class TestWeightTiling:

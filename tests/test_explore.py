@@ -4,7 +4,6 @@ import pytest
 
 from repro.config import ConfigError, small_chip
 from repro.explore import (
-    Exploration,
     ExplorationPoint,
     explore,
     pareto_front,

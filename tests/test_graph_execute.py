@@ -5,7 +5,6 @@ import pytest
 
 from repro.graph import GraphBuilder, GraphError, execute, random_weights
 from repro.models import build_model
-from tests.conftest import build_branch_net, build_residual_net
 
 
 def _input_for(graph, seed=0):

@@ -3,7 +3,6 @@ programs, binary/text codecs, static verification."""
 
 import pytest
 
-from repro.config import tiny_chip
 from repro.isa import (
     ChipProgram,
     FlowInfo,

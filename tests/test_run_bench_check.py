@@ -66,3 +66,44 @@ class TestCheckRegressions:
         import pytest
         with pytest.raises(SystemExit):
             run_bench.main(["--check"])
+
+
+class TestRawDumpBaseline:
+    """CI uploads the smoke bench's raw ``--benchmark-json`` dump as a
+    workflow artifact; ``--baseline``/``--check`` must accept that format
+    directly, so trajectory comparisons can use the artifact instead of
+    timing runs on the noisy shared VM."""
+
+    def _raw_dump(self):
+        return {
+            "machine_info": {"python_version": "3.12.0"},
+            "benchmarks": [
+                {"name": "test_model_simulate_only_vit_tiny",
+                 "stats": {"mean": 0.020, "min": 0.018, "stddev": 0.001,
+                           "rounds": 9, "ops": 50.0}},
+                {"name": "test_kernel_event_throughput",
+                 "stats": {"mean": 0.012, "min": 0.011, "stddev": 0.001,
+                           "rounds": 5, "ops": 83.3}},
+            ],
+        }
+
+    def test_load_baseline_accepts_raw_dump(self, tmp_path):
+        import json
+
+        path = tmp_path / "smoke-bench.json"
+        path.write_text(json.dumps(self._raw_dump()))
+        base = run_bench._load_baseline(path)
+        assert base["test_model_simulate_only_vit_tiny"]["min_s"] == 0.018
+        assert base["test_kernel_event_throughput"]["mean_s"] == 0.012
+
+    def test_check_gates_against_raw_dump(self, tmp_path):
+        import json
+
+        path = tmp_path / "smoke-bench.json"
+        path.write_text(json.dumps(self._raw_dump()))
+        base = run_bench._load_baseline(path)
+        current = {"test_model_simulate_only_vit_tiny": _bench(0.030)}
+        assert run_bench.check_regressions(current, base, 0.10) \
+            == ["test_model_simulate_only_vit_tiny"]
+        current = {"test_model_simulate_only_vit_tiny": _bench(0.018)}
+        assert run_bench.check_regressions(current, base, 0.10) == []

@@ -17,7 +17,7 @@ from repro.analysis import (
 from repro.config import small_chip, tiny_chip
 from repro.runner import compare_mappings, compare_with_baseline, sweep_rob
 from repro.runner.cli import main
-from tests.conftest import build_chain_net, build_residual_net
+from tests.conftest import build_chain_net
 
 
 @pytest.fixture(scope="module")

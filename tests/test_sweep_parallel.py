@@ -1,6 +1,5 @@
 """Tests for the sweep executor and the compilation cache."""
 
-import pytest
 
 from repro import SweepJob, run_sweep, simulate, sweep
 from repro.compiler import CompileCache, compile_cache, config_fingerprint

@@ -8,7 +8,6 @@ from repro import simulate
 from repro.analysis import core_activity, timeline
 from repro.arch import run_program
 from repro.compiler import compile_network
-from tests.conftest import build_chain_net
 
 
 def _traced_run(net, cfg):

@@ -4,7 +4,6 @@ import dataclasses
 
 from repro.arch import run_program
 from repro.compiler import compile_network
-from repro.config import small_chip
 
 
 def _traced(cfg):

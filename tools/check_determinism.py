@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI determinism gate: simulate twice, diff the SimReport JSON.
+
+Every perf PR in this repo leans on the bit-identical-semantics contract:
+a compiled program must simulate to the *same* report no matter how often
+(or on which Python version) it runs.  The golden-trace suites pin the
+current behaviour against recordings; this script pins run-to-run
+determinism — it compiles and simulates each network twice back-to-back
+in one process (second run hits the compile cache, exercising program
+reuse) and again in a fresh compile (cache bypass), and fails on any
+difference in the serialized reports.
+
+    python tools/check_determinism.py [network ...]
+
+Defaults to one CNN, one transformer, and a token-sharded transformer —
+the three code paths CI must keep deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import simulate, small_chip  # noqa: E402
+
+
+def _sharded(config, shards: int):
+    return dataclasses.replace(config, compiler=dataclasses.replace(
+        config.compiler, attention_shards=shards))
+
+
+#: name -> (network, config) simulation points.
+POINTS = {
+    "vgg8": lambda: ("vgg8", small_chip()),
+    "vit_tiny": lambda: ("vit_tiny", small_chip()),
+    "vit_tiny_sharded4": lambda: ("vit_tiny", _sharded(small_chip(), 4)),
+}
+
+
+def report_json(network, config, *, compile_cache: bool) -> str:
+    report = simulate(network, config, compile_cache=compile_cache)
+    data = json.loads(report.to_json())
+    # cache counters legitimately differ between runs
+    for key in ("compile_cache_hits", "compile_cache_misses"):
+        data.get("meta", {}).pop(key, None)
+    return json.dumps(data, sort_keys=True)
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(POINTS)
+    failures = []
+    for name in names:
+        try:
+            network, config = POINTS[name]()
+        except KeyError:
+            raise SystemExit(f"unknown point {name!r}; known: {sorted(POINTS)}")
+        first = report_json(network, config, compile_cache=True)
+        second = report_json(network, config, compile_cache=True)
+        fresh = report_json(network, config, compile_cache=False)
+        if first == second == fresh:
+            print(f"ok   {name}: {len(first)}-byte report stable "
+                  f"(cached rerun + fresh compile)")
+        else:
+            failures.append(name)
+            print(f"FAIL {name}: reports diverged "
+                  f"(cached rerun equal: {first == second}, "
+                  f"fresh compile equal: {first == fresh})")
+    if failures:
+        print(f"\ndeterminism check failed for: {', '.join(failures)}")
+        return 1
+    print("\ndeterminism check ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
