@@ -56,6 +56,25 @@ def main() -> None:
     raw = run_program(compile_model(args.model, traced_cfg).program,
                       traced_cfg)
     print(timeline(raw.trace, raw.cycles, buckets=60))
+    print()
+
+    # 5. Sessions: an Engine keeps the model/compile caches (and, for
+    # parallel batches, a persistent worker pool) warm across requests —
+    # this ROB mini-sweep compiles the network exactly once.  See
+    # examples/engine_service.py for the full service-style workflow.
+    from repro import Engine, JobSpec
+    with Engine(config) as engine:
+        # workers=1 keeps the sweep in-process so the engine's own cache
+        # counters below tell the story; see engine_service.py for pools.
+        reports = engine.map([JobSpec(args.model, rob_size=r, tag=r)
+                              for r in (1, 8)], workers=1)
+        print("engine ROB mini-sweep (compiled once, simulated twice):")
+        for report in reports:
+            print(f"  rob={report.meta['sweep_tag']}: "
+                  f"{report.cycles:,} cycles")
+        stats = engine.compile_stats()
+        print(f"  compile cache: {stats['misses']} miss, "
+              f"{stats['hits']} hits")
 
 
 if __name__ == "__main__":

@@ -17,11 +17,28 @@ descriptions), :mod:`repro.config` (architecture configuration files),
 :mod:`repro.baseline` (MNSIM2.0-style comparator), :mod:`repro.runner`
 (public API + CLI), :mod:`repro.analysis` (result breakdowns).
 
-Quickstart::
+Quickstart (one-shot)::
 
     from repro import simulate, paper_chip
     report = simulate("resnet18", paper_chip(), mapping="performance_first")
     print(report.summary())
+
+Quickstart (session) — an :class:`~repro.engine.Engine` keeps the model
+cache, the compile cache and a persistent worker pool warm across
+requests, so back-to-back sweeps pay neither pool spin-up nor
+recompilation::
+
+    from repro import Engine, JobSpec, small_chip
+    with Engine(small_chip()) as engine:
+        report = engine.simulate("resnet18")
+        sweep = engine.map([JobSpec("resnet18", rob_size=r, tag=r)
+                            for r in (1, 4, 8, 16)], workers=4)
+        for index, report in engine.as_completed(
+                [JobSpec("vgg8"), JobSpec("vit_tiny")], workers=2):
+            print(index, report.cycles)
+
+Specs serialize to JSON (an experiment is a file): ``pimsim batch
+jobs.json`` replays a spec file and emits one report per line.
 """
 
 from .config import (
@@ -32,6 +49,7 @@ from .config import (
     small_chip,
     tiny_chip,
 )
+from .engine import Engine, JobSpec, default_engine
 from .models import MODELS, build_model
 from .runner import (
     SimReport,
@@ -45,9 +63,12 @@ from .runner import (
     sweep_rob,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    "Engine",
+    "JobSpec",
+    "default_engine",
     "simulate",
     "compile_model",
     "SimReport",

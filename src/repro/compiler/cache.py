@@ -21,6 +21,13 @@ Graphs are keyed by object identity (the entry pins the graph so the id
 cannot be recycled); :func:`repro.runner.api.resolve_network` memoizes zoo
 models so repeated ``simulate("vgg8", ...)`` calls share one graph object
 and therefore hit this cache.
+
+Ownership note: each :class:`repro.engine.Engine` holds its *own*
+``CompileCache`` (plus a private model cache), so sessions with different
+configurations cannot poison each other.  The module-level
+:data:`compile_cache` below is kept for the legacy one-shot surface — it
+is the cache of :func:`repro.engine.default_engine`, and its process-wide
+counters still feed ``report.meta["compile_cache_*"]`` for those calls.
 """
 
 from __future__ import annotations

@@ -258,6 +258,11 @@ class ArchConfig:
         """Copy with only the mapping policy changed (Fig. 3 sweep helper)."""
         return self.replaced(compiler=dataclasses.replace(self.compiler, mapping=mapping))
 
+    def with_attention_shards(self, attention_shards: int) -> "ArchConfig":
+        """Copy with only the attention shard count changed (PR 4 knob)."""
+        return self.replaced(compiler=dataclasses.replace(
+            self.compiler, attention_shards=attention_shards))
+
 
 def _from_dict(cls: type, data: Any, context: str) -> Any:
     """Recursively instantiate a dataclass tree from nested dicts."""

@@ -1,0 +1,53 @@
+"""Engine/session layer: persistent, job-oriented access to the simulator.
+
+:class:`Engine` holds warm artifacts (model cache, compile cache, worker
+pool) across requests; :class:`JobSpec` is the unit of work and is JSON
+round-trippable, so an experiment is a file (``pimsim batch``).  The
+legacy one-shot functions in :mod:`repro.runner` are shims over
+:func:`default_engine`.
+"""
+
+# Import order matters: `core` pulls in `repro.runner`, whose sweep module
+# imports JobSpec back from this package — bind spec/pool names first.
+from .spec import JobSpec, load_specs, save_specs
+from .pool import JobFailed, WorkerPool
+from .core import Engine
+
+__all__ = [
+    "Engine",
+    "JobSpec",
+    "JobFailed",
+    "WorkerPool",
+    "load_specs",
+    "save_specs",
+    "default_engine",
+    "resolve_engine",
+]
+
+_default: Engine | None = None
+
+
+def default_engine() -> Engine:
+    """The process-wide engine behind the legacy one-shot functions.
+
+    Wired to the historical global caches
+    (:data:`repro.compiler.compile_cache` and
+    ``repro.runner.api._model_cache``), so the pre-engine surface —
+    including its process-global cache counters — behaves bit-identically.
+    """
+    global _default
+    if _default is None:
+        from ..compiler import compile_cache
+        from ..runner import api
+        _default = Engine(compile_cache=compile_cache,
+                          model_cache=api._model_cache)
+    return _default
+
+
+def resolve_engine(engine: Engine | None = None) -> Engine:
+    """``engine`` if given, else the process-wide default engine.
+
+    The one fallback idiom shared by every legacy shim that grew an
+    ``engine=`` parameter (``run_sweep``, the figure sweeps, ``explore``).
+    """
+    return engine if engine is not None else default_engine()

@@ -1,0 +1,420 @@
+"""The Engine: a persistent, job-oriented service layer over the simulator.
+
+One :class:`Engine` owns everything that used to live in process-global
+mutable state — the zoo-model cache, the compilation cache and (new) a
+persistent pool of simulation workers — so warm artifacts survive across
+requests and two engines with different configurations can never poison
+each other's caches.
+
+    >>> from repro.engine import Engine, JobSpec
+    >>> with Engine(small_chip()) as engine:
+    ...     report = engine.simulate("vgg8")                 # one-shot
+    ...     reports = engine.map([JobSpec("vgg8", rob_size=r)  # warm sweep
+    ...                           for r in (1, 4, 8)], workers=2)
+
+The legacy one-shot functions (:func:`repro.runner.api.simulate`,
+``run_sweep`` and the figure sweeps built on it) are thin shims over a
+process-wide :func:`~repro.engine.default_engine` wired to the historical
+global caches — bit-identical to the pre-engine surface.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from concurrent.futures import Future
+from concurrent.futures import as_completed as _futures_as_completed
+from dataclasses import fields as dataclass_fields
+from threading import Lock
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..arch import run_program
+from ..compiler import CompilationResult, CompileCache, compile_network
+from ..config import ArchConfig, paper_chip, validate
+from ..graph import Graph
+from ..models import build_model
+from ..runner.results import SimReport
+from .pool import JobFailed, PoolUnavailable, WorkerPool, job_failure
+from .spec import JobSpec
+
+__all__ = ["Engine"]
+
+#: callback signature for :meth:`Engine.as_completed`:
+#: ``progress(done, total, outcome)`` after each completion (``outcome``
+#: is a :class:`JobFailed` for failed jobs under ``errors="capture"``).
+ProgressFn = Callable[[int, int, "SimReport | JobFailed"], None]
+
+
+class Engine:
+    """A reusable simulation service: warm caches + persistent workers.
+
+    Parameters
+    ----------
+    config:
+        Default architecture configuration for jobs that do not carry
+        their own (``None``: the paper chip, matching the legacy
+        functions).
+    workers:
+        Default parallelism for :meth:`submit` / :meth:`map` /
+        :meth:`as_completed` when the call does not pass its own
+        (``None``: all CPUs).
+    compile_cache / model_cache:
+        Share existing caches (the process-wide default engine is wired
+        to the historical globals this way).  Omit both to give the
+        engine private caches.
+    """
+
+    def __init__(self, config: ArchConfig | None = None, *,
+                 workers: int | None = None,
+                 compile_cache: CompileCache | None = None,
+                 model_cache: dict[tuple[str, bool], Graph] | None = None):
+        self._config = config
+        self._default_workers = workers
+        self._compile_cache = compile_cache if compile_cache is not None \
+            else CompileCache()
+        self._model_cache = model_cache if model_cache is not None else {}
+        self._pool: WorkerPool | None = None
+        self._last_pool_width: int | None = None
+        self._lock = Lock()
+
+    @property
+    def config(self) -> ArchConfig | None:
+        """The engine's default configuration, fixed at construction.
+
+        Read-only on purpose: pooled workers snapshot it when the pool is
+        created, so a mutable default would let serial and pooled runs of
+        the same spec silently diverge.  Build a new Engine (or put the
+        configuration in the spec) to simulate against a different
+        default.
+        """
+        return self._config
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve_network(self, network: str | Graph, *,
+                        imagenet: bool = False) -> Graph:
+        """Zoo name -> memoized graph; graphs pass through untouched.
+
+        Memoization per ``(name, imagenet)`` is what keys the compile
+        cache: repeated jobs share one graph object.
+        """
+        if isinstance(network, Graph):
+            return network
+        key = (network, imagenet)
+        graph = self._model_cache.get(key)
+        if graph is None:
+            graph = self._model_cache[key] = build_model(network,
+                                                         imagenet=imagenet)
+        return graph
+
+    def _job_config(self, spec: JobSpec) -> ArchConfig:
+        config = spec.config or self.config or paper_chip()
+        if spec.mapping is not None:
+            config = config.with_mapping(spec.mapping)
+        if spec.rob_size is not None:
+            config = config.with_rob_size(spec.rob_size)
+        if spec.attention_shards is not None:
+            config = validate(
+                config.with_attention_shards(spec.attention_shards))
+        return config
+
+    # -- one job -------------------------------------------------------------
+
+    def compile(self, network: str | Graph, config: ArchConfig | None = None,
+                *, mapping: str | None = None, imagenet: bool = False,
+                attention_shards: int | None = None,
+                cache: bool = True) -> CompilationResult:
+        """Compile a network against this engine's caches."""
+        spec = JobSpec(network, config, mapping=mapping, imagenet=imagenet,
+                       attention_shards=attention_shards)
+        graph = self.resolve_network(network, imagenet=imagenet)
+        job_config = self._job_config(spec)
+        if cache:
+            return self._compile_cache.get_or_compile(graph, job_config)
+        return compile_network(graph, job_config)
+
+    def run(self, spec: JobSpec, *, compile_cache: bool = True) -> SimReport:
+        """Execute one spec in-process and return its report.
+
+        The report's metadata carries this engine's compile-cache counters
+        (``compile_cache_hits`` / ``compile_cache_misses``) and the spec's
+        ``tag`` (as ``sweep_tag``), exactly like the legacy surface.
+        """
+        graph = self.resolve_network(spec.network, imagenet=spec.imagenet)
+        config = self._job_config(spec)
+        if compile_cache:
+            compiled = self._compile_cache.get_or_compile(graph, config)
+        else:
+            compiled = compile_network(graph, config)
+        program = compiled.program
+        if spec.batch > 1:
+            from ..compiler.batching import repeat_chip_program
+            program = repeat_chip_program(program, spec.batch)
+        raw = run_program(program, config, max_cycles=spec.max_cycles)
+        report = SimReport.from_raw(raw, config, program.total_instructions)
+        if compile_cache:
+            report.meta["compile_cache_hits"] = self._compile_cache.hits
+            report.meta["compile_cache_misses"] = self._compile_cache.misses
+        if spec.tag is not None:
+            report.meta["sweep_tag"] = spec.tag
+        return report
+
+    def simulate(self, network: str | Graph | JobSpec,
+                 config: ArchConfig | None = None, *,
+                 mapping: str | None = None, rob_size: int | None = None,
+                 imagenet: bool = False, batch: int = 1,
+                 max_cycles: int | None = None,
+                 attention_shards: int | None = None,
+                 tag: Any = None,
+                 compile_cache: bool = True) -> SimReport:
+        """Compile + simulate one job in-process (accepts a spec directly)."""
+        if isinstance(network, JobSpec):
+            overrides = {"config": config, "mapping": mapping,
+                         "rob_size": rob_size, "imagenet": imagenet,
+                         "batch": batch, "max_cycles": max_cycles,
+                         "attention_shards": attention_shards, "tag": tag}
+            defaults = {f.name: f.default for f in dataclass_fields(JobSpec)}
+            stray = [key for key, value in overrides.items()
+                     if value != defaults[key]]
+            if stray:
+                raise TypeError(f"pass overrides inside the JobSpec, not "
+                                f"alongside it (got {sorted(stray)})")
+            spec = network
+        else:
+            spec = JobSpec(network, config, mapping=mapping,
+                           rob_size=rob_size, imagenet=imagenet, batch=batch,
+                           max_cycles=max_cycles, tag=tag,
+                           attention_shards=attention_shards)
+        return self.run(spec, compile_cache=compile_cache)
+
+    # -- many jobs -----------------------------------------------------------
+
+    def _resolve_workers(self, workers: int | None,
+                         n_jobs: int | None = None) -> int:
+        if workers is None:
+            workers = self._default_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if n_jobs is not None:
+            workers = min(workers, n_jobs)
+        return max(1, workers)
+
+    def _ensure_pool(self, workers: int) -> WorkerPool:
+        while True:
+            stale = None
+            with self._lock:
+                pool = self._pool
+                if pool is not None and (pool.broken
+                                         or pool.size < workers):
+                    # Cold restart: a worker died, or a wider pool was
+                    # asked for.  (Warm caches are lost — see ROADMAP
+                    # open items.)
+                    stale, self._pool = pool, None
+                    pool = None
+                if pool is None and stale is None:
+                    pool = self._pool = WorkerPool(workers, self.config)
+                    self._last_pool_width = workers
+                    # An Engine dropped without close() must not pin idle
+                    # workers for the rest of the process.
+                    weakref.finalize(self, pool.close_if_idle)
+                if pool is not None:
+                    return pool
+            # Drain the replaced pool outside the engine lock — its
+            # in-flight jobs may run for minutes, and other engine
+            # operations must not stall behind them.
+            stale.close()
+
+    def submit(self, spec: JobSpec) -> Future:
+        """Queue one spec on the persistent pool; returns its Future.
+
+        Reuses whatever live pool the engine already holds (so a submit
+        after ``map(..., workers=2)`` keeps those two warm workers); with
+        no pool yet, one is created at the engine's default worker count
+        (its ``workers`` argument; the last pool's width after a
+        ``close()``; all CPUs otherwise).
+        """
+        # A concurrent map() may replace the pool between our read and
+        # the pool-level submit; retry against the replacement rather
+        # than surfacing a spurious "pool is closed" on a healthy engine.
+        for _attempt in range(3):
+            with self._lock:
+                pool = self._pool
+                width = (self._default_workers or self._last_pool_width
+                         or os.cpu_count() or 1)
+            if pool is None or pool.broken:
+                pool = self._ensure_pool(width)
+            try:
+                return pool.submit(spec)
+            except PoolUnavailable:
+                with self._lock:
+                    if self._pool is pool:  # genuinely broken/closed
+                        self._pool = None
+                pool.close()  # release its surviving workers
+        raise RuntimeError("worker pool kept failing across retries")
+
+    def _dispatch(self, specs: Sequence[JobSpec], workers: int | None,
+                  errors: str = "raise") -> list["Future | JobFailed"]:
+        """Deal a batch over the warm pool (job ``i`` -> worker ``i % N``).
+
+        Identical batches land on identical workers, which is what lets
+        their warm compile caches hit.  Under ``errors="capture"`` a pool
+        that breaks mid-dealing (a worker died) yields
+        :class:`JobFailed` placeholders for the jobs that could not be
+        queued instead of aborting the batch.
+        """
+        lanes = self._resolve_workers(workers, len(specs))
+        pool = self._ensure_pool(lanes)
+        lanes = min(lanes, pool.size)
+        entries: list[Future | JobFailed] = []
+        for i, spec in enumerate(specs):
+            try:
+                entries.append(pool.submit(spec, worker=i % lanes))
+            except Exception as exc:
+                # broken pool, or a spec that cannot cross the boundary
+                # (e.g. an unpicklable tag)
+                if errors == "raise":
+                    raise
+                entries.append(job_failure(exc))
+        return entries
+
+    def map(self, specs: Iterable[JobSpec], *, workers: int | None = None,
+            errors: str = "raise") -> list[SimReport | JobFailed]:
+        """Run every spec, returning reports in spec order.
+
+        ``workers <= 1`` runs in-process against this engine's caches;
+        otherwise the batch is dealt deterministically over the persistent
+        worker pool (job ``i`` -> worker ``i % workers``), so a second
+        ``map`` over the same specs hits every worker's warm compile
+        cache.  ``errors="capture"`` returns :class:`JobFailed` entries in
+        place of reports instead of raising.
+        """
+        if errors not in ("raise", "capture"):
+            raise ValueError(f"errors must be 'raise' or 'capture', "
+                             f"got {errors!r}")
+        specs = list(specs)
+        if not specs:
+            return []
+        if self._resolve_workers(workers, len(specs)) <= 1:
+            results: list[SimReport | JobFailed] = []
+            for spec in specs:
+                try:
+                    results.append(self.run(spec))
+                except Exception as exc:
+                    if errors == "raise":
+                        raise
+                    results.append(job_failure(exc))
+            return results
+        entries = self._dispatch(specs, workers, errors)
+        results = []
+        for entry in entries:
+            if isinstance(entry, JobFailed):  # pool broke while dealing
+                results.append(entry)
+                continue
+            try:
+                results.append(entry.result())
+            except JobFailed as failure:
+                if errors == "raise":
+                    raise
+                results.append(failure)
+            except Exception as exc:
+                if errors == "raise":
+                    raise
+                results.append(job_failure(exc))
+        return results
+
+    def as_completed(self, specs: Iterable[JobSpec], *,
+                     workers: int | None = None,
+                     progress: ProgressFn | None = None,
+                     errors: str = "raise",
+                     ) -> Iterator[tuple[int, SimReport | JobFailed]]:
+        """Yield ``(index, report)`` pairs as jobs finish.
+
+        ``index`` is the job's position in ``specs``; ``progress(done,
+        total, report)`` fires after every completion.  With ``workers <=
+        1`` jobs run in-process and complete in order.
+        ``errors="capture"`` yields :class:`JobFailed` entries in place of
+        reports instead of raising.
+
+        Validation and (for the pooled path) job dispatch happen eagerly
+        at the call, matching :meth:`map`; only result consumption is
+        lazy in the returned iterator.
+        """
+        if errors not in ("raise", "capture"):
+            raise ValueError(f"errors must be 'raise' or 'capture', "
+                             f"got {errors!r}")
+        specs = list(specs)
+        total = len(specs)
+
+        def _one(run_job, index, done):
+            try:
+                outcome = run_job()
+            except JobFailed as failure:
+                if errors == "raise":
+                    raise
+                outcome = failure
+            except Exception as exc:
+                if errors == "raise":
+                    raise
+                outcome = job_failure(exc)
+            if progress is not None:
+                progress(done, total, outcome)
+            return index, outcome
+
+        if self._resolve_workers(workers, total) <= 1:
+            def _serial() -> Iterator[tuple[int, SimReport | JobFailed]]:
+                for i, spec in enumerate(specs):
+                    yield _one(lambda: self.run(spec), i, i + 1)
+            return _serial()
+
+        entries = self._dispatch(specs, workers, errors)  # submits now
+
+        def _stream() -> Iterator[tuple[int, SimReport | JobFailed]]:
+            done = 0
+            index_of: dict[Future, int] = {}
+            for i, entry in enumerate(entries):
+                if isinstance(entry, JobFailed):  # failed at dispatch
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, entry)
+                    yield i, entry
+                else:
+                    index_of[entry] = i
+            for future in _futures_as_completed(index_of):
+                done += 1
+                yield _one(future.result, index_of[future], done)
+        return _stream()
+
+    # -- introspection / lifecycle -------------------------------------------
+
+    def compile_stats(self) -> dict:
+        """This engine's compile-cache counters (hits/misses/entries)."""
+        return self._compile_cache.stats()
+
+    @property
+    def pool_size(self) -> int:
+        """Live worker processes (0 until the first parallel call)."""
+        pool = self._pool
+        return pool.size if pool is not None else 0
+
+    def clear_caches(self) -> None:
+        """Drop compiled programs and memoized zoo graphs."""
+        self._compile_cache.clear()
+        self._model_cache.clear()
+
+    def close(self) -> None:
+        """Shut the worker pool down; the engine stays usable in-process.
+
+        A later parallel call re-creates a pool (``submit`` at the
+        closed pool's width); call :meth:`close` again afterwards if the
+        workers should not outlive that call either.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,386 @@
+"""Persistent simulation worker pool with deterministic job dealing.
+
+The legacy sweep executor spun up a throwaway ``ProcessPoolExecutor``
+inside every call, so back-to-back sweeps paid pool start-up *and* lost
+every worker's compile cache.  :class:`WorkerPool` keeps its worker
+processes alive across calls: each worker owns a private
+:class:`~repro.engine.Engine` (model cache + compile cache) that survives
+between jobs, so the second sweep over the same points recompiles nothing.
+
+Jobs are dealt deterministically — :meth:`Engine._dispatch
+<repro.engine.Engine>` assigns job ``i`` of a batch to worker ``i %
+lanes`` via :meth:`WorkerPool.submit`'s ``worker=`` pin — so two
+identical batches land on the same workers and the warm caches actually
+hit (a shared work queue would reshuffle the assignment run to run).
+
+Transport is a pair of one-way pipes per worker (no locks shared between
+processes — a killed worker can never strand a queue lock).  A collector
+thread multiplexes the result pipes and resolves
+:class:`concurrent.futures.Future` objects; a worker's death surfaces as
+EOF on its pipe, which fails exactly that worker's outstanding futures
+with :class:`JobFailed` and marks the pool broken instead of hanging
+callers.  Worker exceptions are pickled and re-raised parent-side with
+their original type (matching the in-process path), falling back to a
+:class:`JobFailed` carrying (kind, message, traceback) strings when the
+exception itself cannot cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import pickle
+import threading
+import traceback
+from concurrent.futures import Future, InvalidStateError
+
+__all__ = ["WorkerPool", "JobFailed", "PoolUnavailable", "job_failure"]
+
+
+class PoolUnavailable(RuntimeError):
+    """The pool cannot accept jobs: closed, or a worker died (broken).
+
+    Distinct from arbitrary ``RuntimeError``s so callers (and
+    :meth:`repro.engine.Engine.submit`'s retry) never mistake a job-side
+    error for a pool-lifecycle one.
+    """
+
+
+class JobFailed(RuntimeError):
+    """A job raised inside the engine (possibly in a worker process).
+
+    ``kind`` is the original exception type name, ``message`` its first
+    line (empty messages fall back to the type name, matching
+    ``repro.explore``'s failure records), ``details`` the full traceback
+    text when the failure crossed a process boundary.
+    """
+
+    def __init__(self, kind: str, message: str, details: str | None = None):
+        super().__init__(f"{kind}: {message}" if message != kind else message)
+        self.kind = kind
+        self.message = message
+        self.details = details
+
+
+def _first_line(text: str, fallback: str) -> str:
+    """First line of a message, falling back for empty messages.
+
+    The single definition of failure-record truncation — the engine paths
+    and ``repro.explore``'s grid records must stay in sync.
+    """
+    return text.splitlines()[0] if text else fallback
+
+
+def job_failure(exc: BaseException, details: str | None = None) -> JobFailed:
+    """Wrap an exception as a :class:`JobFailed` (first-line message).
+
+    Exceptions that crossed a worker boundary carry the remote traceback
+    (``_job_traceback``, attached by the pool); it becomes ``details``
+    unless the caller supplies its own.
+    """
+    if details is None:
+        details = getattr(exc, "_job_traceback", None)
+    return JobFailed(type(exc).__name__,
+                     _first_line(str(exc), type(exc).__name__), details)
+
+
+def _settle(future: Future, *, result=None,
+            exception: BaseException | None = None) -> None:
+    """Resolve a future, tolerating caller-side cancellation.
+
+    The collector must never die on a future the caller already
+    cancelled (or a duplicate settle): a dead collector would hang every
+    other job on the pool.
+    """
+    try:
+        if exception is not None:
+            future.set_exception(exception)
+        else:
+            future.set_result(result)
+    except InvalidStateError:
+        pass  # cancelled (or already settled); the result is discarded
+
+
+def _rebuild_exception(error) -> BaseException:
+    """Reconstruct a worker-side failure parent-side.
+
+    Prefers the original exception object (pickled by the worker) so the
+    pool path raises the same type as the in-process path; falls back to
+    :class:`JobFailed` when the exception cannot cross the boundary.
+    """
+    payload, kind, message, details = error
+    if payload is not None:
+        try:
+            exc = pickle.loads(payload)
+        except Exception:
+            pass
+        else:
+            try:
+                # Carry the worker-side traceback text along so capture
+                # paths (job_failure) and `pimsim batch` error records can
+                # still show where the failure happened remotely.
+                exc._job_traceback = details
+            except Exception:
+                pass
+            return exc
+    return JobFailed(kind, _first_line(message, kind), details)
+
+
+def _worker_main(task_conn, result_conn, config) -> None:
+    """Worker loop: one private Engine, jobs until sentinel or EOF."""
+    from .core import Engine
+
+    engine = Engine(config)
+    while True:
+        try:
+            item = task_conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away
+        if item is None:
+            return
+        job_id, spec = item
+        try:
+            report = engine.run(spec)
+        except (KeyboardInterrupt, SystemExit):
+            # Ctrl-C reaches the whole process group: die promptly so the
+            # parent's close() drain does not grind through the rest of
+            # the queued batch (pending futures are failed at close).
+            return
+        except BaseException as exc:  # ship, don't kill the worker
+            try:
+                payload = pickle.dumps(exc)
+            except Exception:
+                payload = None
+            outcome = (job_id, None,
+                       (payload, type(exc).__name__, str(exc),
+                        traceback.format_exc()))
+        else:
+            outcome = (job_id, report, None)
+        try:
+            result_conn.send(outcome)
+        except (BrokenPipeError, OSError):
+            return  # parent went away
+
+
+class WorkerPool:
+    """``size`` persistent worker processes, each with warm caches.
+
+    ``config`` is the default architecture configuration handed to every
+    worker's engine (jobs whose spec carries its own configuration ignore
+    it).  :meth:`close` drains queued jobs and shuts down cleanly; at
+    interpreter exit an unclosed pool is torn down abortively (daemonic
+    workers are terminated, outstanding futures failed) so it never
+    blocks process exit.
+    """
+
+    def __init__(self, size: int, config=None) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        ctx = multiprocessing.get_context()
+        self.size = size
+        self._task_conns = []
+        self._result_conns = []
+        self._workers = []
+        try:
+            for _ in range(size):
+                task_r, task_w = ctx.Pipe(duplex=False)
+                result_r, result_w = ctx.Pipe(duplex=False)
+                worker = ctx.Process(target=_worker_main,
+                                     args=(task_r, result_w, config),
+                                     daemon=True)
+                worker.start()
+                # Close the parent's copies of the worker-side ends so a
+                # dead worker reads as EOF on its result pipe.
+                task_r.close()
+                result_w.close()
+                self._task_conns.append(task_w)
+                self._result_conns.append(result_r)
+                self._workers.append(worker)
+        except BaseException:
+            # A failed spawn (e.g. fork EAGAIN) must not strand the
+            # workers already started — no atexit hook exists yet.
+            for worker in self._workers:
+                if worker.is_alive():
+                    worker.terminate()
+            for worker in self._workers:
+                worker.join(timeout=1)
+            for conn in self._task_conns + self._result_conns:
+                conn.close()
+            raise
+        #: job_id -> (future, worker index); the index lets worker death
+        #: fail exactly the jobs that worker owned.
+        self._pending: dict[int, tuple[Future, int]] = {}
+        self._lock = threading.Lock()
+        #: per-worker send locks: task-pipe sends happen OUTSIDE _lock (a
+        #: full pipe blocks until the worker drains, and the collector
+        #: needs _lock to drain results — sending under _lock deadlocks).
+        self._send_locks = [threading.Lock() for _ in range(size)]
+        self._job_ids = itertools.count()
+        self._rr = 0
+        self._closed = False
+        self._broken = False
+        # Start the collector only after every worker has been forked, so
+        # no worker inherits a running thread.
+        self._collector = threading.Thread(target=self._collect, daemon=True,
+                                           name="repro-engine-collector")
+        self._collector.start()
+        atexit.register(self._close_at_exit)
+
+    @property
+    def broken(self) -> bool:
+        """True once a worker died unexpectedly; the pool refuses new jobs."""
+        return self._broken
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec, *, worker: int | None = None) -> Future:
+        """Queue one job; ``worker=None`` deals round-robin.
+
+        May block while the target worker's task pipe is full — that is
+        the pool's backpressure (the collector keeps draining results in
+        the meantime, so the pipeline always makes progress).
+        """
+        with self._lock:
+            if self._closed:
+                raise PoolUnavailable("worker pool is closed")
+            if self._broken:
+                raise PoolUnavailable("worker pool is broken (a worker "
+                                      "died); create a fresh pool")
+            if worker is None:
+                worker = self._rr
+                self._rr = (self._rr + 1) % self.size
+            worker %= self.size
+            job_id = next(self._job_ids)
+            future: Future = Future()
+            self._pending[job_id] = (future, worker)
+        try:
+            with self._send_locks[worker]:
+                self._task_conns[worker].send((job_id, spec))
+        except (BrokenPipeError, OSError):
+            with self._lock:
+                self._pending.pop(job_id, None)
+                self._broken = True
+            raise PoolUnavailable("worker pool is broken (a worker died); "
+                                  "create a fresh pool") from None
+        except Exception:
+            # The spec failed to pickle.  Connection.send serializes the
+            # whole message before writing, so no bytes reached the worker
+            # and the pool stays healthy — just retire this job's future.
+            with self._lock:
+                self._pending.pop(job_id, None)
+            raise
+        return future
+
+    # -- result collection ---------------------------------------------------
+
+    def _collect(self) -> None:
+        """Multiplex result pipes until every worker's pipe hits EOF."""
+        remaining = {conn: index
+                     for index, conn in enumerate(self._result_conns)}
+        while remaining:
+            ready = multiprocessing.connection.wait(list(remaining))
+            for conn in ready:
+                try:
+                    job_id, report, error = conn.recv()
+                except (EOFError, OSError):
+                    self._worker_gone(remaining.pop(conn))
+                    continue
+                except Exception:
+                    # A result that cannot be decoded parent-side.  The
+                    # message was consumed whole (the stream stays
+                    # framed) but its job_id is unknowable, so fail this
+                    # worker's outstanding jobs rather than leave one
+                    # future hanging forever.
+                    self._worker_gone(remaining[conn],
+                                      "returned an undecodable result")
+                    continue
+                with self._lock:
+                    future, _worker = self._pending.pop(job_id, (None, None))
+                if future is None:  # already failed by teardown; drop
+                    continue
+                if error is not None:
+                    _settle(future, exception=_rebuild_exception(error))
+                else:
+                    _settle(future, result=report)
+
+    def _worker_gone(self, index: int, what: str = "died") -> None:
+        """A worker can no longer be trusted (EOF on its result pipe, or
+        an undecodable result): fail its outstanding jobs and mark the
+        pool broken.  A no-op during close, where EOF is the clean path.
+        """
+        if self._closed:
+            return
+        self._broken = True
+        with self._lock:
+            dead = [job_id for job_id, (_future, worker)
+                    in self._pending.items() if worker == index]
+            failures = [self._pending.pop(job_id)[0] for job_id in dead]
+        for future in failures:
+            _settle(future, exception=JobFailed(
+                "WorkerCrashed",
+                f"worker {index} (pid {self._workers[index].pid}) "
+                f"{what}; its queued jobs were lost"))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain queued jobs, then stop the workers; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        # Sentinels queue behind any outstanding jobs: workers drain their
+        # pipes, post the results, then exit; the collector resolves every
+        # posted result before the pipe's EOF retires it.  The joins are
+        # unbounded on purpose — in-flight simulations may legitimately run
+        # for minutes, and a bounded join would spuriously fail their
+        # futures (a dead worker's join returns immediately).
+        for send_lock, conn in zip(self._send_locks, self._task_conns):
+            try:
+                with send_lock:
+                    conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass  # that worker is already gone
+        for worker in self._workers:
+            worker.join()
+        self._collector.join(timeout=5)
+        self._fail_remaining("worker pool closed")
+        atexit.unregister(self._close_at_exit)
+
+    def _close_at_exit(self) -> None:
+        """Abortive teardown at interpreter exit: never blocks on jobs."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=1)
+        self._collector.join(timeout=1)
+        self._fail_remaining("worker pool torn down at interpreter exit")
+        atexit.unregister(self._close_at_exit)
+
+    def close_if_idle(self) -> bool:
+        """Tear the pool down only if no job is outstanding.
+
+        Used by the engine's garbage-collection finalizer: an Engine
+        dropped without ``close()`` must not pin its idle workers for the
+        rest of the process, but a pool with in-flight jobs (whose
+        futures may outlive the engine) is left for atexit.
+        """
+        with self._lock:
+            if self._pending:
+                return False
+        self._close_at_exit()
+        return True
+
+    def _fail_remaining(self, reason: str) -> None:
+        with self._lock:
+            pending = [future for future, _worker in self._pending.values()]
+            self._pending.clear()
+        for future in pending:  # only a crashed worker leaves any behind
+            _settle(future, exception=RuntimeError(reason))

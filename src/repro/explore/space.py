@@ -19,11 +19,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from ..config import ArchConfig, scaled, validate
-import os
-from concurrent.futures import ProcessPoolExecutor
-
-from ..runner import SimReport, SweepJob
-from ..runner.sweep import _run_job
+from ..engine import Engine, JobFailed, JobSpec, resolve_engine
+from ..runner import SimReport
 
 __all__ = ["ExplorationPoint", "Exploration", "explore", "with_param",
            "pareto_front"]
@@ -124,13 +121,16 @@ class Exploration:
 def explore(network: str, base_config: ArchConfig,
             space: dict[str, list], *,
             mapping: str | None = None,
-            workers: int | None = 1) -> Exploration:
+            workers: int | None = 1,
+            engine: Engine | None = None) -> Exploration:
     """Sweep the cartesian grid of ``space`` and simulate every point.
 
     Design points whose configuration cannot host the network (capacity
     exhausted) are recorded under ``failures`` instead of aborting the
-    sweep.  ``workers > 1`` simulates the grid on a process pool
-    (``None`` = all CPUs); point order and results match the serial run.
+    sweep.  ``workers > 1`` simulates the grid on the engine's persistent
+    worker pool (``None`` = all CPUs); point order and results match the
+    serial run.  Pass ``engine`` to reuse a session's warm caches across
+    explorations.
     """
     exploration = Exploration(network=network if isinstance(network, str)
                               else network.name)
@@ -147,38 +147,24 @@ def explore(network: str, base_config: ArchConfig,
             continue
         grid.append((params, config))
 
-    def record(params, outcome):
-        report, error = outcome
-        if report is not None:
-            exploration.points.append(ExplorationPoint(params=params,
-                                                       report=report))
-        else:
-            exploration.failures.append((params, error))
-
-    jobs = [SweepJob(network, config, mapping=mapping)
+    jobs = [JobSpec(network, config, mapping=mapping)
             for _, config in grid]
-    if workers is None:
-        workers = os.cpu_count() or 1
-    workers = min(workers, max(len(jobs), 1))
-    if workers <= 1:
-        for (params, _), job in zip(grid, jobs):
-            record(params, _try_job(job))
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for (params, _), outcome in zip(grid, pool.map(_try_job, jobs)):
-                record(params, outcome)
+    outcomes = resolve_engine(engine).map(jobs, workers=workers,
+                                          errors="capture")
+    for (params, _), outcome in zip(grid, outcomes):
+        if isinstance(outcome, JobFailed):
+            exploration.failures.append((params, outcome.message))
+        else:
+            exploration.points.append(ExplorationPoint(params=params,
+                                                       report=outcome))
     return exploration
 
 
 def _first_line(exc: Exception) -> str:
-    """First line of an exception message, falling back to its type name."""
-    text = str(exc)
-    return text.splitlines()[0] if text else type(exc).__name__
+    """First line of an exception message, falling back to its type name.
 
-
-def _try_job(job: "SweepJob") -> tuple[SimReport | None, str | None]:
-    """Simulate one point, capturing failure as data (pool-safe)."""
-    try:
-        return _run_job(job), None
-    except Exception as exc:
-        return None, _first_line(exc)
+    Delegates to the engine's failure-record truncation so grid-
+    construction failures read identically to simulation failures.
+    """
+    from ..engine.pool import job_failure
+    return job_failure(exc).message

@@ -4,22 +4,31 @@
 >>> report = simulate("alexnet", paper_chip())
 >>> report.cycles > 0
 True
+
+Every function here is a thin shim over the process-wide
+:func:`repro.engine.default_engine` — persistent sessions, job files and
+parallel streaming live on :class:`repro.engine.Engine`; this module keeps
+the historical one-shot surface (and its global caches) bit-identical.
 """
 
 from __future__ import annotations
 
-from ..arch import run_program
-from ..compiler import CompilationResult, compile_cache, compile_network
-from ..config import ArchConfig, paper_chip
+from ..compiler import CompilationResult
+from ..config import ArchConfig
 from ..graph import Graph
-from ..models import build_model
 from .results import SimReport
 
 __all__ = ["simulate", "compile_model", "resolve_network"]
 
-#: memoized zoo builds: (name, imagenet) -> Graph.  Returning the same
-#: graph object for repeated names is what keys the compile cache.
+#: memoized zoo builds: (name, imagenet) -> Graph.  Deprecated as a public
+#: touchpoint: this dict is now owned by ``repro.engine.default_engine()``
+#: (it stays importable so existing callers keep the exact same cache).
 _model_cache: dict[tuple[str, bool], Graph] = {}
+
+
+def _engine():
+    from ..engine import resolve_engine  # lazy: circular-import safe
+    return resolve_engine()
 
 
 def resolve_network(network: str | Graph, *, imagenet: bool = False) -> Graph:
@@ -27,70 +36,57 @@ def resolve_network(network: str | Graph, *, imagenet: bool = False) -> Graph:
 
     Zoo builds are memoized per ``(name, imagenet)`` so repeated calls
     share one graph object (zoo builds are deterministic and the compiler
-    never mutates its input graph).
+    never mutates its input graph).  Delegates to the default engine's
+    resolver; prefer :meth:`repro.engine.Engine.resolve_network` for
+    session-scoped caching.
     """
-    if isinstance(network, Graph):
-        return network
-    key = (network, imagenet)
-    graph = _model_cache.get(key)
-    if graph is None:
-        graph = _model_cache[key] = build_model(network, imagenet=imagenet)
-    return graph
+    return _engine().resolve_network(network, imagenet=imagenet)
 
 
 def compile_model(network: str | Graph, config: ArchConfig | None = None, *,
                   mapping: str | None = None,
                   imagenet: bool = False,
+                  attention_shards: int | None = None,
                   cache: bool = True) -> CompilationResult:
     """Compile a network for an architecture (default: the paper chip).
 
     With ``cache`` (default), identical ``(graph, architecture, mapping)``
     points are compiled once per process (see
-    :class:`repro.compiler.CompileCache`).
+    :class:`repro.compiler.CompileCache`).  Delegates to the default
+    engine; prefer :meth:`repro.engine.Engine.compile` for a private cache.
     """
-    graph = resolve_network(network, imagenet=imagenet)
-    config = config or paper_chip()
-    if mapping is not None:
-        config = config.with_mapping(mapping)
-    if cache:
-        return compile_cache.get_or_compile(graph, config)
-    return compile_network(graph, config)
+    return _engine().compile(network, config, mapping=mapping,
+                             imagenet=imagenet,
+                             attention_shards=attention_shards, cache=cache)
 
 
 def simulate(network: str | Graph, config: ArchConfig | None = None, *,
              mapping: str | None = None, rob_size: int | None = None,
              imagenet: bool = False, batch: int = 1,
              max_cycles: int | None = None,
+             attention_shards: int | None = None,
              compile_cache: bool = True) -> SimReport:
     """Compile and cycle-accurately simulate a network; returns the report.
 
     ``mapping`` / ``rob_size`` override the corresponding configuration
-    fields — the two knobs the paper's evaluation sweeps (Figs. 3 and 4).
-    ``batch > 1`` unrolls the program for a stream of images (pipelined
-    throughput mode); the report's cycles cover the whole stream and its
-    metadata records the batch for throughput math.
+    fields — the two knobs the paper's evaluation sweeps (Figs. 3 and 4);
+    ``attention_shards`` overrides the token-sharded dynamic-attention
+    width the same way.  ``batch > 1`` unrolls the program for a stream of
+    images (pipelined throughput mode); the report's cycles cover the
+    whole stream and its metadata records the batch for throughput math.
 
     ``compile_cache`` (default on) reuses compilations for repeated
     ``(network, architecture, mapping)`` points; the process-wide hit/miss
     counters are exposed as ``report.compile_cache_hits`` /
     ``report.compile_cache_misses`` (``meta["compile_cache_*"]``) so sweeps
     can assert they are not recompiling.
+
+    Delegates to the default engine — prefer
+    :meth:`repro.engine.Engine.simulate` when running many jobs: a
+    session-scoped engine keeps its caches and worker pool warm.
     """
-    config = config or paper_chip()
-    if mapping is not None:
-        config = config.with_mapping(mapping)
-    if rob_size is not None:
-        config = config.with_rob_size(rob_size)
-    compiled = compile_model(network, config, imagenet=imagenet,
-                             cache=compile_cache)
-    program = compiled.program
-    if batch > 1:
-        from ..compiler.batching import repeat_chip_program
-        program = repeat_chip_program(program, batch)
-    raw = run_program(program, config, max_cycles=max_cycles)
-    report = SimReport.from_raw(raw, config, program.total_instructions)
-    if compile_cache:
-        from ..compiler import compile_cache as cache
-        report.meta["compile_cache_hits"] = cache.hits
-        report.meta["compile_cache_misses"] = cache.misses
-    return report
+    return _engine().simulate(network, config, mapping=mapping,
+                              rob_size=rob_size, imagenet=imagenet,
+                              batch=batch, max_cycles=max_cycles,
+                              attention_shards=attention_shards,
+                              compile_cache=compile_cache)

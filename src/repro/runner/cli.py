@@ -8,16 +8,19 @@ experiments::
     pimsim mappings --model alexnet            # Fig. 3 point
     pimsim rob --model googlenet               # Fig. 4 series
     pimsim mnsim --model resnet18              # Fig. 5 point
+    pimsim batch jobs.json --workers 4         # spec file -> JSONL reports
     pimsim models
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from ..analysis import ascii_bars, comm_ratios
 from ..config import PRESETS, ArchConfig, get_preset
+from ..engine import Engine, JobFailed, load_specs
 from ..models import MODELS
 from .api import compile_model, simulate
 from .sweep import compare_mappings, compare_with_baseline, sweep_rob
@@ -56,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rob", type=int, default=None, help="ROB size override")
     run.add_argument("--batch", type=int, default=1,
                      help="pipelined image stream length (throughput mode)")
+    run.add_argument("--shards", type=int, default=None,
+                     help="compiler.attention_shards override (token-sharded "
+                          "dynamic attention)")
     run.add_argument("--json", default=None, help="write the report as JSON")
     run.add_argument("--comm-ratios", action="store_true",
                      help="print per-layer communication ratios")
@@ -68,6 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
                                             "performance_first"])
     comp.add_argument("--listing", type=int, default=0, metavar="N",
                       help="print the first N instructions of each core")
+    comp.add_argument("--shards", type=int, default=None,
+                      help="compiler.attention_shards override")
 
     mappings = sub.add_parser("mappings",
                               help="compare both mapping policies (Fig. 3)")
@@ -88,6 +96,21 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(Fig. 5)")
     _add_common(mnsim)
 
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSON job-spec file on a persistent engine, emit JSONL")
+    batch.add_argument("specfile", help="JSON file: one spec, a list, or "
+                                        "{'jobs': [...]} (see repro.engine)")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="persistent worker processes (default: serial)")
+    batch.add_argument("--preset", default="paper",
+                       help="default preset for jobs without a config "
+                            f"({', '.join(sorted(PRESETS))})")
+    batch.add_argument("--output", default=None, metavar="PATH",
+                       help="write JSONL here instead of stdout")
+    batch.add_argument("--progress", action="store_true",
+                       help="print per-job completions to stderr")
+
     sub.add_parser("models", help="list zoo networks")
     sub.add_parser("presets", help="list architecture presets")
     return parser
@@ -97,7 +120,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = _load_config(args)
     report = simulate(args.model, config, mapping=args.mapping,
                       rob_size=args.rob, imagenet=args.imagenet,
-                      batch=args.batch)
+                      batch=args.batch, attention_shards=args.shards)
     if args.full_report:
         from ..analysis import full_report
         print(full_report(report))
@@ -119,7 +142,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compile(args: argparse.Namespace) -> int:
     config = _load_config(args)
     result = compile_model(args.model, config, mapping=args.mapping,
-                           imagenet=args.imagenet)
+                           imagenet=args.imagenet,
+                           attention_shards=args.shards)
     print(result.summary())
     if args.listing:
         for core in result.program.cores_used:
@@ -168,6 +192,47 @@ def _cmd_mnsim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Run a job-spec file; emit one JSON record per job (JSONL).
+
+    Each line is ``{"index": i, "spec": {...}, "report": {...}}`` (or
+    ``"error"`` instead of ``"report"``), so a single line fully describes
+    and reproduces its experiment — specs that relied on the engine's
+    ``--preset`` default are emitted with that preset made explicit.
+    Lines stream in completion order; ``index`` maps each back to its
+    position in the spec file.
+    """
+    specs = load_specs(args.specfile)
+    out = open(args.output, "w") if args.output else sys.stdout
+    failures = 0
+    try:
+        with Engine(get_preset(args.preset)) as engine:
+            for index, outcome in engine.as_completed(
+                    specs, workers=args.workers, errors="capture"):
+                spec_dict = specs[index].to_dict()
+                spec_dict.setdefault("config", args.preset)
+                record: dict = {"index": index, "spec": spec_dict}
+                if isinstance(outcome, JobFailed):
+                    failures += 1
+                    record["error"] = {"kind": outcome.kind,
+                                       "message": outcome.message}
+                    if outcome.details:
+                        record["error"]["details"] = outcome.details
+                else:
+                    record["report"] = outcome.to_dict()
+                print(json.dumps(record), file=out, flush=True)
+                if args.progress:
+                    label = (f"failed: {outcome.message}"
+                             if isinstance(outcome, JobFailed)
+                             else f"{outcome.cycles:,} cycles")
+                    print(f"[{index}] {label}", file=sys.stderr)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(f"{len(specs)} jobs, {failures} failed", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "models":
@@ -184,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
         "mappings": _cmd_mappings,
         "rob": _cmd_rob,
         "mnsim": _cmd_mnsim,
+        "batch": _cmd_batch,
     }[args.command]
     return handler(args)
 

@@ -1,25 +1,29 @@
 """Parameter sweeps: the evaluation loops behind Figs. 3, 4 and 5.
 
 All sweeps run through one executor, :func:`run_sweep`, which takes a list
-of :class:`SweepJob` points and simulates them either serially (``workers
-<= 1``) or on a process pool.  Results are returned in job order and are
-identical either way (each simulation is a deterministic pure function of
-its job).  Every worker process carries its own compile cache, so
-repeated-configuration points — e.g. the ROB sweep, whose compiled program
-is independent of ROB capacity — skip recompilation.
+of :class:`SweepJob` points and hands them to an
+:class:`~repro.engine.Engine` — either the process-wide default engine or
+one passed by the caller.  Results are returned in job order and are
+identical whether they run serially or on the engine's persistent worker
+pool (each simulation is a deterministic pure function of its job).
+Every worker carries its own compile cache that survives *across* sweeps,
+so repeated-configuration points — e.g. the ROB sweep, whose compiled
+program is independent of ROB capacity — skip recompilation even between
+back-to-back calls.
+
+:class:`SweepJob` is a deprecation-era alias of
+:class:`repro.engine.JobSpec`; new code should build specs directly.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from ..baseline import run_baseline
 from ..config import ArchConfig, mnsim_like_chip, paper_chip
+from ..engine.spec import JobSpec
 from ..graph import Graph
-from .api import resolve_network, simulate
 from .results import SimReport
 
 __all__ = [
@@ -35,68 +39,60 @@ __all__ = [
 ]
 
 
-@dataclass
-class SweepJob:
+class SweepJob(JobSpec):
     """One point of a sweep: a network plus per-point overrides.
 
-    Mirrors the keyword surface of :func:`repro.runner.api.simulate`;
-    ``tag`` is carried through untouched so callers can label points.
+    Deprecated alias of :class:`repro.engine.JobSpec` (same fields, same
+    construction); kept so existing sweep code and pickled jobs keep
+    working unchanged.
     """
 
-    network: str | Graph
-    config: ArchConfig | None = None
-    mapping: str | None = None
-    rob_size: int | None = None
-    imagenet: bool = False
-    batch: int = 1
-    max_cycles: int | None = None
-    tag: Any = None
+
+def _engine(engine=None):
+    from ..engine import resolve_engine  # lazy: circular-import safe
+    return resolve_engine(engine)
 
 
-def _run_job(job: SweepJob) -> SimReport:
-    report = simulate(job.network, job.config, mapping=job.mapping,
-                      rob_size=job.rob_size, imagenet=job.imagenet,
-                      batch=job.batch, max_cycles=job.max_cycles)
-    if job.tag is not None:
-        report.meta["sweep_tag"] = job.tag
-    return report
-
-
-def run_sweep(jobs: Sequence[SweepJob] | Iterable[SweepJob], *,
+def run_sweep(jobs: Sequence[JobSpec] | Iterable[JobSpec], *,
               workers: int | None = 1,
-              chunksize: int = 1) -> list[SimReport]:
+              chunksize: int = 1,
+              engine=None) -> list[SimReport]:
     """Simulate every job, returning reports in job order.
 
-    ``workers > 1`` fans the points out over a process pool
-    (``workers=None`` uses all CPUs); results are bit-identical to the
-    serial path.  Graph-object networks are shipped to workers by pickling.
+    ``workers > 1`` fans the points out over the engine's persistent
+    worker pool (``workers=None`` uses the engine's default width — all
+    CPUs for the default engine); results are bit-identical to the serial
+    path.  Graph-object networks are shipped to workers by pickling.
+    ``chunksize`` is accepted for backward compatibility and ignored —
+    the pool deals jobs individually and deterministically.
+
+    Unlike the pre-engine executor, the worker pool *persists* after the
+    call (that is what makes back-to-back sweeps skip pool spin-up and
+    recompilation); call ``repro.engine.default_engine().close()`` to
+    release the default engine's workers early — otherwise they are torn
+    down at interpreter exit.
     """
-    jobs = list(jobs)
-    if workers is None:
-        workers = os.cpu_count() or 1
-    workers = min(workers, len(jobs))
-    if workers <= 1:
-        return [_run_job(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_job, jobs, chunksize=chunksize))
+    del chunksize
+    return _engine(engine).map(list(jobs), workers=workers)
 
 
 def sweep(configs: ArchConfig | Sequence[ArchConfig],
           networks: str | Graph | Sequence[str | Graph], *,
-          workers: int | None = 1, **overrides: Any) -> list[SimReport]:
+          workers: int | None = 1, engine=None,
+          **overrides: Any) -> list[SimReport]:
     """Cross-product sweep: every configuration on every network.
 
     Returns reports ordered configuration-major (``configs[0]`` over all
     networks first).  Extra keyword arguments become per-job overrides
-    (``mapping=``, ``rob_size=``, ``batch=`` ...).
+    (``mapping=``, ``rob_size=``, ``batch=``, ``attention_shards=`` ...).
     """
     if isinstance(configs, ArchConfig):
         configs = [configs]
     if isinstance(networks, (str, Graph)):
         networks = [networks]
-    jobs = [SweepJob(network, config, **overrides)
+    jobs = [JobSpec(network, config, **overrides)
             for config in configs for network in networks]
-    return run_sweep(jobs, workers=workers)
+    return run_sweep(jobs, workers=workers, engine=engine)
 
 
 @dataclass
@@ -120,13 +116,14 @@ class MappingComparison:
 
 def compare_mappings(network: str | Graph, config: ArchConfig | None = None, *,
                      rob_size: int = 1,
-                     workers: int | None = 1) -> MappingComparison:
+                     workers: int | None = 1,
+                     engine=None) -> MappingComparison:
     """Run both mapping policies (paper setting: ROB size 1)."""
     config = (config or paper_chip()).with_rob_size(rob_size)
     utilization, performance = run_sweep(
-        [SweepJob(network, config, mapping="utilization_first"),
-         SweepJob(network, config, mapping="performance_first")],
-        workers=workers)
+        [JobSpec(network, config, mapping="utilization_first"),
+         JobSpec(network, config, mapping="performance_first")],
+        workers=workers, engine=engine)
     return MappingComparison(
         network=network if isinstance(network, str) else network.name,
         utilization=utilization,
@@ -149,7 +146,8 @@ class RobSweep:
 
 def sweep_rob(network: str | Graph, config: ArchConfig | None = None, *,
               sizes: tuple[int, ...] = (1, 4, 8, 12, 16),
-              workers: int | None = 1) -> RobSweep:
+              workers: int | None = 1,
+              engine=None) -> RobSweep:
     """Simulate across ROB sizes (performance-first, as in Fig. 4).
 
     The compiled program is independent of ROB capacity, so with the
@@ -159,8 +157,8 @@ def sweep_rob(network: str | Graph, config: ArchConfig | None = None, *,
     config = config or paper_chip()
     result = RobSweep(network if isinstance(network, str) else network.name)
     reports = run_sweep(
-        [SweepJob(network, config, rob_size=size) for size in sizes],
-        workers=workers)
+        [JobSpec(network, config, rob_size=size) for size in sizes],
+        workers=workers, engine=engine)
     for size, report in zip(sizes, reports):
         result.reports[size] = report
     return result
@@ -183,11 +181,13 @@ class BaselineComparison:
 
 def compare_with_baseline(network: str | Graph,
                           config: ArchConfig | None = None, *,
-                          workers: int | None = 1) -> BaselineComparison:
+                          workers: int | None = 1,
+                          engine=None) -> BaselineComparison:
     """Run our simulator and the behaviour-level baseline on one network."""
     config = config or mnsim_like_chip()
-    graph = resolve_network(network)
-    ours = run_sweep([SweepJob(graph, config)], workers=workers)[0]
+    graph = _engine(engine).resolve_network(network)
+    ours = run_sweep([JobSpec(graph, config)], workers=workers,
+                     engine=engine)[0]
     base = run_baseline(graph, config)
     return BaselineComparison(
         network=graph.name,

@@ -4,6 +4,9 @@ import json
 
 import pytest
 
+from repro import JobSpec, simulate
+from repro.config import tiny_chip
+from repro.engine import save_specs
 from repro.runner.cli import build_parser, main
 
 
@@ -76,3 +79,96 @@ class TestSubcommands:
         capsys.readouterr()
         data = json.loads(path.read_text())
         assert "hottest_links" in data["noc"]
+
+    def test_run_accepts_shards_flag(self, capsys):
+        assert main(["run", "--model", "mlp", "--preset", "small",
+                     "--shards", "1"]) == 0
+        capsys.readouterr()
+
+
+class TestBatch:
+    """``pimsim batch``: spec file in, one JSON report per line out."""
+
+    def _spec_file(self, tmp_path, specs):
+        path = tmp_path / "jobs.json"
+        save_specs(specs, path)
+        return path
+
+    def test_emits_one_report_per_line(self, tmp_path, capsys):
+        specs = [JobSpec("mlp", tiny_chip(), rob_size=1, tag="a"),
+                 JobSpec("mlp", tiny_chip(), rob_size=8, tag="b")]
+        out = tmp_path / "reports.jsonl"
+        assert main(["batch", str(self._spec_file(tmp_path, specs)),
+                     "--output", str(out)]) == 0
+        capsys.readouterr()
+        records = [json.loads(line) for line in
+                   out.read_text().splitlines()]
+        assert [r["index"] for r in records] == [0, 1]
+        for record, spec in zip(records, specs):
+            assert record["report"]["meta"]["sweep_tag"] == spec.tag
+            assert (record["report"]["cycles"]
+                    == simulate(spec.network, spec.config,
+                                rob_size=spec.rob_size).cycles)
+
+    def test_emitted_spec_round_trips(self, tmp_path, capsys):
+        """Every JSONL line fully reproduces its own experiment."""
+        specs = [JobSpec("mlp", tiny_chip(), rob_size=2)]
+        out = tmp_path / "reports.jsonl"
+        assert main(["batch", str(self._spec_file(tmp_path, specs)),
+                     "--output", str(out)]) == 0
+        capsys.readouterr()
+        record = json.loads(out.read_text().splitlines()[0])
+        replayed = JobSpec.from_dict(record["spec"])
+        report = simulate(replayed.network, replayed.config,
+                          rob_size=replayed.rob_size)
+        assert report.cycles == record["report"]["cycles"]
+        assert (report.total_energy_pj
+                == record["report"]["total_energy_pj"])
+
+    def test_configless_spec_records_effective_preset(self, tmp_path,
+                                                      capsys):
+        """Specs that used the CLI's --preset default replay identically
+        from their emitted line (the preset is made explicit)."""
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([{"network": "mlp"}]))
+        out = tmp_path / "r.jsonl"
+        assert main(["batch", str(path), "--preset", "tiny",
+                     "--output", str(out)]) == 0
+        capsys.readouterr()
+        record = json.loads(out.read_text().splitlines()[0])
+        assert record["spec"]["config"] == "tiny"
+        replayed = JobSpec.from_dict(record["spec"])
+        assert (simulate(replayed.network, replayed.config).cycles
+                == record["report"]["cycles"])
+
+    def test_failures_exit_nonzero_with_error_records(self, tmp_path,
+                                                      capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([{"network": "mlp", "config": "tiny"},
+                                    {"network": "nosuch", "config": "tiny"}]))
+        assert main(["batch", str(path)]) == 1
+        captured = capsys.readouterr()
+        records = {r["index"]: r for r in
+                   (json.loads(line)
+                    for line in captured.out.splitlines() if line)}
+        assert "report" in records[0]
+        assert records[1]["error"]["kind"] == "KeyError"
+        assert "1 failed" in captured.err
+
+    def test_parallel_matches_serial(self, tmp_path, capsys):
+        specs = [JobSpec("mlp", tiny_chip(), rob_size=size)
+                 for size in (1, 4)]
+        path = self._spec_file(tmp_path, specs)
+        serial_out = tmp_path / "serial.jsonl"
+        parallel_out = tmp_path / "parallel.jsonl"
+        assert main(["batch", str(path), "--output", str(serial_out)]) == 0
+        assert main(["batch", str(path), "--workers", "2",
+                     "--output", str(parallel_out)]) == 0
+        capsys.readouterr()
+
+        def cycles_by_index(text):
+            return {r["index"]: r["report"]["cycles"] for r in
+                    (json.loads(line) for line in text.splitlines())}
+
+        assert (cycles_by_index(serial_out.read_text())
+                == cycles_by_index(parallel_out.read_text()))

@@ -1,0 +1,101 @@
+"""Tests for JobSpec JSON (de)serialization — an experiment is a file."""
+
+import json
+
+import pytest
+
+from repro import Engine, JobSpec
+from repro.config import get_preset, small_chip, tiny_chip
+from repro.engine import load_specs, save_specs
+from repro.graph import Graph
+from tests.conftest import build_chain_net
+
+
+class TestToDict:
+    def test_defaults_omitted(self):
+        assert JobSpec("mlp").to_dict() == {"network": "mlp"}
+
+    def test_overrides_included(self):
+        spec = JobSpec("vgg8", mapping="utilization_first", rob_size=3,
+                       batch=2, max_cycles=100, tag="point-a",
+                       attention_shards=2, imagenet=True)
+        data = spec.to_dict()
+        assert data == {
+            "network": "vgg8",
+            "mapping": "utilization_first",
+            "rob_size": 3,
+            "imagenet": True,
+            "batch": 2,
+            "max_cycles": 100,
+            "tag": "point-a",
+            "attention_shards": 2,
+        }
+
+    def test_config_embedded_as_tree(self):
+        data = JobSpec("mlp", tiny_chip()).to_dict()
+        assert data["config"]["name"] == tiny_chip().name
+        assert data["config"]["core"]["rob_size"] == tiny_chip().core.rob_size
+
+    def test_graph_network_embedded(self):
+        data = JobSpec(build_chain_net()).to_dict()
+        assert data["network"]["graph"]["name"] == "chain"
+        assert data["network"]["graph"]["nodes"]
+
+
+class TestRoundTrip:
+    def test_name_spec_dataclass_equality(self):
+        spec = JobSpec("vgg8", tiny_chip(), mapping="performance_first",
+                       rob_size=4, batch=2, tag="x", attention_shards=2)
+        assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_json_text_is_valid_json(self):
+        assert json.loads(JobSpec("mlp", tiny_chip()).to_json())
+
+    def test_preset_name_accepted_for_config(self):
+        spec = JobSpec.from_dict({"network": "mlp", "config": "tiny"})
+        assert spec.config == get_preset("tiny")
+
+    def test_graph_spec_resimulates_identically(self):
+        spec = JobSpec(build_chain_net(), tiny_chip(), rob_size=2)
+        rebuilt = JobSpec.from_json(spec.to_json())
+        assert isinstance(rebuilt.network, Graph)
+        with Engine() as eng:
+            original = eng.run(spec)
+            replayed = eng.run(rebuilt)
+        assert original.cycles == replayed.cycles
+        assert original.total_energy_pj == replayed.total_energy_pj
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec.from_dict({"network": "mlp", "frobnicate": 1})
+
+    def test_missing_network_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec.from_dict({"config": "tiny"})
+
+
+class TestSpecFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        specs = [JobSpec("mlp", tiny_chip(), rob_size=1, tag="a"),
+                 JobSpec("vgg8", small_chip(), tag="b")]
+        path = tmp_path / "jobs.json"
+        save_specs(specs, path)
+        assert load_specs(path) == specs
+
+    def test_single_object_file(self, tmp_path):
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps({"network": "mlp"}))
+        assert load_specs(path) == [JobSpec("mlp")]
+
+    def test_bare_list_file(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps([{"network": "mlp"},
+                                    {"network": "vgg8", "rob_size": 2}]))
+        assert load_specs(path) == [JobSpec("mlp"),
+                                    JobSpec("vgg8", rob_size=2)]
+
+    def test_malformed_document_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps("just a string"))
+        with pytest.raises(ValueError):
+            load_specs(path)

@@ -1,0 +1,107 @@
+"""Public-API snapshot: pins the exported surface against silent drift.
+
+If a PR intentionally changes the public surface, update the snapshots
+here *in the same PR* — that is the point: the diff makes the surface
+change visible and reviewed instead of accidental.
+"""
+
+import repro
+import repro.engine
+import repro.runner
+
+ROOT_ALL = [
+    "ArchConfig",
+    "Engine",
+    "JobSpec",
+    "MODELS",
+    "SimReport",
+    "SweepJob",
+    "__version__",
+    "build_model",
+    "compare_mappings",
+    "compare_with_baseline",
+    "compile_model",
+    "default_engine",
+    "get_preset",
+    "mnsim_like_chip",
+    "paper_chip",
+    "run_sweep",
+    "simulate",
+    "small_chip",
+    "sweep",
+    "sweep_rob",
+    "tiny_chip",
+]
+
+ENGINE_ALL = [
+    "Engine",
+    "JobFailed",
+    "JobSpec",
+    "WorkerPool",
+    "default_engine",
+    "load_specs",
+    "resolve_engine",
+    "save_specs",
+]
+
+RUNNER_ALL = [
+    "BaselineComparison",
+    "MappingComparison",
+    "RobSweep",
+    "SimReport",
+    "SweepJob",
+    "compare_mappings",
+    "compare_with_baseline",
+    "compile_model",
+    "resolve_network",
+    "run_sweep",
+    "simulate",
+    "sweep",
+    "sweep_rob",
+]
+
+#: the Engine's service surface; future PRs must not silently drop any.
+ENGINE_METHODS = [
+    "as_completed",
+    "clear_caches",
+    "close",
+    "compile",
+    "compile_stats",
+    "map",
+    "pool_size",
+    "resolve_network",
+    "run",
+    "simulate",
+    "submit",
+]
+
+
+def test_root_all_pinned():
+    assert sorted(repro.__all__) == ROOT_ALL
+
+
+def test_engine_all_pinned():
+    assert sorted(repro.engine.__all__) == ENGINE_ALL
+
+
+def test_runner_all_pinned():
+    assert sorted(repro.runner.__all__) == RUNNER_ALL
+
+
+def test_root_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_engine_names_resolve():
+    for name in repro.engine.__all__:
+        assert getattr(repro.engine, name) is not None, name
+
+
+def test_engine_service_surface():
+    for name in ENGINE_METHODS:
+        assert hasattr(repro.Engine, name), name
+
+
+def test_sweepjob_is_a_jobspec():
+    assert issubclass(repro.SweepJob, repro.JobSpec)
