@@ -75,6 +75,15 @@ def main() -> None:
         stats = engine.compile_stats()
         print(f"  compile cache: {stats['misses']} miss, "
               f"{stats['hits']} hits")
+        # Pooled runs (workers>1) are self-healing: crashed workers are
+        # respawned in their lane, the jobs they owned are retried
+        # (repeat offenders surface as typed JobPoisoned failures), and
+        # JobSpec.timeout bounds a job's wall clock (JobTimeout).
+        # engine.pool_stats() reports the respawn/retry/timeout
+        # counters; `pimsim batch --output run.jsonl --resume` turns the
+        # output file into a journal so an interrupted sweep replays
+        # only the missing jobs.
+        print(f"  worker pool: {engine.pool_stats()}")
 
 
 if __name__ == "__main__":

@@ -5,18 +5,59 @@ pool) across requests; :class:`JobSpec` is the unit of work and is JSON
 round-trippable, so an experiment is a file (``pimsim batch``).  The
 legacy one-shot functions in :mod:`repro.runner` are shims over
 :func:`default_engine`.
+
+Fault tolerance
+---------------
+
+The worker pool is **supervised**: a crashed worker is respawned in
+place (same lane, fresh pipes) instead of condemning the pool, so
+deterministic dealing and every surviving worker's warm compile cache
+outlive the crash.  The semantics, end to end:
+
+* **Retries.**  Jobs owned by a crashed worker are transparently
+  resubmitted, up to ``Engine(max_retries=...)`` (default 1, jittered
+  backoff) for the job the worker was *running* — the crash suspect.  A
+  job that keeps killing its workers is quarantined and surfaces as a
+  typed :class:`JobPoisoned` failure.  Exceptions **raised by** a job
+  (a bad spec, a compile error) are results: shipped back, re-raised or
+  captured with their original type, and never retried.
+* **Timeouts.**  ``JobSpec.timeout`` (or ``Engine(job_timeout=...)``)
+  bounds a pooled job's wall-clock run; the watchdog kills and respawns
+  the worker and the job fails as :class:`JobTimeout`.
+* **Telemetry.**  :meth:`Engine.pool_stats` exposes the respawn / retry
+  / timeout / poisoned counters next to :meth:`Engine.compile_stats`.
+* **Warm growth.**  Asking for more workers than the live pool has
+  spawns only the delta (:meth:`WorkerPool.grow`) — no cold restart.
+* **Batch resume.**  ``pimsim batch --output run.jsonl`` journals each
+  completion as it lands; ``--resume`` replays only the indices the
+  journal does not cover, so a crashed 1000-job sweep recomputes just
+  what is missing.
+
+Retries, timeouts and chaos directives (:mod:`repro.engine.faults`, the
+deterministic fault-injection harness that pins all of the above in
+tests) apply to pooled execution only; in-process runs (``workers<=1``)
+execute the spec directly and never evaluate faults.
 """
 
 # Import order matters: `core` pulls in `repro.runner`, whose sweep module
 # imports JobSpec back from this package — bind spec/pool names first.
 from .spec import JobSpec, load_specs, save_specs
-from .pool import JobFailed, WorkerPool
+from .pool import (
+    JobFailed,
+    JobPoisoned,
+    JobTimeout,
+    PoolUnavailable,
+    WorkerPool,
+)
 from .core import Engine
 
 __all__ = [
     "Engine",
     "JobSpec",
     "JobFailed",
+    "JobPoisoned",
+    "JobTimeout",
+    "PoolUnavailable",
     "WorkerPool",
     "load_specs",
     "save_specs",

@@ -34,7 +34,12 @@ from ..config import ArchConfig, paper_chip, validate
 from ..graph import Graph
 from ..models import build_model
 from ..runner.results import SimReport
-from .pool import JobFailed, PoolUnavailable, WorkerPool, job_failure
+from .pool import (
+    JobFailed,
+    PoolUnavailable,
+    WorkerPool,
+    job_failure,
+)
 from .spec import JobSpec
 
 __all__ = ["Engine"]
@@ -58,6 +63,19 @@ class Engine:
         Default parallelism for :meth:`submit` / :meth:`map` /
         :meth:`as_completed` when the call does not pass its own
         (``None``: all CPUs).
+    max_retries:
+        How often a single job may crash its worker before it is
+        quarantined as :class:`~repro.engine.JobPoisoned` instead of
+        retried (default 1; pooled runs only).  Exceptions *raised by* a
+        job are results, never retried.
+    job_timeout:
+        Default wall-clock seconds per pooled job; a job running longer
+        is killed (worker respawned in place) and fails with
+        :class:`~repro.engine.JobTimeout`.  ``JobSpec.timeout``
+        overrides it per job.  ``None`` (default): no timeout.
+    retry_backoff:
+        Scale (seconds) of the jittered delay before a blamed job is
+        resubmitted after a worker crash.
     compile_cache / model_cache:
         Share existing caches (the process-wide default engine is wired
         to the historical globals this way).  Omit both to give the
@@ -66,10 +84,16 @@ class Engine:
 
     def __init__(self, config: ArchConfig | None = None, *,
                  workers: int | None = None,
+                 max_retries: int = 1,
+                 job_timeout: float | None = None,
+                 retry_backoff: float = 0.05,
                  compile_cache: CompileCache | None = None,
                  model_cache: dict[tuple[str, bool], Graph] | None = None):
         self._config = config
         self._default_workers = workers
+        self._max_retries = max_retries
+        self._job_timeout = job_timeout
+        self._retry_backoff = retry_backoff
         self._compile_cache = compile_cache if compile_cache is not None \
             else CompileCache()
         self._model_cache = model_cache if model_cache is not None else {}
@@ -204,15 +228,27 @@ class Engine:
             stale = None
             with self._lock:
                 pool = self._pool
-                if pool is not None and (pool.broken
-                                         or pool.size < workers):
-                    # Cold restart: a worker died, or a wider pool was
-                    # asked for.  (Warm caches are lost — see ROADMAP
-                    # open items.)
+                if pool is not None and pool.broken:
+                    # Cold restart — only for the unrecoverable case (a
+                    # worker could not be respawned).  Plain worker death
+                    # heals in place inside the pool itself.
                     stale, self._pool = pool, None
                     pool = None
+                elif pool is not None and pool.size < workers:
+                    # Warm growth: spawn only the delta, keeping every
+                    # existing worker's compile cache.
+                    try:
+                        pool.grow(workers)
+                        self._last_pool_width = pool.size
+                    except PoolUnavailable:  # raced a close/breakage
+                        stale, self._pool = pool, None
+                        pool = None
                 if pool is None and stale is None:
-                    pool = self._pool = WorkerPool(workers, self.config)
+                    pool = self._pool = WorkerPool(
+                        workers, self.config,
+                        max_retries=self._max_retries,
+                        default_timeout=self._job_timeout,
+                        retry_backoff=self._retry_backoff)
                     self._last_pool_width = workers
                     # An Engine dropped without close() must not pin idle
                     # workers for the rest of the process.
@@ -389,6 +425,21 @@ class Engine:
     def compile_stats(self) -> dict:
         """This engine's compile-cache counters (hits/misses/entries)."""
         return self._compile_cache.stats()
+
+    def pool_stats(self) -> dict:
+        """The live pool's supervision telemetry (compile_stats' sibling).
+
+        ``respawns`` counts workers replaced in place after a crash or
+        timeout kill, ``retries`` the jobs resubmitted across those
+        respawns, ``timeouts``/``poisoned`` the jobs settled as
+        :class:`~repro.engine.JobTimeout`/:class:`~repro.engine.JobPoisoned`.
+        All zeros until the first parallel call creates a pool.
+        """
+        pool = self._pool
+        if pool is None:
+            return {"size": 0, "respawns": 0, "retries": 0,
+                    "timeouts": 0, "poisoned": 0, "broken": False}
+        return pool.stats()
 
     @property
     def pool_size(self) -> int:

@@ -1,0 +1,107 @@
+"""Deterministic fault injection for the supervised worker pool.
+
+Every recovery path of :class:`~repro.engine.pool.WorkerPool` — respawn,
+retry, poison quarantine, timeout kill, undecodable-result condemnation —
+must be pinned by tests that *provoke the failure on purpose*, not by
+waiting for luck.  A chaos directive is a plain JSON-able dict embedded
+in a :class:`~repro.engine.JobSpec`::
+
+    JobSpec("mlp", faults={"mode": "crash", "attempts": [0]})
+
+and trips **only inside a pool worker process** (``_worker_main`` asks
+:func:`directive_for` / :func:`trip`); in-process execution via
+:meth:`Engine.run <repro.engine.Engine.run>` never evaluates directives,
+so a chaos spec can never take down the caller.
+
+Directive fields
+----------------
+
+``mode``
+    ``"crash"``   — SIGKILL the worker before it produces a result (hard
+    death: no cleanup, no exit handler — exactly what a segfault or an
+    OOM kill looks like to the parent).
+
+    ``"exit"``    — ``os._exit(code)`` (default 3): a worker that dies
+    with a nonzero status but without a signal.
+
+    ``"hang"``    — sleep ``seconds`` (default 3600) before running the
+    job, to exercise the timeout watchdog.  Pair it with a job timeout.
+
+    ``"raise"``   — raise :class:`FaultError` *inside the job*.  This is
+    the control case: a job-raised exception is a result, shipped back
+    and **never retried**.
+
+    ``"garbage"`` — run the job, then write undecodable bytes to the
+    result pipe instead of the report (a corrupted transport).
+
+``attempts``
+    Optional list of attempt numbers (0-based; the pool threads the
+    attempt counter through to the worker) the directive applies to.
+    ``{"mode": "crash", "attempts": [0]}`` kills the worker exactly once
+    — the retried attempt runs clean, which is what makes recovery tests
+    deterministic.  Omitted: the directive trips on every attempt (a
+    poison job).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+__all__ = ["FAULT_MODES", "FaultError", "GARBAGE_BYTES", "directive_for",
+           "trip"]
+
+#: every directive mode the worker loop understands.
+FAULT_MODES = ("crash", "exit", "hang", "raise", "garbage")
+
+#: bytes that are not a pickle — ``Connection.recv`` parent-side raises,
+#: driving the pool's undecodable-result condemnation path.
+GARBAGE_BYTES = b"\x00repro-fault-garbage"
+
+
+class FaultError(RuntimeError):
+    """The injected job-level failure (``mode="raise"``)."""
+
+
+def directive_for(spec, attempt: int) -> dict | None:
+    """The chaos directive applying to this attempt of ``spec``, if any.
+
+    Raises ``ValueError`` on malformed directives so a typo'd chaos test
+    fails loudly instead of silently running fault-free.
+    """
+    directive = getattr(spec, "faults", None)
+    if not directive:
+        return None
+    if not isinstance(directive, dict):
+        raise ValueError(f"faults directive must be a dict, "
+                         f"got {type(directive).__name__}")
+    mode = directive.get("mode")
+    if mode not in FAULT_MODES:
+        raise ValueError(f"unknown fault mode {mode!r} "
+                         f"(expected one of {', '.join(FAULT_MODES)})")
+    attempts = directive.get("attempts")
+    if attempts is not None and attempt not in attempts:
+        return None
+    return directive
+
+
+def trip(directive: dict | None) -> None:
+    """Execute a directive's failure (``garbage`` is handled at send time).
+
+    Called by the worker loop between the start heartbeat and the job
+    body, so a crash here is blamed on the running job — the same way a
+    real mid-job segfault would be.
+    """
+    if directive is None:
+        return
+    mode = directive["mode"]
+    if mode == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif mode == "exit":
+        os._exit(int(directive.get("code", 3)))
+    elif mode == "hang":
+        time.sleep(float(directive.get("seconds", 3600.0)))
+    elif mode == "raise":
+        raise FaultError(directive.get("message", "injected job failure"))
+    # "garbage": nothing to do here — the worker corrupts the result send.

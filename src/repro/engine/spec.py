@@ -48,6 +48,15 @@ class JobSpec:
     #: override for ``compiler.attention_shards`` (token-sharded dynamic
     #: attention, PR 4); ``None`` keeps the configuration's value.
     attention_shards: int | None = None
+    #: wall-clock seconds a pooled worker may spend on this job before
+    #: the watchdog kills it and the job fails with
+    #: :class:`~repro.engine.JobTimeout` (``None``: the pool's
+    #: ``default_timeout``; enforced on pooled runs only).
+    timeout: float | None = None
+    #: chaos directive for the fault-injection harness
+    #: (:mod:`repro.engine.faults`); trips only inside pool workers,
+    #: never in-process.
+    faults: dict | None = None
 
     # -- serialization -------------------------------------------------------
 

@@ -9,6 +9,7 @@ experiments::
     pimsim rob --model googlenet               # Fig. 4 series
     pimsim mnsim --model resnet18              # Fig. 5 point
     pimsim batch jobs.json --workers 4         # spec file -> JSONL reports
+    pimsim batch jobs.json --workers 4 --output run.jsonl --resume
     pimsim models
 """
 
@@ -17,10 +18,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from ..analysis import ascii_bars, comm_ratios
 from ..config import PRESETS, ArchConfig, get_preset
-from ..engine import Engine, JobFailed, load_specs
+from ..engine import Engine, JobFailed, PoolUnavailable, load_specs
 from ..models import MODELS
 from .api import compile_model, simulate
 from .sweep import compare_mappings, compare_with_baseline, sweep_rob
@@ -107,7 +109,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default preset for jobs without a config "
                             f"({', '.join(sorted(PRESETS))})")
     batch.add_argument("--output", default=None, metavar="PATH",
-                       help="write JSONL here instead of stdout")
+                       help="write JSONL here instead of stdout (doubles "
+                            "as the --resume journal)")
+    batch.add_argument("--resume", action="store_true",
+                       help="append to --output, skipping every index it "
+                            "already covers (requires --output)")
+    batch.add_argument("--max-retries", type=int, default=1, metavar="N",
+                       help="resubmissions allowed per job after a worker "
+                            "crash before it is quarantined as poisoned "
+                            "(pooled runs; default 1)")
+    batch.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock timeout enforced by the "
+                            "pool watchdog; overridden by a spec's own "
+                            "timeout (pooled runs; default: none)")
     batch.add_argument("--progress", action="store_true",
                        help="print per-job completions to stderr")
 
@@ -192,6 +207,43 @@ def _cmd_mnsim(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``pimsim batch`` exit-code contract (pinned by tests/test_cli_commands.py):
+#: 0 = every job succeeded, 1 = one or more jobs failed (captured in their
+#: JSONL error records), 2 = the run itself could not proceed (bad
+#: arguments, unrecoverable worker pool).
+BATCH_EXIT_OK = 0
+BATCH_EXIT_JOB_FAILURES = 1
+BATCH_EXIT_FATAL = 2
+
+
+def _read_journal(path: str) -> tuple[set, int]:
+    """Indices already settled in a batch journal, and how many errored.
+
+    Torn trailing lines (a previous run died mid-write) and foreign lines
+    are skipped — only well-formed ``{"index", "report"|"error"}`` records
+    count as completed.
+    """
+    done: set = set()
+    errors = 0
+    try:
+        text = Path(path).read_text()
+    except FileNotFoundError:
+        return done, errors
+    for line in text.splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(record, dict) or "index" not in record:
+            continue
+        if ("report" in record or "error" in record) \
+                and record["index"] not in done:
+            done.add(record["index"])
+            if "error" in record:
+                errors += 1
+    return done, errors
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Run a job-spec file; emit one JSON record per job (JSONL).
 
@@ -201,14 +253,42 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     ``--preset`` default are emitted with that preset made explicit.
     Lines stream in completion order; ``index`` maps each back to its
     position in the spec file.
+
+    The output file doubles as a journal: every completion is flushed as
+    it lands, so ``--resume`` after a crash (or a Ctrl-C) replays only
+    the indices the journal does not already cover and appends to it —
+    the union of runs is equivalent to one uninterrupted run.
     """
     specs = load_specs(args.specfile)
-    out = open(args.output, "w") if args.output else sys.stdout
+    done: set = set()
     failures = 0
+    if args.resume:
+        if not args.output:
+            print("batch: --resume requires --output (the journal file)",
+                  file=sys.stderr)
+            return BATCH_EXIT_FATAL
+        done, failures = _read_journal(args.output)
+        done &= set(range(len(specs)))
+        # A run that died mid-write leaves a torn final line with no
+        # newline; terminate it so the first appended record does not
+        # concatenate onto it (losing both lines).
+        journal = Path(args.output)
+        if journal.exists():
+            tail = journal.read_bytes()[-1:]
+            if tail and tail != b"\n":
+                with journal.open("ab") as fh:
+                    fh.write(b"\n")
+    pending = [(index, spec) for index, spec in enumerate(specs)
+               if index not in done]
+    out = open(args.output, "a" if args.resume else "w") \
+        if args.output else sys.stdout
     try:
-        with Engine(get_preset(args.preset)) as engine:
-            for index, outcome in engine.as_completed(
-                    specs, workers=args.workers, errors="capture"):
+        with Engine(get_preset(args.preset), max_retries=args.max_retries,
+                    job_timeout=args.timeout) as engine:
+            for position, outcome in engine.as_completed(
+                    [spec for _index, spec in pending],
+                    workers=args.workers, errors="capture"):
+                index = pending[position][0]
                 spec_dict = specs[index].to_dict()
                 spec_dict.setdefault("config", args.preset)
                 record: dict = {"index": index, "spec": spec_dict}
@@ -226,11 +306,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                              if isinstance(outcome, JobFailed)
                              else f"{outcome.cycles:,} cycles")
                     print(f"[{index}] {label}", file=sys.stderr)
+    except PoolUnavailable as exc:
+        print(f"batch: worker pool unrecoverable: {exc}", file=sys.stderr)
+        return BATCH_EXIT_FATAL
     finally:
         if out is not sys.stdout:
             out.close()
-    print(f"{len(specs)} jobs, {failures} failed", file=sys.stderr)
-    return 1 if failures else 0
+    resumed = f" ({len(done)} resumed from the journal)" if args.resume else ""
+    print(f"{len(specs)} jobs{resumed}, {failures} failed", file=sys.stderr)
+    return BATCH_EXIT_JOB_FAILURES if failures else BATCH_EXIT_OK
 
 
 def main(argv: list[str] | None = None) -> int:

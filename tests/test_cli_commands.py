@@ -6,8 +6,14 @@ import pytest
 
 from repro import JobSpec, simulate
 from repro.config import tiny_chip
-from repro.engine import save_specs
-from repro.runner.cli import build_parser, main
+from repro.engine import PoolUnavailable, save_specs
+from repro.runner.cli import (
+    BATCH_EXIT_FATAL,
+    BATCH_EXIT_JOB_FAILURES,
+    BATCH_EXIT_OK,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -155,6 +161,12 @@ class TestBatch:
         assert records[1]["error"]["kind"] == "KeyError"
         assert "1 failed" in captured.err
 
+    def test_batch_flag_defaults(self):
+        args = build_parser().parse_args(["batch", "jobs.json"])
+        assert args.resume is False
+        assert args.max_retries == 1
+        assert args.timeout is None
+
     def test_parallel_matches_serial(self, tmp_path, capsys):
         specs = [JobSpec("mlp", tiny_chip(), rob_size=size)
                  for size in (1, 4)]
@@ -172,3 +184,158 @@ class TestBatch:
 
         assert (cycles_by_index(serial_out.read_text())
                 == cycles_by_index(parallel_out.read_text()))
+
+
+class TestBatchResume:
+    """``pimsim batch --resume``: the output file is a journal."""
+
+    def _spec_file(self, tmp_path, n):
+        path = tmp_path / "jobs.json"
+        save_specs([JobSpec("mlp", tiny_chip(), rob_size=size, tag=str(size))
+                    for size in range(1, n + 1)], path)
+        return path
+
+    @staticmethod
+    def _records(path):
+        return [json.loads(line) for line in path.read_text().splitlines()]
+
+    def test_resume_runs_only_missing_indices(self, tmp_path, capsys):
+        """Truncate a finished journal to k lines; --resume appends
+        exactly N-k records and the union equals an uninterrupted run."""
+        specfile = self._spec_file(tmp_path, 4)
+        journal = tmp_path / "run.jsonl"
+        assert main(["batch", str(specfile), "--output", str(journal)]) == 0
+        full = self._records(journal)
+        assert len(full) == 4
+
+        kept = full[:2]
+        journal.write_text(
+            "".join(json.dumps(r) + "\n" for r in kept))
+        assert main(["batch", str(specfile), "--output", str(journal),
+                     "--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "(2 resumed from the journal)" in err
+
+        merged = self._records(journal)
+        assert len(merged) == 4, "resume must append only the missing jobs"
+        assert merged[:2] == kept, "resume must append, not rewrite"
+        by_index = {r["index"]: r for r in merged}
+        assert sorted(by_index) == [0, 1, 2, 3]
+        assert ({i: r["report"]["cycles"] for i, r in by_index.items()}
+                == {r["index"]: r["report"]["cycles"] for r in full})
+
+    def test_resume_with_complete_journal_runs_nothing(self, tmp_path,
+                                                       capsys):
+        specfile = self._spec_file(tmp_path, 2)
+        journal = tmp_path / "run.jsonl"
+        assert main(["batch", str(specfile), "--output", str(journal)]) == 0
+        before = journal.read_text()
+        assert main(["batch", str(specfile), "--output", str(journal),
+                     "--resume"]) == 0
+        capsys.readouterr()
+        assert journal.read_text() == before
+
+    def test_resume_skips_torn_and_foreign_lines(self, tmp_path, capsys):
+        """A line torn mid-write (previous run died) does not count as
+        completed — that job reruns."""
+        specfile = self._spec_file(tmp_path, 3)
+        journal = tmp_path / "run.jsonl"
+        assert main(["batch", str(specfile), "--output", str(journal)]) == 0
+        records = self._records(journal)
+        # The torn final line has NO trailing newline — exactly what a
+        # kill mid-write leaves behind.  Resume must terminate it before
+        # appending, or the first new record concatenates onto it and
+        # both lines are lost.
+        journal.write_text(json.dumps(records[0]) + "\n"
+                           + "# not json\n"
+                           + json.dumps(records[1])[:20])
+        assert main(["batch", str(specfile), "--output", str(journal),
+                     "--resume"]) == 0
+        capsys.readouterr()
+        parsed = []
+        for line in journal.read_text().splitlines():
+            try:
+                parsed.append(json.loads(line))
+            except ValueError:
+                continue  # the torn/foreign lines are still in the file
+        assert sorted(r["index"] for r in parsed if "report" in r) \
+            == [0, 1, 2]
+
+    def test_resume_counts_journaled_errors_as_failures(self, tmp_path,
+                                                        capsys):
+        """Error records in the journal are settled (not retried by
+        --resume) and keep the exit code honest."""
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([{"network": "mlp", "config": "tiny"},
+                                    {"network": "nosuch", "config": "tiny"}]))
+        journal = tmp_path / "run.jsonl"
+        assert main(["batch", str(path), "--output", str(journal)]) == 1
+        assert main(["batch", str(path), "--output", str(journal),
+                     "--resume"]) == 1
+        err = capsys.readouterr().err
+        assert "(2 resumed from the journal)" in err
+        assert "1 failed" in err
+        assert len(self._records(journal)) == 2
+
+    def test_resume_requires_output(self, tmp_path, capsys):
+        specfile = self._spec_file(tmp_path, 1)
+        assert main(["batch", str(specfile), "--resume"]) == 2
+        assert "--resume requires --output" in capsys.readouterr().err
+
+    def test_resume_ignores_out_of_range_indices(self, tmp_path, capsys):
+        """A journal from a longer spec file cannot mask jobs that do not
+        exist in this one — stale high indices are dropped."""
+        specfile = self._spec_file(tmp_path, 2)
+        journal = tmp_path / "run.jsonl"
+        journal.write_text(json.dumps({"index": 7, "report": {}}) + "\n")
+        assert main(["batch", str(specfile), "--output", str(journal),
+                     "--resume"]) == 0
+        capsys.readouterr()
+        assert sorted(r["index"] for r in self._records(journal)
+                      if "report" in r and r["report"]) == [0, 1]
+
+
+class TestBatchExitCodes:
+    """The documented contract: 0 = all jobs ok, 1 = some jobs failed,
+    2 = fatal (bad invocation or unrecoverable pool)."""
+
+    def test_success_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        save_specs([JobSpec("mlp", tiny_chip())], path)
+        assert main(["batch", str(path)]) == BATCH_EXIT_OK
+        capsys.readouterr()
+
+    def test_job_failures_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([{"network": "nosuch",
+                                     "config": "tiny"}]))
+        assert main(["batch", str(path)]) == BATCH_EXIT_JOB_FAILURES
+        capsys.readouterr()
+
+    def test_unrecoverable_pool_exits_two(self, tmp_path, capsys,
+                                          monkeypatch):
+        import repro.runner.cli as cli
+
+        class DoomedEngine:
+            def __init__(self, *a, **kw):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def as_completed(self, specs, **kw):
+                raise PoolUnavailable("every respawn failed")
+                yield  # pragma: no cover
+
+        monkeypatch.setattr(cli, "Engine", DoomedEngine)
+        path = tmp_path / "jobs.json"
+        save_specs([JobSpec("mlp", tiny_chip())], path)
+        assert main(["batch", str(path)]) == BATCH_EXIT_FATAL
+        assert "worker pool unrecoverable" in capsys.readouterr().err
+
+    def test_codes_are_distinct_and_pinned(self):
+        assert (BATCH_EXIT_OK, BATCH_EXIT_JOB_FAILURES,
+                BATCH_EXIT_FATAL) == (0, 1, 2)

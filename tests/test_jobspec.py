@@ -41,6 +41,11 @@ class TestToDict:
         assert data["network"]["graph"]["name"] == "chain"
         assert data["network"]["graph"]["nodes"]
 
+    def test_fault_tolerance_fields_omitted_by_default(self):
+        data = JobSpec("mlp").to_dict()
+        assert "timeout" not in data
+        assert "faults" not in data
+
 
 class TestRoundTrip:
     def test_name_spec_dataclass_equality(self):
@@ -50,6 +55,14 @@ class TestRoundTrip:
 
     def test_json_text_is_valid_json(self):
         assert json.loads(JobSpec("mlp", tiny_chip()).to_json())
+
+    def test_timeout_and_faults_round_trip(self):
+        spec = JobSpec("mlp", tiny_chip(), timeout=2.5,
+                       faults={"mode": "crash", "attempts": [0]})
+        rebuilt = JobSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.timeout == 2.5
+        assert rebuilt.faults == {"mode": "crash", "attempts": [0]}
 
     def test_preset_name_accepted_for_config(self):
         spec = JobSpec.from_dict({"network": "mlp", "config": "tiny"})

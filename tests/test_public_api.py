@@ -36,7 +36,10 @@ ROOT_ALL = [
 ENGINE_ALL = [
     "Engine",
     "JobFailed",
+    "JobPoisoned",
     "JobSpec",
+    "JobTimeout",
+    "PoolUnavailable",
     "WorkerPool",
     "default_engine",
     "load_specs",
@@ -69,6 +72,7 @@ ENGINE_METHODS = [
     "compile_stats",
     "map",
     "pool_size",
+    "pool_stats",
     "resolve_network",
     "run",
     "simulate",
