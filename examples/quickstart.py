@@ -6,6 +6,13 @@ finishes in seconds; pass ``--paper`` for the 64-core chip of the paper's
 evaluation (Section IV-A).
 
     python examples/quickstart.py [--paper] [--model NAME]
+
+For many jobs, use the batch/serving front-ends instead of a loop over
+``simulate``: ``pimsim batch jobs.json --workers N`` streams one JSONL
+report per spec (resumable via ``--output``/``--resume``), and ``pimsim
+serve --store jobs.jsonl`` runs a durable HTTP job server over the same
+engine (submit/status/result endpoints, crash-safe restarts, graceful
+drain — see ``repro.serve``).
 """
 
 import argparse

@@ -37,6 +37,22 @@ Retries, timeouts and chaos directives (:mod:`repro.engine.faults`, the
 deterministic fault-injection harness that pins all of the above in
 tests) apply to pooled execution only; in-process runs (``workers<=1``)
 execute the spec directly and never evaluate faults.
+
+Serving
+-------
+
+``pimsim serve --store jobs.jsonl`` (:mod:`repro.serve`) turns the
+engine into a long-lived HTTP job server: specs are content-addressed
+(:meth:`JobSpec.job_id`) into a crash-safe append-only journal, so a
+SIGKILL'd server restarts without losing a settled result or
+re-running a finished job; interrupted jobs re-enqueue with restart
+blame (the process-level mirror of the pool's poison accounting).
+Each distinct configuration gets its own Engine session (keyed by
+content hash), admission is bounded by backlog with ``Retry-After``
+derived from :meth:`Engine.pool_stats`'s service-time EWMA and
+occupancy, and SIGTERM drains gracefully: admissions stop, running
+jobs finish to a deadline, the rest is re-journaled as next start's
+work (:meth:`Engine.terminate` aborts the pool without draining).
 """
 
 # Import order matters: `core` pulls in `repro.runner`, whose sweep module

@@ -32,6 +32,7 @@ from ..arch import run_program
 from ..compiler import CompilationResult, CompileCache, compile_network
 from ..config import ArchConfig, paper_chip, validate
 from ..graph import Graph
+from ..graph.serialize import graph_digest
 from ..models import build_model
 from ..runner.results import SimReport
 from .pool import (
@@ -97,6 +98,10 @@ class Engine:
         self._compile_cache = compile_cache if compile_cache is not None \
             else CompileCache()
         self._model_cache = model_cache if model_cache is not None else {}
+        #: content digest -> first graph seen with it (see
+        #: :meth:`resolve_network`); insertion-ordered, FIFO-bounded.
+        self._graph_memo: dict[str, Graph] = {}
+        self._graph_memo_cap = 64
         self._pool: WorkerPool | None = None
         self._last_pool_width: int | None = None
         self._lock = Lock()
@@ -117,13 +122,25 @@ class Engine:
 
     def resolve_network(self, network: str | Graph, *,
                         imagenet: bool = False) -> Graph:
-        """Zoo name -> memoized graph; graphs pass through untouched.
+        """Zoo name -> memoized graph; graph objects -> content memo.
 
         Memoization per ``(name, imagenet)`` is what keys the compile
-        cache: repeated jobs share one graph object.
+        cache: repeated jobs share one graph object.  Graph *objects*
+        are memoized by content digest (:func:`~repro.graph.serialize.
+        graph_digest`): two jobs embedding the same network description
+        — e.g. a batch of graph-object specs unpickled one per job in a
+        pool worker — resolve to one canonical graph and therefore hit
+        the identity-keyed compile cache instead of recompiling each
+        time.
         """
         if isinstance(network, Graph):
-            return network
+            digest = graph_digest(network)
+            canonical = self._graph_memo.get(digest)
+            if canonical is None:
+                self._graph_memo[digest] = canonical = network
+                while len(self._graph_memo) > self._graph_memo_cap:
+                    self._graph_memo.pop(next(iter(self._graph_memo)))
+            return canonical
         key = (network, imagenet)
         graph = self._model_cache.get(key)
         if graph is None:
@@ -433,12 +450,19 @@ class Engine:
         timeout kill, ``retries`` the jobs resubmitted across those
         respawns, ``timeouts``/``poisoned`` the jobs settled as
         :class:`~repro.engine.JobTimeout`/:class:`~repro.engine.JobPoisoned`.
-        All zeros until the first parallel call creates a pool.
+        ``queue_depth``/``in_flight`` split the outstanding jobs into
+        not-yet-started vs running, and ``ewma_service_s`` is a moving
+        average of observed job service times — together the occupancy
+        signal ``pimsim serve`` derives its admission control and
+        ``Retry-After`` from.  All zeros until the first parallel call
+        creates a pool.
         """
         pool = self._pool
         if pool is None:
             return {"size": 0, "respawns": 0, "retries": 0,
-                    "timeouts": 0, "poisoned": 0, "broken": False}
+                    "timeouts": 0, "poisoned": 0, "broken": False,
+                    "queue_depth": 0, "in_flight": 0,
+                    "ewma_service_s": 0.0}
         return pool.stats()
 
     @property
@@ -451,6 +475,21 @@ class Engine:
         """Drop compiled programs and memoized zoo graphs."""
         self._compile_cache.clear()
         self._model_cache.clear()
+        self._graph_memo.clear()
+
+    def terminate(self) -> None:
+        """Abort the worker pool without draining; engine stays usable.
+
+        :meth:`close`'s drop-everything sibling: queued and in-flight
+        jobs fail with :class:`~repro.engine.PoolUnavailable` instead of
+        being waited on.  ``pimsim serve`` uses it when the graceful
+        drain deadline expires — a wedged job must not be able to hold
+        the process past its deadline.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.abort("worker pool terminated")
 
     def close(self) -> None:
         """Shut the worker pool down; the engine stays usable in-process.

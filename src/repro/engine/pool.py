@@ -67,6 +67,7 @@ import multiprocessing
 import multiprocessing.connection
 import pickle
 import random
+import signal
 import threading
 import time
 import traceback
@@ -74,6 +75,11 @@ from concurrent.futures import Future, InvalidStateError
 
 __all__ = ["WorkerPool", "JobFailed", "JobPoisoned", "JobTimeout",
            "PoolUnavailable", "job_failure"]
+
+#: smoothing factor for the service-time moving average: ~the last five
+#: jobs dominate, so Retry-After tracks load shifts without twitching on
+#: one outlier.
+_EWMA_ALPHA = 0.2
 
 
 class PoolUnavailable(RuntimeError):
@@ -201,6 +207,14 @@ def _worker_main(task_conn, result_conn, config) -> None:
     """
     from . import faults
     from .core import Engine
+
+    # A forked worker inherits the parent's signal dispositions; under
+    # ``pimsim serve`` those trap SIGTERM/SIGINT for graceful drain,
+    # which would make ``Process.terminate()`` a no-op here and leave
+    # the worker alive past an abortive teardown.  Reset to the default
+    # (die) before accepting work.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
 
     engine = Engine(config)
     while True:
@@ -343,6 +357,11 @@ class WorkerPool:
         self._retries = 0
         self._timeouts = 0
         self._poisoned = 0
+        #: EWMA of observed job service times (heartbeat -> done), the
+        #: input to `pimsim serve`'s Retry-After math; 0.0 until the
+        #: first completion.
+        self._service_ewma = 0.0
+        self._service_samples = 0
         self._stop = threading.Event()
         # Start the threads only after every worker has been forked, so
         # no worker inherits a running thread.
@@ -383,11 +402,23 @@ class WorkerPool:
         return self._broken
 
     def stats(self) -> dict:
-        """Supervision telemetry (the fault-tolerance counters)."""
+        """Supervision + occupancy telemetry.
+
+        Beyond the fault-tolerance counters: ``queue_depth`` (accepted
+        jobs not yet started by a worker), ``in_flight`` (jobs a worker
+        has heartbeated as running) and ``ewma_service_s`` (exponential
+        moving average of observed job service times, 0.0 until the
+        first completion) — the inputs backpressure math needs.
+        """
         with self._lock:
+            in_flight = sum(1 for job in self._pending.values()
+                            if job.started_at is not None)
             return {"size": self.size, "respawns": self._respawns,
                     "retries": self._retries, "timeouts": self._timeouts,
-                    "poisoned": self._poisoned, "broken": self._broken}
+                    "poisoned": self._poisoned, "broken": self._broken,
+                    "queue_depth": len(self._pending) - in_flight,
+                    "in_flight": in_flight,
+                    "ewma_service_s": self._service_ewma}
 
     # -- submission ----------------------------------------------------------
 
@@ -534,6 +565,14 @@ class WorkerPool:
                 _tag, job_id, report, error = msg
                 with self._lock:
                     job = self._pending.pop(job_id, None)
+                    if job is not None and job.started_at is not None:
+                        elapsed = time.monotonic() - job.started_at
+                        if self._service_samples == 0:
+                            self._service_ewma = elapsed
+                        else:
+                            self._service_ewma += _EWMA_ALPHA * (
+                                elapsed - self._service_ewma)
+                        self._service_samples += 1
                 if job is None:  # already settled (teardown, timeout); drop
                     continue
                 if error is not None:
@@ -773,8 +812,15 @@ class WorkerPool:
         self._fail_remaining("worker pool closed")
         atexit.unregister(self._close_at_exit)
 
-    def _close_at_exit(self) -> None:
-        """Abortive teardown at interpreter exit: never blocks on jobs."""
+    def abort(self, reason: str = "worker pool aborted") -> None:
+        """Abortive teardown: terminate workers, never block on jobs.
+
+        The drop-everything counterpart of :meth:`close` — in-flight and
+        queued futures fail with :class:`PoolUnavailable` instead of
+        being drained.  Used at interpreter exit and by ``pimsim
+        serve``'s expired drain deadline, where waiting on a wedged job
+        would defeat the deadline.  Idempotent.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -786,10 +832,16 @@ class WorkerPool:
                 lane.worker.terminate()
         for lane in lanes:
             lane.worker.join(timeout=1)
+            if lane.worker.is_alive():  # shrugged off SIGTERM: escalate
+                lane.worker.kill()
+                lane.worker.join(timeout=1)
         self._wake()
         self._collector.join(timeout=1)
-        self._fail_remaining("worker pool torn down at interpreter exit")
+        self._fail_remaining(reason)
         atexit.unregister(self._close_at_exit)
+
+    def _close_at_exit(self) -> None:
+        self.abort("worker pool torn down at interpreter exit")
 
     def close_if_idle(self) -> bool:
         """Tear the pool down only if no job is outstanding.

@@ -15,6 +15,7 @@ the architecture configuration tree, or reference a preset by name.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, fields
 from pathlib import Path
@@ -100,6 +101,20 @@ class JobSpec:
         elif isinstance(config, dict):
             kwargs["config"] = ArchConfig.from_dict(config)
         return cls(**kwargs)
+
+    def job_id(self) -> str:
+        """Stable, content-addressed identity of this job.
+
+        The digest of the canonical (sorted-key) JSON of
+        :meth:`to_dict`, so the id survives process restarts and
+        serialization round-trips — the property ``pimsim serve``'s
+        crash-safe store builds its idempotency on: the same spec
+        submitted twice is the same job, and a journaled result is
+        never recomputed.  Embedded graphs hash by their serialized
+        contents; distinguish intentional re-runs with ``tag``.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        return "j" + hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

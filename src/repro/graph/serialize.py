@@ -6,12 +6,14 @@ same graph the compiler consumes, as a portable text file.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
 from .ir import Graph, GraphError, Node
 
-__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
+__all__ = ["graph_to_dict", "graph_from_dict", "graph_digest",
+           "save_graph", "load_graph"]
 
 _FORMAT_VERSION = 1
 
@@ -48,6 +50,20 @@ def graph_from_dict(data: dict) -> Graph:
             attrs["shape"] = tuple(attrs["shape"])
         graph.add(Node(name, op, inputs=list(entry.get("inputs", [])), attrs=attrs))
     return graph.finalize()
+
+
+def graph_digest(graph: Graph) -> str:
+    """Content digest of a graph's serialized form (sha256 hex).
+
+    Two graphs that serialize identically — e.g. the same embedded
+    network description unpickled by two different jobs — share a
+    digest, which is what lets :meth:`repro.engine.Engine.resolve_network`
+    memoize graph *contents* instead of object identity and keep the
+    compile cache warm across graph-object :class:`~repro.engine.JobSpec`
+    batches.
+    """
+    payload = json.dumps(graph_to_dict(graph), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def save_graph(graph: Graph, path: str | Path) -> None:

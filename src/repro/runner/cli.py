@@ -10,6 +10,7 @@ experiments::
     pimsim mnsim --model resnet18              # Fig. 5 point
     pimsim batch jobs.json --workers 4         # spec file -> JSONL reports
     pimsim batch jobs.json --workers 4 --output run.jsonl --resume
+    pimsim serve --store jobs.store.jsonl      # durable HTTP job service
     pimsim models
 """
 
@@ -17,7 +18,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 
 from ..analysis import ascii_bars, comm_ratios
@@ -126,6 +129,48 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--progress", action="store_true",
                        help="print per-job completions to stderr")
 
+    serve = sub.add_parser(
+        "serve",
+        help="durable HTTP job service over the engine (crash-safe store, "
+             "admission control, graceful drain)")
+    serve.add_argument("--store", required=True, metavar="PATH",
+                       help="crash-safe job journal (JSONL); restarting "
+                            "against the same store resumes interrupted "
+                            "jobs and serves settled results forever")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="listen port (0: ephemeral; the resolved port "
+                            "is printed to stderr before serving)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes per engine session "
+                            "(default: all CPUs)")
+    serve.add_argument("--preset", default="paper",
+                       help="default preset for jobs without a config "
+                            f"({', '.join(sorted(PRESETS))})")
+    serve.add_argument("--max-retries", type=int, default=1, metavar="N",
+                       help="worker-crash retries per job before poison "
+                            "quarantine (default 1)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-job wall-clock timeout (a spec's "
+                            "own timeout overrides it)")
+    serve.add_argument("--max-backlog", type=int, default=None, metavar="N",
+                       help="admission high-water mark: unsettled jobs "
+                            "beyond this are refused with 503 + "
+                            "Retry-After (default: 8 per worker, min 16)")
+    serve.add_argument("--max-sessions", type=int, default=4, metavar="N",
+                       help="LRU bound on per-configuration engine "
+                            "sessions (default 4)")
+    serve.add_argument("--max-restarts", type=int, default=1, metavar="N",
+                       help="server crashes a job may be caught running "
+                            "through before the store quarantines it as "
+                            "poisoned (default 1)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="on SIGTERM/SIGINT, seconds to let running "
+                            "jobs finish before aborting them back to "
+                            "the queue (default 30)")
+
     sub.add_parser("models", help="list zoo networks")
     sub.add_parser("presets", help="list architecture presets")
     return parser
@@ -221,7 +266,8 @@ def _read_journal(path: str) -> tuple[set, int]:
 
     Torn trailing lines (a previous run died mid-write) and foreign lines
     are skipped — only well-formed ``{"index", "report"|"error"}`` records
-    count as completed.
+    count as completed.  The per-run ``{"summary": ...}`` trailer lines a
+    journaling run appends carry no index and are skipped the same way.
     """
     done: set = set()
     errors = 0
@@ -258,6 +304,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     it lands, so ``--resume`` after a crash (or a Ctrl-C) replays only
     the indices the journal does not already cover and appends to it —
     the union of runs is equivalent to one uninterrupted run.
+
+    A run that executed at least one job appends a final ``{"summary":
+    ...}`` line (ok/failed/resumed counts plus the pool's retry /
+    poisoned / timeout telemetry); it carries no ``index``, so
+    ``--resume`` never mistakes it for a completed job.
     """
     specs = load_specs(args.specfile)
     done: set = set()
@@ -282,6 +333,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                if index not in done]
     out = open(args.output, "a" if args.resume else "w") \
         if args.output else sys.stdout
+    pool_stats: dict = {}
     try:
         with Engine(get_preset(args.preset), max_retries=args.max_retries,
                     job_timeout=args.timeout) as engine:
@@ -306,6 +358,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                              if isinstance(outcome, JobFailed)
                              else f"{outcome.cycles:,} cycles")
                     print(f"[{index}] {label}", file=sys.stderr)
+            # Read the pool counters before the with-block tears the
+            # pool down (a closed engine reports zeros).
+            pool_stats = engine.pool_stats()
+        if pending or not args.resume:
+            summary = {"jobs": len(specs), "ok": len(specs) - failures,
+                       "failed": failures, "resumed": len(done),
+                       "retried": pool_stats.get("retries", 0),
+                       "poisoned": pool_stats.get("poisoned", 0),
+                       "timeouts": pool_stats.get("timeouts", 0)}
+            print(json.dumps({"summary": summary}), file=out, flush=True)
     except PoolUnavailable as exc:
         print(f"batch: worker pool unrecoverable: {exc}", file=sys.stderr)
         return BATCH_EXIT_FATAL
@@ -315,6 +377,93 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     resumed = f" ({len(done)} resumed from the journal)" if args.resume else ""
     print(f"{len(specs)} jobs{resumed}, {failures} failed", file=sys.stderr)
     return BATCH_EXIT_JOB_FAILURES if failures else BATCH_EXIT_OK
+
+
+#: ``pimsim serve`` exit-code contract (pinned by tests/test_serve.py):
+#: 0 = clean drain (every running job settled before the deadline),
+#: 2 = the server could not start (bad arguments, unbindable port,
+#: unreadable store), 3 = the drain deadline expired and the remaining
+#: in-flight jobs were aborted back to the queue (the next start against
+#: the same store resumes them).  Job *failures* are journaled results,
+#: not exit codes — a serve process that drained cleanly exits 0 even if
+#: some jobs failed.
+SERVE_EXIT_OK = 0
+SERVE_EXIT_FATAL = 2
+SERVE_EXIT_DRAIN_EXPIRED = 3
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Long-lived HTTP job service with a crash-safe store.
+
+    SIGTERM/SIGINT triggers the graceful drain: admissions stop
+    (``POST /jobs`` answers 503, ``/readyz`` flips unready), running
+    jobs get up to ``--drain-timeout`` seconds to settle, anything
+    still in flight after that is aborted and re-journaled ``queued``.
+    Every outcome is fsync'd into the store before the process exits.
+    """
+    from ..serve import JobStore, ServeService, serve_http
+
+    try:
+        store = JobStore(args.store, max_restarts=args.max_restarts)
+    except (OSError, ValueError) as exc:
+        print(f"serve: cannot open store {args.store}: {exc}",
+              file=sys.stderr)
+        return SERVE_EXIT_FATAL
+    service = ServeService(store, config=get_preset(args.preset),
+                           workers=args.workers,
+                           max_retries=args.max_retries,
+                           job_timeout=args.timeout,
+                           max_backlog=args.max_backlog,
+                           max_sessions=args.max_sessions)
+    try:
+        server = serve_http(service, args.host, args.port)
+    except OSError as exc:
+        print(f"serve: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        service.close()
+        return SERVE_EXIT_FATAL
+    service.start()
+    host, port = server.server_address[:2]
+    recovered = store.counts()["queued"]
+    print(f"pimsim serve: listening on http://{host}:{port} "
+          f"(store {args.store}, {len(store)} jobs journaled, "
+          f"{recovered} resumed)", file=sys.stderr, flush=True)
+
+    stop = threading.Event()
+
+    def _request_drain(signum, frame):
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _request_drain)
+    server_thread = threading.Thread(target=server.serve_forever,
+                                     daemon=True, name="repro-serve-http")
+    server_thread.start()
+    # Poll rather than block: the kernel may deliver the signal to any
+    # of the server's threads, but the Python-level handler only ever
+    # runs on the main thread — an untimed Event.wait() here can sleep
+    # through a SIGTERM forever.  The timed wait guarantees the main
+    # thread executes bytecode (and any pending handler) twice a second.
+    while not stop.wait(0.5):
+        pass
+
+    # Drain: stop admissions first (readyz flips unready while the HTTP
+    # server keeps answering polls), then wait for in-flight jobs.
+    print("pimsim serve: draining "
+          f"(deadline {args.drain_timeout:g}s)", file=sys.stderr, flush=True)
+    service.begin_drain()
+    drained = service.wait_drained(args.drain_timeout)
+    aborted = 0 if drained else service.terminate()
+    server.shutdown()
+    server.server_close()
+    service.close()
+    counts = {state: n for state, n in store.counts().items() if n}
+    if drained:
+        print(f"pimsim serve: drained cleanly ({counts})", file=sys.stderr)
+        return SERVE_EXIT_OK
+    print(f"pimsim serve: drain deadline expired; {aborted} running "
+          f"jobs requeued for the next start ({counts})", file=sys.stderr)
+    return SERVE_EXIT_DRAIN_EXPIRED
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -334,6 +483,7 @@ def main(argv: list[str] | None = None) -> int:
         "rob": _cmd_rob,
         "mnsim": _cmd_mnsim,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,449 @@
+"""The serving core: durable jobs + Engine sessions + admission control.
+
+:class:`ServeService` is the public API under ``pimsim serve`` — the
+HTTP layer (:mod:`repro.serve.http`) is a thin request/response codec
+over it, so everything here is testable without a socket (the same
+``api/public.py`` -> ``api/http.py`` layering as Toki).
+
+Responsibilities:
+
+* **Durability.**  Every accepted job goes through the crash-safe
+  :class:`~repro.serve.store.JobStore` (``queued -> running ->
+  terminal``, each transition fsync'd), so a SIGKILL'd server replays
+  the journal on restart: settled results are served forever without
+  re-execution, interrupted jobs are re-enqueued with restart blame.
+
+* **Engine sessions.**  Jobs are executed on a per-configuration
+  :class:`~repro.engine.Engine`, keyed by a content hash of the spec's
+  configuration: one client's exotic configuration gets its own worker
+  pool and compile cache instead of churning (or poisoning) another
+  client's warm session.  Sessions are LRU-bounded; only idle sessions
+  are evicted.
+
+* **Admission control.**  The backlog (admitted, unsettled jobs) is
+  bounded: over the high-water mark :meth:`submit` raises
+  :class:`Overloaded` carrying a ``Retry-After`` hint computed from the
+  pool's observed service-time EWMA and current occupancy
+  (:meth:`~repro.engine.Engine.pool_stats`), so the HTTP layer sheds
+  load with ``503`` instead of growing memory without bound.
+
+* **Graceful drain.**  :meth:`begin_drain` stops admissions and
+  dispatching; :meth:`wait_drained` waits for in-flight jobs up to a
+  deadline; :meth:`terminate` aborts whatever remains, re-journaling it
+  as ``queued`` so the next start resumes it.  Jobs still queued at
+  drain time stay journaled ``queued`` — drain never discards work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+
+from ..config import ArchConfig
+from ..engine import Engine, JobPoisoned, JobSpec, JobTimeout, PoolUnavailable
+from ..engine.pool import job_failure
+from .store import JobRecord, JobStore
+
+__all__ = ["ServeService", "Overloaded", "Draining", "config_key"]
+
+
+class Overloaded(RuntimeError):
+    """Admission refused: the backlog is at its high-water mark.
+
+    ``retry_after`` (seconds, >= 1) is the service's estimate of when
+    capacity frees up — the HTTP layer forwards it as a ``Retry-After``
+    header on the ``503``.
+    """
+
+    def __init__(self, retry_after: int):
+        super().__init__(f"backlog full; retry after ~{retry_after}s")
+        self.retry_after = retry_after
+
+
+class Draining(RuntimeError):
+    """Admission refused: the server is shutting down."""
+
+    def __init__(self):
+        super().__init__("server is draining; submit to another instance")
+
+
+def config_key(config: ArchConfig | None) -> str:
+    """Session key for a job configuration: content hash, not identity.
+
+    ``None`` (the service default) maps to ``"default"``; everything
+    else hashes its canonical JSON, so two clients posting the same
+    configuration tree share one warm session.
+    """
+    if config is None:
+        return "default"
+    payload = json.dumps(config.to_dict(), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class ServeService:
+    """Durable job service over per-configuration Engine sessions.
+
+    Parameters
+    ----------
+    store:
+        The crash-safe :class:`JobStore` (owned: :meth:`close` closes it).
+    config:
+        Default architecture configuration for jobs whose spec carries
+        none (the default session's engine config).
+    workers:
+        Worker processes per engine session (``None``: all CPUs).
+    max_retries / job_timeout:
+        Forwarded to every session's :class:`~repro.engine.Engine`.
+    max_backlog:
+        Admission high-water mark: admitted-but-unsettled jobs beyond
+        this are refused with :class:`Overloaded`.  ``None`` sizes it
+        off pool occupancy (8 jobs per worker, floor 16).
+    max_sessions:
+        LRU bound on live engine sessions; only idle sessions are
+        evicted (their engines closed), busy ones are kept.
+    """
+
+    def __init__(self, store: JobStore, *, config: ArchConfig | None = None,
+                 workers: int | None = None, max_retries: int = 1,
+                 job_timeout: float | None = None,
+                 max_backlog: int | None = None, max_sessions: int = 4):
+        self.store = store
+        self._config = config
+        self._workers = workers
+        self._max_retries = max_retries
+        self._job_timeout = job_timeout
+        effective = workers if workers is not None else (os.cpu_count() or 1)
+        self._pool_width = max(1, effective)
+        self.max_backlog = max_backlog if max_backlog is not None \
+            else max(16, 8 * self._pool_width)
+        self._max_sessions = max(1, max_sessions)
+        self._cv = threading.Condition()
+        #: job ids admitted (or recovered) and awaiting dispatch.
+        self._queue: deque[str] = deque()
+        #: job id -> in-engine Future, for drain accounting.
+        self._inflight: dict[str, Future] = {}
+        #: dispatches between queue pop and in-flight registration —
+        #: engine.submit (a pool spawn on a cold session) runs outside
+        #: the lock, and the drain must not miss a job in that window.
+        self._dispatching = 0
+        #: session key -> warm Engine, LRU (insertion order = recency).
+        self._sessions: dict[str, Engine] = {}
+        self._session_load: dict[str, int] = {}
+        self._paused = False
+        self._draining = False
+        self._terminated = False
+        self._closed = False
+        self._dispatcher: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServeService":
+        """Recover the store's queued jobs and start dispatching."""
+        with self._cv:
+            if self._dispatcher is not None:
+                return self
+            for record in self.store.jobs("queued"):
+                self._queue.append(record.id)
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, daemon=True,
+                name="repro-serve-dispatcher")
+            self._dispatcher.start()
+        return self
+
+    def begin_drain(self) -> None:
+        """Stop admissions and dispatching; running jobs keep running.
+
+        Queued jobs stay journaled ``queued`` — they are the next
+        start's work, not this drain's.
+        """
+        with self._cv:
+            self._draining = True
+            self._cv.notify_all()
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Wait for every in-flight job to settle; False on deadline."""
+        with self._cv:
+            if timeout is None:
+                while self._inflight or self._dispatching:
+                    self._cv.wait()
+                return True
+            deadline = time.monotonic() + timeout
+            while self._inflight or self._dispatching:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cv.wait(remaining)
+            return True
+
+    def terminate(self) -> int:
+        """Abort in-flight work past the drain deadline; returns how many
+        jobs were re-journaled as ``queued`` for the next start.
+
+        A wedged job must not hold the process past its deadline: every
+        session's pool is aborted, the settled-with-
+        :class:`PoolUnavailable` futures re-queue their jobs in the
+        store (restart blame is charged by the *store* on the next
+        replay, not here — the job never got to finish, it did not
+        crash anything).
+        """
+        with self._cv:
+            self._terminated = True
+            self._cv.notify_all()
+            # Let an in-progress dispatch land (it either registers its
+            # future or sees _terminated inside _session and requeues)
+            # so the engine snapshot below covers it.
+            deadline = time.monotonic() + 5.0
+            while self._dispatching:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cv.wait(remaining)
+            pending = len(self._inflight)
+            engines = list(self._sessions.values())
+        for engine in engines:
+            engine.terminate()
+        # Pool abort settles every future synchronously, so the requeue
+        # callbacks have all run by now.
+        return pending
+
+    def close(self) -> None:
+        """Stop dispatching, close every session, close the store."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+            dispatcher = self._dispatcher
+        if dispatcher is not None:
+            dispatcher.join(timeout=5)
+        with self._cv:
+            # Snapshot sessions only after the dispatcher stopped: a
+            # dispatch in progress may still be inserting an engine.
+            engines = list(self._sessions.values())
+            self._sessions.clear()
+        for engine in engines:
+            engine.close()
+        self.store.close()
+
+    def __enter__(self) -> "ServeService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> tuple[JobRecord, bool]:
+        """Admit one job; idempotent by content-addressed job id.
+
+        Returns ``(record, created)``.  A re-submitted spec returns its
+        existing record (possibly already terminal, with the durable
+        result) without charging admission.  Raises :class:`Draining`
+        during shutdown and :class:`Overloaded` (with a ``retry_after``
+        estimate) over the backlog high-water mark.
+        """
+        job_id = spec.job_id()
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            existing = self.store.get(job_id)
+            if existing is not None:
+                return existing, False
+            if self._draining:
+                raise Draining()
+            if self.store.backlog() >= self.max_backlog:
+                raise Overloaded(self.retry_after())
+            record, _created = self.store.submit(spec.to_dict(), job_id)
+            self._queue.append(job_id)
+            self._cv.notify_all()
+            return record, True
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a queued job; False once running or settled."""
+        return self.store.cancel(job_id)
+
+    def retry_after(self) -> int:
+        """Seconds a refused client should wait before retrying.
+
+        The backlog divided by pool width, priced at the observed
+        service-time EWMA (floor 1s before the first completion),
+        clamped to [1, 600].
+        """
+        stats = self.pool_stats()
+        per_job = stats["ewma_service_s"] or 1.0
+        width = stats["size"] or self._pool_width
+        backlog = self.store.backlog()
+        estimate = math.ceil(per_job * max(1, backlog) / max(1, width))
+        return max(1, min(600, estimate))
+
+    # -- introspection -------------------------------------------------------
+
+    def pool_stats(self) -> dict:
+        """Aggregated pool telemetry across every live session."""
+        totals = {"size": 0, "respawns": 0, "retries": 0, "timeouts": 0,
+                  "poisoned": 0, "broken": False, "queue_depth": 0,
+                  "in_flight": 0, "ewma_service_s": 0.0}
+        with self._cv:
+            engines = list(self._sessions.values())
+        for engine in engines:
+            stats = engine.pool_stats()
+            for key in ("size", "respawns", "retries", "timeouts",
+                        "poisoned", "queue_depth", "in_flight"):
+                totals[key] += stats[key]
+            totals["broken"] = totals["broken"] or stats["broken"]
+            totals["ewma_service_s"] = max(totals["ewma_service_s"],
+                                           stats["ewma_service_s"])
+        return totals
+
+    def ready(self) -> bool:
+        """Serving capacity exists: not draining, no broken pool.
+
+        This is what ``GET /readyz`` reports — an orchestrator restarts
+        a server whose pool is wedged beyond self-healing.
+        """
+        with self._cv:
+            if self._closed or self._draining:
+                return False
+        return not self.pool_stats()["broken"]
+
+    def status(self) -> dict:
+        """The ``/readyz`` payload: readiness + occupancy + job counts."""
+        with self._cv:
+            draining = self._draining
+            sessions = len(self._sessions)
+        pool = self.pool_stats()
+        return {"ready": not draining and not self._closed
+                and not pool["broken"],
+                "draining": draining, "pool": pool,
+                "counts": self.store.counts(),
+                "backlog": self.store.backlog(),
+                "max_backlog": self.max_backlog,
+                "sessions": sessions}
+
+    # -- test / maintenance hooks --------------------------------------------
+
+    def pause_dispatch(self) -> None:
+        """Hold admitted jobs in the queue (deterministic-backpressure
+        hook for tests and maintenance; admission still applies)."""
+        with self._cv:
+            self._paused = True
+            self._cv.notify_all()
+
+    def resume_dispatch(self) -> None:
+        with self._cv:
+            self._paused = False
+            self._cv.notify_all()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not (self._closed or self._draining) \
+                        and (self._paused or not self._queue):
+                    self._cv.wait()
+                if self._closed or self._draining:
+                    return
+                job_id = self._queue.popleft()
+                self._dispatching += 1
+            try:
+                self._dispatch_one(job_id)
+            finally:
+                with self._cv:
+                    self._dispatching -= 1
+                    self._cv.notify_all()
+
+    def _dispatch_one(self, job_id: str) -> None:
+        # A job cancelled (or otherwise settled) while queued refuses
+        # the queued -> running transition; drop the dispatch.
+        if not self.store.mark_running(job_id):
+            return
+        record = self.store.get(job_id)
+        try:
+            spec = JobSpec.from_dict(record.spec)
+            engine, key = self._session(spec)
+            future = engine.submit(spec)
+        except PoolUnavailable:
+            # The service shut down under this dispatch; the job never
+            # reached a worker — next start's work, not a failure.
+            self.store.requeue(job_id)
+            return
+        except Exception as exc:
+            failure = job_failure(exc)
+            self.store.settle(job_id, "failed", error=_error_dict(failure))
+            return
+        with self._cv:
+            self._inflight[job_id] = future
+            self._session_load[key] = self._session_load.get(key, 0) + 1
+        future.add_done_callback(
+            lambda f, jid=job_id, k=key: self._settled(jid, k, f))
+
+    def _session(self, spec: JobSpec) -> tuple[Engine, str]:
+        """The warm engine for this spec's configuration (LRU-bounded)."""
+        key = config_key(spec.config)
+        evict: list[Engine] = []
+        with self._cv:
+            if self._terminated or self._closed:
+                # Serialized with terminate()/close() under the lock:
+                # either they see this session, or we refuse to build it.
+                raise PoolUnavailable("service is shutting down")
+            engine = self._sessions.pop(key, None)
+            if engine is None:
+                engine = Engine(spec.config or self._config,
+                                workers=self._workers,
+                                max_retries=self._max_retries,
+                                job_timeout=self._job_timeout)
+            self._sessions[key] = engine  # (re)insert = most recent
+            for stale in list(self._sessions):
+                if len(self._sessions) <= self._max_sessions:
+                    break
+                if stale == key or self._session_load.get(stale, 0):
+                    continue  # never evict the busy (or the current)
+                evict.append(self._sessions.pop(stale))
+        for old in evict:  # idle by construction: close() won't block
+            old.close()
+        return engine, key
+
+    def _settled(self, job_id: str, key: str, future: Future) -> None:
+        """Journal one engine outcome (runs on the pool's collector)."""
+        try:
+            exc = future.exception()
+            if exc is None:
+                self.store.settle(job_id, "done",
+                                  report=future.result().to_dict())
+            elif isinstance(exc, JobTimeout):
+                self.store.settle(job_id, "timeout",
+                                  error=_error_dict(exc))
+            elif isinstance(exc, JobPoisoned):
+                self.store.settle(job_id, "poisoned",
+                                  error=_error_dict(exc))
+            elif isinstance(exc, PoolUnavailable) and (
+                    self._draining or self._terminated or self._closed):
+                # The *server* abandoned the job (drain deadline, close);
+                # it is next start's work, not a failure of the job.
+                self.store.requeue(job_id)
+            else:
+                self.store.settle(job_id, "failed",
+                                  error=_error_dict(job_failure(exc)))
+        finally:
+            with self._cv:
+                self._inflight.pop(job_id, None)
+                load = self._session_load.get(key, 0)
+                if load:
+                    self._session_load[key] = load - 1
+                self._cv.notify_all()
+
+
+def _error_dict(failure) -> dict:
+    error = {"kind": getattr(failure, "kind", type(failure).__name__),
+             "message": getattr(failure, "message", str(failure))}
+    details = getattr(failure, "details", None)
+    if details:
+        error["details"] = details
+    return error

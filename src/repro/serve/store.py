@@ -1,0 +1,351 @@
+"""Crash-safe job store: an fsync'd append-only journal of job states.
+
+The store is the durability layer under ``pimsim serve``: every
+submitted job spec and every state transition is appended to a JSONL
+journal and fsync'd before the transition is acknowledged, so the
+in-memory table can be reconstructed exactly after a SIGKILL.  States
+move ``queued -> running -> done|failed|poisoned|timeout`` (plus
+``cancelled`` for jobs withdrawn before they ran); the terminal states
+carry the durable payload (the report, or the typed error record).
+
+Restart semantics (the contract ``tests/test_serve.py`` pins):
+
+* a job with a journaled terminal state is **never re-run** — its
+  result is served from the journal forever (idempotency by job id);
+* a job journaled ``queued`` is re-enqueued untouched;
+* a job journaled ``running`` was in flight when the process died: it
+  is re-enqueued with one unit of restart blame (``attempts`` += 1),
+  and a job whose blame exceeds ``max_restarts`` is quarantined as
+  ``poisoned`` instead of being replayed forever — the process-level
+  mirror of the worker pool's poison-job accounting.
+
+The journal is append-only, so it grows with every transition;
+:meth:`JobStore.compact` rewrites it as one snapshot record per job
+(atomic rename), and :meth:`JobStore.open` compacts automatically when
+the event count dwarfs the live job count.  Torn trailing lines (a
+crash mid-write) and foreign lines are skipped on replay, exactly like
+``pimsim batch --resume``'s journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["JobStore", "JobRecord", "STATES", "TERMINAL_STATES",
+           "UnknownJob"]
+
+#: every state a job can be journaled in, in lifecycle order.
+STATES = ("queued", "running", "done", "failed", "poisoned", "timeout",
+          "cancelled")
+
+#: states that end a job's lifecycle; a job here is never re-run.
+TERMINAL_STATES = frozenset(("done", "failed", "poisoned", "timeout",
+                             "cancelled"))
+
+
+class UnknownJob(KeyError):
+    """The store holds no job with that id."""
+
+
+class JobRecord:
+    """One job's durable state: spec, lifecycle, payload, blame."""
+
+    __slots__ = ("id", "spec", "state", "report", "error", "attempts",
+                 "submitted_at", "updated_at")
+
+    def __init__(self, job_id: str, spec: dict, state: str = "queued", *,
+                 report: dict | None = None, error: dict | None = None,
+                 attempts: int = 0, submitted_at: float | None = None,
+                 updated_at: float | None = None):
+        self.id = job_id
+        self.spec = spec
+        self.state = state
+        self.report = report
+        self.error = error
+        self.attempts = attempts
+        self.submitted_at = submitted_at
+        self.updated_at = updated_at
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self, *, include_report: bool = False) -> dict:
+        """JSON-ready view (the HTTP layer's job resource)."""
+        data = {"id": self.id, "state": self.state,
+                "attempts": self.attempts, "spec": self.spec,
+                "submitted_at": self.submitted_at,
+                "updated_at": self.updated_at}
+        if self.error is not None:
+            data["error"] = self.error
+        if include_report and self.report is not None:
+            data["report"] = self.report
+        return data
+
+    def snapshot(self) -> dict:
+        """Full journal snapshot record (compaction output)."""
+        data = self.to_dict(include_report=True)
+        data["event"] = "job"
+        return data
+
+
+class JobStore:
+    """Durable, restart-surviving table of jobs keyed by stable job id.
+
+    Thread-safe: every mutation appends one journal line under the
+    store lock and fsyncs it (``fsync=False`` drops the fsync for
+    tests that hammer transitions).  ``max_restarts`` bounds how often
+    a job found ``running`` at replay is re-enqueued before being
+    quarantined as ``poisoned``.
+    """
+
+    def __init__(self, path: str | Path, *, max_restarts: int = 1,
+                 fsync: bool = True, compact_floor: int = 256):
+        self.path = Path(path)
+        self.max_restarts = max_restarts
+        self._fsync = fsync
+        self._compact_floor = compact_floor
+        self._lock = threading.RLock()
+        self._records: dict[str, JobRecord] = {}
+        self._fh = None
+        self._closed = False
+        events = self._replay()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._recover_running()
+        if events > max(self._compact_floor, 4 * len(self._records)):
+            self.compact()
+
+    # -- journal plumbing ------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        """Write one journal line; durable before this returns."""
+        line = json.dumps(record, default=str)
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+
+    def _replay(self) -> int:
+        """Rebuild the in-memory table from the journal; returns the
+        number of well-formed events (the compaction trigger input)."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return 0
+        events = 0
+        for line in text.splitlines():
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn trailing line from a crash mid-write
+            if not isinstance(entry, dict) or "event" not in entry:
+                continue
+            events += 1
+            self._apply(entry)
+        return events
+
+    def _apply(self, entry: dict) -> None:
+        event = entry["event"]
+        job_id = entry.get("id")
+        if event == "job":  # compaction snapshot: authoritative
+            if job_id:
+                self._records[job_id] = JobRecord(
+                    job_id, entry.get("spec") or {},
+                    entry.get("state", "queued"),
+                    report=entry.get("report"), error=entry.get("error"),
+                    attempts=int(entry.get("attempts", 0)),
+                    submitted_at=entry.get("submitted_at"),
+                    updated_at=entry.get("updated_at"))
+            return
+        if event == "submit":
+            if job_id and job_id not in self._records:
+                self._records[job_id] = JobRecord(
+                    job_id, entry.get("spec") or {},
+                    submitted_at=entry.get("t"), updated_at=entry.get("t"))
+            return
+        record = self._records.get(job_id)
+        if record is None:
+            return  # foreign or orphaned transition
+        if event == "state":
+            record.state = entry.get("state", record.state)
+            record.attempts = int(entry.get("attempts", record.attempts))
+            record.updated_at = entry.get("t", record.updated_at)
+            if record.state in TERMINAL_STATES:
+                record.report = entry.get("report")
+                record.error = entry.get("error")
+
+    def _recover_running(self) -> None:
+        """Blame-and-requeue every job the dead process left running."""
+        for record in self._records.values():
+            if record.state != "running":
+                continue
+            record.attempts += 1
+            if record.attempts > self.max_restarts:
+                self._transition(record, "poisoned", error={
+                    "kind": "JobPoisoned",
+                    "message": (f"job was running through {record.attempts} "
+                                f"server crashes; quarantined after "
+                                f"max_restarts={self.max_restarts}")})
+            else:
+                self._transition(record, "queued")
+
+    # -- mutations --------------------------------------------------------
+
+    def _transition(self, record: JobRecord, state: str, *,
+                    report: dict | None = None,
+                    error: dict | None = None) -> None:
+        now = time.time()
+        record.state = state
+        record.updated_at = now
+        entry = {"event": "state", "id": record.id, "state": state,
+                 "attempts": record.attempts, "t": now}
+        if report is not None:
+            record.report = report
+            entry["report"] = report
+        if error is not None:
+            record.error = error
+            entry["error"] = error
+        self._append(entry)
+
+    def submit(self, spec: dict, job_id: str) -> tuple[JobRecord, bool]:
+        """Record a submission; idempotent by job id.
+
+        Returns ``(record, created)`` — ``created`` is False when the id
+        is already known (same spec, same job), in which case the
+        existing record (possibly already terminal, with its durable
+        result) is returned untouched.
+        """
+        with self._lock:
+            self._check_open()
+            existing = self._records.get(job_id)
+            if existing is not None:
+                return existing, False
+            now = time.time()
+            record = JobRecord(job_id, spec, submitted_at=now,
+                               updated_at=now)
+            self._records[job_id] = record
+            self._append({"event": "submit", "id": job_id, "spec": spec,
+                          "t": now})
+            return record, True
+
+    def mark_running(self, job_id: str) -> bool:
+        """queued -> running; False if the job is not queued anymore
+        (cancelled or already settled — the dispatch must be dropped)."""
+        with self._lock:
+            self._check_open()
+            record = self._require(job_id)
+            if record.state != "queued":
+                return False
+            self._transition(record, "running")
+            return True
+
+    def requeue(self, job_id: str) -> bool:
+        """running -> queued (a dispatch that never reached a worker)."""
+        with self._lock:
+            self._check_open()
+            record = self._require(job_id)
+            if record.state != "running":
+                return False
+            self._transition(record, "queued")
+            return True
+
+    def settle(self, job_id: str, state: str, *, report: dict | None = None,
+               error: dict | None = None) -> JobRecord:
+        """Journal a terminal outcome; idempotent (first writer wins)."""
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"settle() takes a terminal state, got {state!r}")
+        with self._lock:
+            self._check_open()
+            record = self._require(job_id)
+            if not record.terminal:
+                self._transition(record, state, report=report, error=error)
+            return record
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a queued job; False once it is running or settled."""
+        with self._lock:
+            self._check_open()
+            record = self._require(job_id)
+            if record.state != "queued":
+                return False
+            self._transition(record, "cancelled",
+                             error={"kind": "Cancelled",
+                                    "message": "cancelled while queued"})
+            return True
+
+    # -- queries ----------------------------------------------------------
+
+    def _require(self, job_id: str) -> JobRecord:
+        record = self._records.get(job_id)
+        if record is None:
+            raise UnknownJob(job_id)
+        return record
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def jobs(self, state: str | None = None) -> list[JobRecord]:
+        """Records in submission order, optionally filtered by state."""
+        with self._lock:
+            records = list(self._records.values())
+        if state is not None:
+            records = [r for r in records if r.state == state]
+        return records
+
+    def counts(self) -> dict:
+        """Jobs per state (every state present, zero-filled)."""
+        counts = dict.fromkeys(STATES, 0)
+        with self._lock:
+            for record in self._records.values():
+                counts[record.state] = counts.get(record.state, 0) + 1
+        return counts
+
+    def backlog(self) -> int:
+        """Jobs admitted but not yet settled (the admission-control input)."""
+        with self._lock:
+            return sum(1 for r in self._records.values() if not r.terminal)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("job store is closed")
+
+    def compact(self) -> None:
+        """Rewrite the journal as one snapshot line per job (atomic)."""
+        with self._lock:
+            self._check_open()
+            tmp = self.path.with_suffix(self.path.suffix + ".compact")
+            with tmp.open("w", encoding="utf-8") as fh:
+                for record in self._records.values():
+                    fh.write(json.dumps(record.snapshot(), default=str)
+                             + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fh.close()
+            os.replace(tmp, self.path)
+            self._fh = self.path.open("a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._fh is not None:
+                self._fh.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -109,6 +109,9 @@ class TestBatch:
         capsys.readouterr()
         records = [json.loads(line) for line in
                    out.read_text().splitlines()]
+        summary = records.pop()["summary"]
+        assert summary["jobs"] == 2 and summary["ok"] == 2
+        assert summary["failed"] == 0
         assert [r["index"] for r in records] == [0, 1]
         for record, spec in zip(records, specs):
             assert record["report"]["meta"]["sweep_tag"] == spec.tag
@@ -154,11 +157,12 @@ class TestBatch:
                                     {"network": "nosuch", "config": "tiny"}]))
         assert main(["batch", str(path)]) == 1
         captured = capsys.readouterr()
-        records = {r["index"]: r for r in
-                   (json.loads(line)
-                    for line in captured.out.splitlines() if line)}
+        lines = [json.loads(line)
+                 for line in captured.out.splitlines() if line]
+        records = {r["index"]: r for r in lines if "index" in r}
         assert "report" in records[0]
         assert records[1]["error"]["kind"] == "KeyError"
+        assert lines[-1]["summary"]["failed"] == 1
         assert "1 failed" in captured.err
 
     def test_batch_flag_defaults(self):
@@ -180,7 +184,8 @@ class TestBatch:
 
         def cycles_by_index(text):
             return {r["index"]: r["report"]["cycles"] for r in
-                    (json.loads(line) for line in text.splitlines())}
+                    (json.loads(line) for line in text.splitlines())
+                    if "index" in r}
 
         assert (cycles_by_index(serial_out.read_text())
                 == cycles_by_index(parallel_out.read_text()))
@@ -197,7 +202,14 @@ class TestBatchResume:
 
     @staticmethod
     def _records(path):
-        return [json.loads(line) for line in path.read_text().splitlines()]
+        """Per-job records only (the trailing summary line is not one)."""
+        return [r for r in
+                (json.loads(line) for line in path.read_text().splitlines())
+                if "index" in r]
+
+    @staticmethod
+    def _summary(path):
+        return json.loads(path.read_text().splitlines()[-1])["summary"]
 
     def test_resume_runs_only_missing_indices(self, tmp_path, capsys):
         """Truncate a finished journal to k lines; --resume appends
@@ -223,6 +235,7 @@ class TestBatchResume:
         assert sorted(by_index) == [0, 1, 2, 3]
         assert ({i: r["report"]["cycles"] for i, r in by_index.items()}
                 == {r["index"]: r["report"]["cycles"] for r in full})
+        assert self._summary(journal)["resumed"] == 2
 
     def test_resume_with_complete_journal_runs_nothing(self, tmp_path,
                                                        capsys):
@@ -293,6 +306,54 @@ class TestBatchResume:
         capsys.readouterr()
         assert sorted(r["index"] for r in self._records(journal)
                       if "report" in r and r["report"]) == [0, 1]
+
+
+class TestBatchSummary:
+    """The trailing ``{"summary": ...}`` line: batch-level accounting."""
+
+    def test_summary_trails_the_journal_with_counts(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([{"network": "mlp", "config": "tiny"},
+                                    {"network": "nosuch", "config": "tiny"}]))
+        out = tmp_path / "run.jsonl"
+        assert main(["batch", str(path), "--output", str(out)]) == 1
+        capsys.readouterr()
+        summary = json.loads(out.read_text().splitlines()[-1])["summary"]
+        assert summary == {"jobs": 2, "ok": 1, "failed": 1, "resumed": 0,
+                           "retried": 0, "poisoned": 0, "timeouts": 0}
+
+    def test_pooled_run_reports_pool_counters(self, tmp_path, capsys):
+        """A worker crash surfaces in the summary's retry accounting."""
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([
+            {"network": "mlp", "config": "tiny",
+             "faults": {"mode": "crash", "attempts": [0]}},
+            {"network": "mlp", "config": "tiny", "rob_size": 2}]))
+        out = tmp_path / "run.jsonl"
+        assert main(["batch", str(path), "--workers", "2",
+                     "--output", str(out)]) == 0
+        capsys.readouterr()
+        summary = json.loads(out.read_text().splitlines()[-1])["summary"]
+        assert summary["ok"] == 2 and summary["failed"] == 0
+        assert summary["retried"] == 1, \
+            "the crash-then-retry must show up in the summary"
+
+    def test_summary_alone_never_masks_pending_jobs(self, tmp_path, capsys):
+        """--resume must not mistake a summary line for completed work."""
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([{"network": "mlp", "config": "tiny"}]))
+        journal = tmp_path / "run.jsonl"
+        journal.write_text(json.dumps({"summary": {"jobs": 1, "ok": 1}})
+                           + "\n")
+        assert main(["batch", str(path), "--output", str(journal),
+                     "--resume"]) == 0
+        capsys.readouterr()
+        records = [r for r in
+                   (json.loads(line)
+                    for line in journal.read_text().splitlines())
+                   if "index" in r]
+        assert [r["index"] for r in records] == [0], \
+            "the job must run despite the stale summary line"
 
 
 class TestBatchExitCodes:

@@ -389,6 +389,41 @@ class TestPoolRobustness:
                     == [r.cycles for r in healthy])
 
 
+class TestGraphMemo:
+    """Content-addressed graph memoization: equal graph *content* shares
+    one canonical graph, so the identity-keyed compile cache hits."""
+
+    def test_equal_content_graphs_share_compiled_program(self):
+        from repro.graph.serialize import graph_from_dict, graph_to_dict
+        base = build_chain_net()
+        twin = graph_from_dict(graph_to_dict(base))
+        assert twin is not base
+        with Engine(tiny_chip()) as eng:
+            first = eng.run(JobSpec(base))
+            second = eng.run(JobSpec(twin))
+            stats = eng.compile_stats()
+            assert stats["misses"] == 1, "one compile for both copies"
+            assert stats["hits"] == 1, \
+                "the twin graph must hit the first graph's cache entry"
+        assert first.cycles == second.cycles
+
+    def test_digest_tracks_content_not_identity(self):
+        from repro.graph.serialize import graph_digest, graph_from_dict, \
+            graph_to_dict
+        base = build_chain_net()
+        twin = graph_from_dict(graph_to_dict(base))
+        other = build_chain_net(channels=16)
+        assert graph_digest(base) == graph_digest(twin)
+        assert graph_digest(base) != graph_digest(other)
+
+    def test_clear_caches_drops_the_memo(self):
+        base = build_chain_net()
+        with Engine(tiny_chip()) as eng:
+            eng.run(JobSpec(base))
+            eng.clear_caches()
+            assert eng._graph_memo == {}
+
+
 class TestLegacyHelpersOnEngine:
     """Each rebuilt sweep helper: explicit engine == default-engine path."""
 

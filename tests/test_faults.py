@@ -280,11 +280,12 @@ class TestTelemetry:
         with _engine() as eng:
             assert eng.pool_stats() == {
                 "size": 0, "respawns": 0, "retries": 0,
-                "timeouts": 0, "poisoned": 0, "broken": False}
+                "timeouts": 0, "poisoned": 0, "broken": False,
+                "queue_depth": 0, "in_flight": 0, "ewma_service_s": 0.0}
 
     def test_stats_keys_pinned(self):
         with _engine() as eng:
             eng.map([JobSpec("mlp"), JobSpec("mlp")], workers=2)
             assert sorted(eng.pool_stats()) == [
-                "broken", "poisoned", "respawns", "retries", "size",
-                "timeouts"]
+                "broken", "ewma_service_s", "in_flight", "poisoned",
+                "queue_depth", "respawns", "retries", "size", "timeouts"]

@@ -87,6 +87,37 @@ class TestRoundTrip:
             JobSpec.from_dict({"config": "tiny"})
 
 
+class TestJobId:
+    """Content-addressed job identity — what ``pimsim serve``'s store
+    builds its never-rerun idempotency on."""
+
+    def test_stable_across_serialization_round_trips(self):
+        spec = JobSpec("mlp", tiny_chip(), rob_size=2, tag="a")
+        assert spec.job_id() == JobSpec.from_dict(spec.to_dict()).job_id()
+        assert spec.job_id() == JobSpec.from_json(spec.to_json()).job_id()
+
+    def test_format_is_pinned(self):
+        job_id = JobSpec("mlp").job_id()
+        assert job_id.startswith("j") and len(job_id) == 25
+
+    def test_distinct_content_distinct_ids(self):
+        base = JobSpec("mlp", tiny_chip())
+        assert base.job_id() != JobSpec("mlp", small_chip()).job_id()
+        assert base.job_id() != JobSpec("mlp", tiny_chip(),
+                                        rob_size=2).job_id()
+        assert base.job_id() != JobSpec("mlp", tiny_chip(),
+                                        tag="rerun").job_id(), \
+            "tag is the intentional re-run discriminator"
+
+    def test_graph_specs_hash_by_content_not_identity(self):
+        from repro.graph.serialize import graph_from_dict, graph_to_dict
+        base = build_chain_net()
+        twin = graph_from_dict(graph_to_dict(base))
+        assert JobSpec(base).job_id() == JobSpec(twin).job_id()
+        assert (JobSpec(base).job_id()
+                != JobSpec(build_chain_net(channels=16)).job_id())
+
+
 class TestSpecFiles:
     def test_save_load_round_trip(self, tmp_path):
         specs = [JobSpec("mlp", tiny_chip(), rob_size=1, tag="a"),

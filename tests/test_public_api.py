@@ -8,6 +8,7 @@ change visible and reviewed instead of accidental.
 import repro
 import repro.engine
 import repro.runner
+import repro.serve
 
 ROOT_ALL = [
     "ArchConfig",
@@ -63,6 +64,21 @@ RUNNER_ALL = [
     "sweep_rob",
 ]
 
+SERVE_ALL = [
+    "Draining",
+    "JobRecord",
+    "JobStore",
+    "Overloaded",
+    "STATES",
+    "ServeHTTPServer",
+    "ServeHandler",
+    "ServeService",
+    "TERMINAL_STATES",
+    "UnknownJob",
+    "config_key",
+    "serve_http",
+]
+
 #: the Engine's service surface; future PRs must not silently drop any.
 ENGINE_METHODS = [
     "as_completed",
@@ -77,6 +93,21 @@ ENGINE_METHODS = [
     "run",
     "simulate",
     "submit",
+    "terminate",
+]
+
+#: every pool-telemetry key ``Engine.pool_stats()`` reports, pooled or
+#: not — admission control and ``/readyz`` build on these.
+POOL_STATS_KEYS = [
+    "broken",
+    "ewma_service_s",
+    "in_flight",
+    "poisoned",
+    "queue_depth",
+    "respawns",
+    "retries",
+    "size",
+    "timeouts",
 ]
 
 
@@ -102,9 +133,26 @@ def test_engine_names_resolve():
         assert getattr(repro.engine, name) is not None, name
 
 
+def test_serve_all_pinned():
+    assert sorted(repro.serve.__all__) == sorted(SERVE_ALL)
+
+
+def test_serve_names_resolve():
+    for name in repro.serve.__all__:
+        assert getattr(repro.serve, name) is not None, name
+
+
 def test_engine_service_surface():
     for name in ENGINE_METHODS:
         assert hasattr(repro.Engine, name), name
+
+
+def test_pool_stats_keys_pinned():
+    engine = repro.Engine(repro.tiny_chip())
+    try:
+        assert sorted(engine.pool_stats()) == POOL_STATS_KEYS
+    finally:
+        engine.close()
 
 
 def test_sweepjob_is_a_jobspec():

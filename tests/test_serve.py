@@ -1,0 +1,565 @@
+"""``pimsim serve``: crash-safe store, service layer, HTTP, chaos.
+
+Layered like the stack under test: :class:`JobStore` journal-contract
+unit tests, :class:`ServeService` admission/drain/session tests, golden
+request/response tests over a live socket, and subprocess chaos tests
+(SIGKILL durability, SIGTERM drain, the exit-code contract) against the
+real ``pimsim serve`` CLI.
+"""
+
+import http.client
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import small_chip, tiny_chip
+from repro.engine import JobSpec
+from repro.runner.cli import (
+    SERVE_EXIT_DRAIN_EXPIRED,
+    SERVE_EXIT_FATAL,
+    SERVE_EXIT_OK,
+    build_parser,
+    main,
+)
+from repro.serve import (
+    Draining,
+    JobStore,
+    Overloaded,
+    ServeService,
+    TERMINAL_STATES,
+    config_key,
+    serve_http,
+)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def wait_until(predicate, timeout=60.0, interval=0.02):
+    """Poll until ``predicate()`` is truthy; its last value on success."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"condition not met within {timeout:g}s")
+
+
+SPEC = {"network": "mlp", "config": "tiny"}
+
+
+def spec_with(**overrides) -> JobSpec:
+    return JobSpec.from_dict({**SPEC, **overrides})
+
+
+class TestJobStore:
+    """The journal contract: every transition durable, replay exact."""
+
+    def _store(self, tmp_path, **kw):
+        kw.setdefault("fsync", False)
+        return JobStore(tmp_path / "store.jsonl", **kw)
+
+    def test_submit_survives_reopen(self, tmp_path):
+        with self._store(tmp_path) as store:
+            record, created = store.submit({"network": "mlp"}, "j1")
+            assert created and record.state == "queued"
+        with self._store(tmp_path) as store:
+            replayed = store.get("j1")
+            assert replayed.state == "queued"
+            assert replayed.spec == {"network": "mlp"}
+            assert replayed.submitted_at == record.submitted_at
+
+    def test_terminal_result_survives_and_is_never_requeued(self, tmp_path):
+        with self._store(tmp_path) as store:
+            store.submit({"network": "mlp"}, "j1")
+            store.mark_running("j1")
+            store.settle("j1", "done", report={"cycles": 123})
+        with self._store(tmp_path) as store:
+            replayed = store.get("j1")
+            assert replayed.state == "done"
+            assert replayed.report == {"cycles": 123}
+            assert replayed.attempts == 0
+            assert not store.jobs("queued")
+
+    def test_submit_is_idempotent_by_id(self, tmp_path):
+        with self._store(tmp_path) as store:
+            first, created = store.submit({"network": "mlp"}, "j1")
+            again, recreated = store.submit({"network": "mlp"}, "j1")
+            assert created and not recreated
+            assert again is first
+            assert len(store) == 1
+
+    def test_running_job_requeues_with_blame_on_replay(self, tmp_path):
+        with self._store(tmp_path) as store:
+            store.submit({"network": "mlp"}, "j1")
+            store.mark_running("j1")
+        with self._store(tmp_path) as store:  # "the server crashed"
+            replayed = store.get("j1")
+            assert replayed.state == "queued"
+            assert replayed.attempts == 1
+
+    def test_repeat_crasher_quarantined_as_poisoned(self, tmp_path):
+        with self._store(tmp_path, max_restarts=1) as store:
+            store.submit({"network": "mlp"}, "j1")
+            store.mark_running("j1")
+        with self._store(tmp_path, max_restarts=1) as store:
+            store.mark_running("j1")  # crash #2, mid-run again
+        with self._store(tmp_path, max_restarts=1) as store:
+            replayed = store.get("j1")
+            assert replayed.state == "poisoned"
+            assert replayed.attempts == 2
+            assert replayed.error["kind"] == "JobPoisoned"
+        with self._store(tmp_path, max_restarts=1) as store:
+            assert store.get("j1").state == "poisoned"  # terminal: stays
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        with self._store(tmp_path) as store:
+            store.submit({"network": "mlp"}, "j1")
+            store.mark_running("j1")
+            store.settle("j1", "done", report={"cycles": 9})
+        path = tmp_path / "store.jsonl"
+        path.write_bytes(path.read_bytes()
+                         + b'{"event": "state", "id": "j1", "sta')
+        with self._store(tmp_path) as store:
+            assert store.get("j1").state == "done"
+
+    def test_cancel_withdraws_only_queued_jobs(self, tmp_path):
+        with self._store(tmp_path) as store:
+            store.submit({"network": "mlp"}, "j1")
+            assert store.cancel("j1") is True
+            assert store.get("j1").state == "cancelled"
+            store.submit({"network": "mlp"}, "j2")
+            store.mark_running("j2")
+            assert store.cancel("j2") is False
+            assert store.mark_running("j1") is False, \
+                "a cancelled job must never be dispatched"
+
+    def test_settle_requires_a_terminal_state(self, tmp_path):
+        with self._store(tmp_path) as store:
+            store.submit({"network": "mlp"}, "j1")
+            with pytest.raises(ValueError):
+                store.settle("j1", "running")
+
+    def test_compaction_is_state_preserving(self, tmp_path):
+        with self._store(tmp_path) as store:
+            for i in range(4):
+                store.submit({"network": "mlp", "rob_size": i}, f"j{i}")
+            store.mark_running("j0")
+            store.settle("j0", "done", report={"cycles": 1})
+            store.mark_running("j1")
+            store.settle("j1", "failed", error={"kind": "X", "message": "m"})
+            before = {r.id: r.to_dict(include_report=True)
+                      for r in store.jobs()}
+            store.compact()
+            path = store.path
+            assert len(path.read_text().splitlines()) == 4
+        with self._store(tmp_path) as store:
+            after = {r.id: r.to_dict(include_report=True)
+                     for r in store.jobs()}
+        assert after == before
+
+    def test_counts_and_backlog(self, tmp_path):
+        with self._store(tmp_path) as store:
+            store.submit({"network": "mlp"}, "j1")
+            store.submit({"network": "mlp", "rob_size": 2}, "j2")
+            store.mark_running("j1")
+            store.settle("j1", "done", report={})
+            counts = store.counts()
+            assert counts["done"] == 1 and counts["queued"] == 1
+            assert set(counts) == {"queued", "running", "done", "failed",
+                                   "poisoned", "timeout", "cancelled"}
+            assert store.backlog() == 1
+
+
+@pytest.fixture
+def service(tmp_path):
+    store = JobStore(tmp_path / "store.jsonl", fsync=False)
+    svc = ServeService(store, config=tiny_chip(), workers=1,
+                       max_backlog=4).start()
+    yield svc
+    svc.close()
+
+
+class TestServeService:
+    def test_submitted_job_runs_to_done(self, service):
+        record, created = service.submit(spec_with(rob_size=1))
+        assert created and record.state == "queued"
+        done = wait_until(lambda: service.store.get(record.id).terminal
+                          and service.store.get(record.id))
+        assert done.state == "done"
+        assert done.report["cycles"] > 0
+
+    def test_resubmission_is_idempotent_never_reruns(self, service):
+        record, _created = service.submit(spec_with(rob_size=2))
+        wait_until(lambda: service.store.get(record.id).terminal)
+        settled = service.store.get(record.id).to_dict(include_report=True)
+        again, created = service.submit(spec_with(rob_size=2))
+        assert not created
+        assert again.to_dict(include_report=True) == settled
+        assert again.attempts == 0
+
+    def test_overload_refused_with_retry_after(self, service):
+        service.pause_dispatch()
+        for rob in range(1, 5):  # max_backlog=4
+            service.submit(spec_with(rob_size=rob))
+        with pytest.raises(Overloaded) as info:
+            service.submit(spec_with(rob_size=9))
+        assert info.value.retry_after >= 1
+        assert service.store.backlog() == 4, "refused jobs never queue"
+        # Idempotent re-submission of an admitted job bypasses admission.
+        _record, created = service.submit(spec_with(rob_size=1))
+        assert not created
+
+    def test_drain_flips_ready_and_refuses_admissions(self, service):
+        assert service.ready() is True
+        service.begin_drain()
+        assert service.ready() is False
+        assert service.status()["draining"] is True
+        with pytest.raises(Draining):
+            service.submit(spec_with(rob_size=1))
+        assert service.wait_drained(5.0) is True  # nothing in flight
+
+    def test_cancel_queued_job_is_never_dispatched(self, service):
+        service.pause_dispatch()
+        record, _created = service.submit(spec_with(rob_size=3))
+        assert service.cancel(record.id) is True
+        service.resume_dispatch()
+        # Give the dispatcher a beat; the store refuses the queued ->
+        # running transition so the job must stay cancelled.
+        time.sleep(0.2)
+        assert service.store.get(record.id).state == "cancelled"
+        assert service.cancel(record.id) is False
+
+    def test_drain_deadline_aborts_and_requeues_in_flight(self, service):
+        hung = spec_with(tag="wedge",
+                         faults={"mode": "hang", "seconds": 3600})
+        record, _created = service.submit(hung)
+        wait_until(lambda: service.store.get(record.id).state == "running")
+        service.begin_drain()
+        assert service.wait_drained(0.3) is False, "the job is wedged"
+        assert service.terminate() == 1
+        requeued = wait_until(
+            lambda: service.store.get(record.id).state == "queued"
+            and service.store.get(record.id))
+        assert requeued.attempts == 0, \
+            "an aborted drain is the server's fault, not the job's"
+
+    def test_sessions_are_keyed_by_config_content(self, service):
+        assert config_key(None) == "default"
+        assert config_key(tiny_chip()) == config_key(tiny_chip())
+        assert config_key(tiny_chip()) != config_key(small_chip())
+
+    def test_distinct_configs_get_distinct_sessions(self, service):
+        default, _ = service.submit(JobSpec("mlp"))
+        explicit, _ = service.submit(JobSpec("mlp", tiny_chip(),
+                                             rob_size=2))
+        wait_until(lambda: service.store.get(default.id).terminal
+                   and service.store.get(explicit.id).terminal)
+        assert service.status()["sessions"] == 2
+        assert service.pool_stats()["size"] == 2  # one worker each
+
+
+@pytest.fixture
+def served(tmp_path):
+    store = JobStore(tmp_path / "store.jsonl", fsync=False)
+    svc = ServeService(store, config=tiny_chip(), workers=1,
+                       max_backlog=4).start()
+    server = serve_http(svc, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, svc
+    server.shutdown()
+    server.server_close()
+    svc.close()
+
+
+def request(server, method, path, body=None):
+    """One HTTP exchange; returns (status, parsed-json, headers)."""
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json"}
+                     if payload else {})
+        resp = conn.getresponse()
+        data = json.loads(resp.read() or b"null")
+        return resp.status, data, dict(resp.getheaders())
+    finally:
+        conn.close()
+
+
+class TestServeHTTP:
+    """Golden request/response pairs for every route."""
+
+    def test_healthz(self, served):
+        server, _svc = served
+        status, data, headers = request(server, "GET", "/healthz")
+        assert (status, data) == (200, {"status": "alive"})
+        assert headers["Content-Type"] == "application/json"
+
+    def test_readyz_payload(self, served):
+        server, _svc = served
+        status, data, _headers = request(server, "GET", "/readyz")
+        assert status == 200
+        assert data["ready"] is True and data["draining"] is False
+        assert data["max_backlog"] == 4
+        assert set(data["counts"]) == {"queued", "running", "done", "failed",
+                                       "poisoned", "timeout", "cancelled"}
+        assert {"size", "broken", "queue_depth", "in_flight",
+                "ewma_service_s"} <= set(data["pool"])
+
+    def test_submit_status_result_lifecycle(self, served):
+        server, _svc = served
+        status, job, _headers = request(server, "POST", "/jobs", SPEC)
+        assert status == 201
+        assert job["created"] is True
+        assert job["id"] == JobSpec.from_dict(SPEC).job_id()
+
+        status, record, _headers = request(server, "GET",
+                                           f"/jobs/{job['id']}")
+        assert status == 200 and record["id"] == job["id"]
+
+        def settled():
+            code, data, _ = request(server, "GET",
+                                    f"/jobs/{job['id']}/result")
+            return data if code == 200 else None
+        result = wait_until(settled)
+        assert result["state"] == "done"
+        assert result["report"]["cycles"] > 0
+
+        status, listing, _headers = request(server, "GET",
+                                            "/jobs?state=done")
+        assert status == 200
+        assert [r["id"] for r in listing["jobs"]] == [job["id"]]
+        assert listing["counts"]["done"] == 1
+
+    def test_batch_post_admits_each_spec(self, served):
+        server, _svc = served
+        body = {"jobs": [{**SPEC, "rob_size": r} for r in (1, 2)]}
+        status, data, _headers = request(server, "POST", "/jobs", body)
+        assert status == 201
+        ids = [j["id"] for j in data["jobs"]]
+        assert len(set(ids)) == 2
+
+    def test_result_pending_gives_202_with_retry_hint(self, served):
+        server, svc = served
+        svc.pause_dispatch()
+        _status, job, _headers = request(server, "POST", "/jobs", SPEC)
+        status, data, headers = request(server, "GET",
+                                        f"/jobs/{job['id']}/result")
+        assert status == 202
+        assert data == {"id": job["id"], "state": "queued"}
+        assert int(headers["Retry-After"]) >= 1
+
+    def test_delete_cancels_queued_then_conflicts(self, served):
+        server, svc = served
+        svc.pause_dispatch()
+        _status, job, _headers = request(server, "POST", "/jobs", SPEC)
+        status, data, _headers = request(server, "DELETE",
+                                         f"/jobs/{job['id']}")
+        assert status == 200 and data["state"] == "cancelled"
+        status, data, _headers = request(server, "DELETE",
+                                         f"/jobs/{job['id']}")
+        assert status == 409 and data["state"] == "cancelled"
+
+    def test_overload_sheds_load_with_503_retry_after(self, served):
+        server, svc = served
+        svc.pause_dispatch()
+        for rob in range(1, 5):  # fill max_backlog=4
+            status, _data, _headers = request(
+                server, "POST", "/jobs", {**SPEC, "rob_size": rob})
+            assert status == 201
+        status, data, headers = request(server, "POST", "/jobs",
+                                        {**SPEC, "rob_size": 9})
+        assert status == 503
+        assert data["error"] == "overloaded"
+        assert int(headers["Retry-After"]) >= 1
+        assert svc.store.backlog() == 4, "shed jobs must not grow the queue"
+        # The refused spec was never journaled.
+        assert svc.store.get(spec_with(rob_size=9).job_id()) is None
+
+    def test_draining_refuses_submissions_and_readyz(self, served):
+        server, svc = served
+        svc.begin_drain()
+        status, data, _headers = request(server, "GET", "/readyz")
+        assert status == 503 and data["ready"] is False
+        status, data, _headers = request(server, "POST", "/jobs", SPEC)
+        assert status == 503 and data["error"] == "draining"
+
+    def test_unknown_job_is_404(self, served):
+        server, _svc = served
+        for method, path in (("GET", "/jobs/jnope"),
+                             ("GET", "/jobs/jnope/result"),
+                             ("DELETE", "/jobs/jnope")):
+            status, data, _headers = request(server, method, path)
+            assert (status, data["error"]) == (404, "unknown job")
+
+    def test_unknown_route_is_404(self, served):
+        server, _svc = served
+        status, data, _headers = request(server, "GET", "/nope")
+        assert (status, data["error"]) == (404, "no such route")
+        status, data, _headers = request(server, "POST", "/nope", {})
+        assert status == 404
+
+    def test_bad_body_and_bad_spec_are_400(self, served):
+        server, _svc = served
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.request("POST", "/jobs", body=b"not json {",
+                     headers={"Content-Type": "application/json"})
+        assert conn.getresponse().status == 400
+        conn.close()
+        status, data, _headers = request(server, "POST", "/jobs",
+                                         {"no_network": True})
+        assert status == 400 and "bad job spec" in data["error"]
+
+    def test_bad_state_filter_is_400(self, served):
+        server, _svc = served
+        status, data, _headers = request(server, "GET", "/jobs?state=bogus")
+        assert status == 400
+        assert "queued" in data["states"]
+
+
+def start_serve(store_path, *extra):
+    """Launch ``pimsim serve`` as a real process; returns (proc, base)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.runner.cli", "serve",
+         "--store", str(store_path), "--port", "0", "--workers", "1",
+         "--preset", "tiny", *extra],
+        stderr=subprocess.PIPE, text=True,
+        env={**os.environ, "PYTHONPATH": SRC})
+    banner = proc.stderr.readline()
+    match = re.search(r"listening on http://([\d.]+):(\d+)", banner)
+    assert match, f"no listening banner, got {banner!r}"
+    return proc, (match.group(1), int(match.group(2)))
+
+
+def http_json(base, method, path, body=None):
+    status, data, _headers = request(_Addr(base), method, path, body)
+    return status, data
+
+
+class _Addr:
+    """Adapter so ``request`` also accepts a bare (host, port) pair."""
+
+    def __init__(self, address):
+        self.server_address = address
+
+
+class TestServeCLI:
+    """The serve process itself: durability, drain, exit codes."""
+
+    def test_exit_codes_are_distinct_and_pinned(self):
+        assert (SERVE_EXIT_OK, SERVE_EXIT_FATAL,
+                SERVE_EXIT_DRAIN_EXPIRED) == (0, 2, 3)
+
+    def test_serve_flag_defaults(self):
+        args = build_parser().parse_args(["serve", "--store", "s.jsonl"])
+        assert args.port == 8787
+        assert args.drain_timeout == 30.0
+        assert args.max_restarts == 1
+        assert args.max_backlog is None
+
+    def test_bind_failure_is_fatal(self, tmp_path):
+        taken = socket.socket()
+        taken.bind(("127.0.0.1", 0))
+        taken.listen(1)
+        port = taken.getsockname()[1]
+        try:
+            assert main(["serve", "--store", str(tmp_path / "s.jsonl"),
+                         "--port", str(port)]) == SERVE_EXIT_FATAL
+        finally:
+            taken.close()
+
+    def test_sigkill_mid_batch_is_durable(self, tmp_path):
+        """The acceptance scenario: kill -9 the server mid-batch, restart
+        against the same store — settled results survive untouched, the
+        rest reaches a terminal state, nothing runs twice."""
+        store_path = tmp_path / "store.jsonl"
+        proc, base = start_serve(store_path)
+        # The hang directive delays each job ~0.3s inside the worker, so
+        # the kill deterministically lands mid-batch.
+        specs = [{**SPEC, "rob_size": rob,
+                  "faults": {"mode": "hang", "seconds": 0.3}}
+                 for rob in range(1, 7)]
+        status, data = http_json(base, "POST", "/jobs", {"jobs": specs})
+        assert status == 201
+        ids = [job["id"] for job in data["jobs"]]
+        assert len(set(ids)) == 6
+
+        def some_done():
+            _code, listing = http_json(base, "GET", "/jobs?state=done")
+            return listing["jobs"] or None
+        done_before = {job["id"]: job for job in wait_until(some_done)}
+        results_before = {}
+        for job_id in done_before:
+            _code, results_before[job_id] = http_json(
+                base, "GET", f"/jobs/{job_id}/result")
+        proc.kill()
+        proc.wait(timeout=30)
+        assert len(done_before) < 6, "the kill must land mid-batch"
+
+        proc, base = start_serve(store_path)
+        try:
+            def all_terminal():
+                _code, data = http_json(base, "GET", "/readyz")
+                counts = data["counts"]
+                return sum(counts[s] for s in TERMINAL_STATES) == 6
+            wait_until(all_terminal, timeout=120.0, interval=0.2)
+            _code, data = http_json(base, "GET", "/readyz")
+            assert data["counts"]["done"] == 6
+            for job_id, before in results_before.items():
+                code, after = http_json(base, "GET",
+                                        f"/jobs/{job_id}/result")
+                assert code == 200
+                assert after == before, \
+                    "a journaled result must survive the crash bit-for-bit"
+                assert after["attempts"] == 0, \
+                    "a settled job must never be re-executed"
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == SERVE_EXIT_OK
+
+    def test_sigterm_drains_cleanly_with_exit_zero(self, tmp_path):
+        store_path = tmp_path / "store.jsonl"
+        proc, base = start_serve(store_path)
+        status, _data = http_json(base, "POST", "/jobs", {
+            "jobs": [{**SPEC, "rob_size": rob} for rob in (1, 2)]})
+        assert status == 201
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == SERVE_EXIT_OK
+        stderr = proc.stderr.read()
+        assert "drained cleanly" in stderr
+        with JobStore(store_path) as store:
+            states = {record.state for record in store.jobs()}
+            assert "running" not in states, \
+                "every in-flight outcome must be journaled before exit"
+
+    def test_expired_drain_deadline_requeues_and_exits_3(self, tmp_path):
+        store_path = tmp_path / "store.jsonl"
+        proc, base = start_serve(store_path, "--drain-timeout", "0.5")
+        status, job = http_json(base, "POST", "/jobs", {
+            **SPEC, "faults": {"mode": "hang", "seconds": 3600}})
+        assert status == 201
+
+        def running():
+            _code, listing = http_json(base, "GET", "/jobs?state=running")
+            return listing["jobs"] or None
+        wait_until(running)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == SERVE_EXIT_DRAIN_EXPIRED
+        assert "requeued" in proc.stderr.read()
+        with JobStore(store_path) as store:
+            # One restart blame: the job was journaled `queued` by the
+            # abort, so the replay charges nothing extra.
+            assert store.get(job["id"]).state == "queued"

@@ -99,7 +99,10 @@ class TestCompileCache:
 
     def test_mapping_change_recompiles(self):
         config = tiny_chip()
-        net = build_chain_net()
+        # Graphs are content-addressed into the compile cache, so this
+        # net must differ from every other test's chain net or an earlier
+        # test's compilation would satisfy the miss this asserts on.
+        net = build_chain_net(channels=24)
         perf = simulate(net, config, mapping="performance_first")
         util = simulate(net, config, mapping="utilization_first")
         assert util.compile_cache_misses == perf.compile_cache_misses + 1
