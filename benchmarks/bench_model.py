@@ -177,3 +177,23 @@ def test_model_simulate_only_vit_tiny_sharded(benchmark):
                                 rounds=9, iterations=1, warmup_rounds=1)
     assert result.cycles > 0
     assert result.cycles < run_program(baseline.program, config).cycles
+
+
+def test_model_simulate_only_gpt_tiny_decode(benchmark):
+    """Decode-step trajectory metric (ISSUE 8): one gpt_tiny decode step
+    at a mid-capacity KV extent, resolved from a prebuilt step template
+    (template compilation excluded, like the other simulate-only
+    metrics).  This is the per-step simulate cost a continuous-batching
+    serving loop pays after warm-up — the extent-scaled VMATMUL /
+    VSOFTMAX streams and capacity-sized cache loads of the replay
+    path."""
+    from repro.compiler import compile_step_template
+    from repro.models import build_model
+
+    config = small_chip()
+    template = compile_step_template(build_model("gpt_tiny"), config)
+    chip = template.resolve(32)
+    result = benchmark.pedantic(run_program, args=(chip, config),
+                                rounds=9, iterations=1, warmup_rounds=1)
+    assert result.cycles > 0
+    assert chip.meta["kv_extent"] == 32

@@ -44,9 +44,11 @@ Output-record fields::
                            are ``test_kernel_*`` / ``test_end_to_end_*``,
                            model names are ``test_model_*`` (including
                            the simulate-only trajectory metrics
-                           ``test_model_simulate_only_vgg8`` and the
+                           ``test_model_simulate_only_vgg8``, the
                            attention-heavy
-                           ``test_model_simulate_only_vit_tiny``)
+                           ``test_model_simulate_only_vit_tiny`` and the
+                           decode-step replay
+                           ``test_model_simulate_only_gpt_tiny_decode``)
     baseline              the baseline's benchmarks (with --baseline)
     speedup_vs_baseline   {test name: baseline mean / new mean}
 """

@@ -92,6 +92,13 @@ def main() -> None:
         # only the missing jobs.
         print(f"  worker pool: {engine.pool_stats()}")
 
+        # 6. Autoregressive decode: networks with kv_cache nodes compile
+        # once into a step template and replay at every KV extent —
+        # engine.run(JobSpec("gpt_tiny", decode_steps=N)) or
+        # engine.decode_session("gpt_tiny"); engine.serve_mix() interleaves
+        # prefill and decode requests and reports p50/p99 per-step latency.
+        # See examples/decode_serving.py and `pimsim decode`.
+
 
 if __name__ == "__main__":
     main()

@@ -7,6 +7,7 @@ from .breakdown import (
     energy_breakdown,
     nth_conv_layer,
     op_class_breakdown,
+    step_latency_stats,
     unit_breakdown,
 )
 from .charts import ascii_bars, normalize, series_table
@@ -21,6 +22,7 @@ __all__ = [
     "op_class_breakdown",
     "attention_share",
     "attention_shard_balance",
+    "step_latency_stats",
     "normalize",
     "ascii_bars",
     "series_table",

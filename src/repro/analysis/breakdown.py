@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from ..runner.results import SimReport
+from ..runner.results import SimReport, nearest_rank
 
 __all__ = ["unit_breakdown", "comm_ratios", "energy_breakdown",
            "nth_conv_layer", "op_class_breakdown", "attention_share",
-           "attention_shard_balance"]
+           "attention_shard_balance", "step_latency_stats"]
 
 #: graph ops that make up the dynamic attention path (vector-unit work
 #: that crossbars cannot absorb).
@@ -99,6 +99,30 @@ def attention_shard_balance(report: SimReport) -> dict[int, int]:
         if total:
             out[int(core)] = total
     return out
+
+
+def step_latency_stats(report: SimReport) -> dict[str, float]:
+    """Per-step latency distribution of a decode report.
+
+    Reads the ``meta["decode"]`` block an aggregated decode run carries
+    (:meth:`Engine.run <repro.engine.Engine.run>` with ``decode_steps``,
+    or :meth:`DecodeSession.run <repro.engine.DecodeSession.run>`) and
+    summarizes the per-step series: step count, nearest-rank p50/p99
+    latency and mean time-per-output-token, all in milliseconds.  Every
+    field is 0 for a non-decode report (or a zero-step one) — the same
+    no-work convention as :func:`attention_share`, never a division by
+    zero.
+    """
+    decode = report.meta.get("decode") or {}
+    seconds = list(decode.get("step_seconds") or ())
+    steps = len(seconds)
+    return {
+        "steps": steps,
+        "p50_step_ms": nearest_rank(seconds, 50) * 1e3,
+        "p99_step_ms": nearest_rank(seconds, 99) * 1e3,
+        "tpot_ms": (sum(seconds) / steps * 1e3) if steps else 0.0,
+        "total_ms": sum(seconds) * 1e3,
+    }
 
 
 def nth_conv_layer(report: SimReport, n: int) -> str:

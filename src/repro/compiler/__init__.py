@@ -15,6 +15,7 @@ from .frontend import (
 from .mapping import map_network, map_performance_first, map_utilization_first
 from .pipeline import CompilationResult, compile_network
 from .placement import Placement, Slice, StagePlan, assign_shard_groups
+from .stepwise import StepTemplate, StepwiseError, compile_step_template
 from .tiling import (
     WeightTiling,
     compute_levels,
@@ -26,6 +27,9 @@ from .tiling import (
 
 __all__ = [
     "compile_network",
+    "compile_step_template",
+    "StepTemplate",
+    "StepwiseError",
     "repeat_chip_program",
     "CompilationResult",
     "CompileCache",

@@ -19,6 +19,17 @@ emits, on every participating core:
 5. distribution — ``SEND`` the output tile to every remote consumer core
    (``STORE`` to global memory for network outputs).
 
+Cache stages (``kv_cache``) are the decode-scenario exception to the
+flow machinery: the growing K/V buffer lives in *global memory*.  The
+append is a one-token ``STORE`` from the producer's output ring; every
+consumer ``LOAD``s the whole buffer back like a network input, so no
+flow ever carries an extent-dependent message count.  Buffers of
+extent-scaled stages are provisioned at ``Stage.alloc_shape`` (the
+capacity), which keeps the local-memory map — and with it every emitted
+address — identical across decode extents; only transfer byte counts
+and vector lengths vary, affinely, with the extent
+(:mod:`repro.compiler.stepwise` exploits exactly this).
+
 Every emitted address comes from the :class:`~repro.compiler.allocator`
 regions, so the dispatch stage's hazard detection operates on a consistent
 memory map.  Timing-irrelevant layout details (exact cell offsets of
@@ -193,8 +204,18 @@ class _CodeGenerator:
         return (hi - lo) * stage.out_channels * self.act_bytes
 
     def _nominal_tile_bytes(self, stage: Stage) -> int:
-        px = min(self.tile_pixels, stage.out_pixels)
-        return px * stage.out_channels * self.act_bytes
+        """Buffer-slot size for one tile of a stage's output.
+
+        Sized from the *allocation* shape: for extent-scaled stages of a
+        decode pipeline that is the capacity, so slot sizes (and hence
+        every downstream address) do not move with the decode extent.
+        Classic stages have ``alloc == out`` and are unchanged.
+        """
+        if stage.kind == "cache":
+            px = stage.alloc_pixels  # single whole-buffer tile
+        else:
+            px = min(self.tile_pixels, stage.alloc_pixels)
+        return px * stage.alloc_channels * self.act_bytes
 
     def _edge_window(self, stage: Stage, edge_idx: int) -> int:
         """Credit window / input-ring depth for one consumer edge.
@@ -324,7 +345,7 @@ class _CodeGenerator:
                 slot_bytes = self._nominal_tile_bytes(producer)
                 slots = self._edge_window(stage, edge_idx)
                 for core in self.receivers[stage.name]:
-                    if producer.kind != "input" and p_home == core:
+                    if producer.kind not in ("input", "cache") and p_home == core:
                         continue  # co-resident: read the producer's out ring
                     region = self.allocs.core(core).alloc(
                         f"in:{stage.name}:{edge_idx}", slot_bytes, slots)
@@ -376,7 +397,10 @@ class _CodeGenerator:
                         self.allocs.core(core).alloc(
                             f"sout:{stage.name}",
                             self._nominal_tile_bytes(stage), 2))
-            # output ring on the home core
+            # output ring on the home core (cache stages have none: the
+            # buffer lives in global memory; consumers LOAD it back)
+            if stage.kind == "cache":
+                continue
             home = self.home[stage.name]
             self.out_regions[stage.name] = self.allocs.core(home).alloc(
                 f"out:{stage.name}", self._nominal_tile_bytes(stage),
@@ -391,7 +415,7 @@ class _CodeGenerator:
                 continue
             for edge_idx, edge in enumerate(stage.edges):
                 producer = self.stages[edge.producer]
-                if producer.kind == "input":
+                if producer.kind in ("input", "cache"):
                     continue  # global-memory LOADs need no flow
                 p_home = self.home[edge.producer]
                 for core in self.receivers[stage.name]:
@@ -487,6 +511,9 @@ class _CodeGenerator:
             self._emit_inputs(stage, tile)
             if stage.kind == "compute":
                 self._emit_compute(stage, tile)
+            elif stage.kind == "cache":
+                self._emit_cache(stage)
+                continue  # the buffer distributes via gmem, not flows
             else:
                 self._emit_aux(stage, tile)
             self._emit_distribution(stage, tile)
@@ -514,6 +541,9 @@ class _CodeGenerator:
                              for name, cores in self.shard_groups.items()},
             **self.placement.meta,
         }
+        if self.pipeline.extent is not None:
+            chip.meta["kv_extent"] = self.pipeline.extent
+            chip.meta["kv_capacity"] = self.pipeline.extent_capacity
         return chip
 
     def _new_input_tiles(self, stage: Stage, edge_idx: int, tile: int, *,
@@ -543,7 +573,7 @@ class _CodeGenerator:
             for edge_idx, edge in enumerate(stage.edges):
                 producer = self.stages[edge.producer]
                 p_home = self.home[edge.producer]
-                if producer.kind != "input" and p_home == core:
+                if producer.kind not in ("input", "cache") and p_home == core:
                     continue
                 region = self.in_regions[(stage.name, edge_idx, core)]
                 # Matches the flow declaration's base (LOAD edges have no
@@ -555,7 +585,7 @@ class _CodeGenerator:
                                                q_base=q_base):
                     nbytes = self._tile_bytes(producer, q)
                     addr = region.slot(q)
-                    if producer.kind == "input":
+                    if producer.kind in ("input", "cache"):
                         program.append(TransferInst(
                             op="LOAD", peer=0, addr=addr, bytes=nbytes,
                             flow=0, seq=q, layer=stage.name))
@@ -571,7 +601,7 @@ class _CodeGenerator:
         producer = self.stages[edge.producer]
         req = required_tile(stage, edge, producer, self.tile_pixels, tile)
         p_home = self.home[edge.producer]
-        if producer.kind != "input" and p_home == core:
+        if producer.kind not in ("input", "cache") and p_home == core:
             region = self.out_regions[edge.producer]
         else:
             region = self.in_regions[(stage.name, 0, core)]
@@ -685,7 +715,7 @@ class _CodeGenerator:
         edge = stage.edges[edge_idx]
         producer = self.stages[edge.producer]
         p_home = self.home[edge.producer]
-        if producer.kind != "input" and p_home == core:
+        if producer.kind not in ("input", "cache") and p_home == core:
             region = self.out_regions[edge.producer]
         else:
             region = self.in_regions[(stage.name, edge_idx, core)]
@@ -799,6 +829,24 @@ class _CodeGenerator:
             self._program(home).append(TransferInst(
                 op="RECV", peer=exec_core, addr=dst_lo, bytes=out_bytes,
                 flow=flow_id, seq=tile - t_lo, layer=stage.name))
+
+    def _emit_cache(self, stage: Stage) -> None:
+        """Append one token to a KV-cache buffer in global memory.
+
+        The cache stage is co-resident with its (single-token) producer, so
+        the append is one STORE of the fresh token from the producer's
+        output ring — extent-invariant by construction.  Consumers LOAD the
+        whole buffer back (:meth:`_emit_inputs`), which is where the decode
+        extent shows up as traffic; the simulator models the timing cost of
+        both halves through the global-memory port.
+        """
+        home = self.home[stage.name]
+        program = self._program(home)
+        src_lo, _src_hi = self._aux_input_range(stage, 0, home, 0)
+        token_bytes = stage.out_channels * self.act_bytes
+        program.append(TransferInst(
+            op="STORE", peer=0, addr=src_lo, bytes=token_bytes,
+            flow=0, seq=0, layer=stage.name))
 
     def _emit_distribution(self, stage: Stage, tile: int) -> None:
         home = self.home[stage.name]

@@ -13,7 +13,20 @@ list of :class:`Stage` objects:
   transpose) executed on the vector unit of their *home* core.  A
   ``matmul`` of two activations is *dynamic* — neither operand is a
   weight, so it cannot be mapped onto crossbars; the vector unit runs it
-  as a MAC stream (``VMATMUL``).
+  as a MAC stream (``VMATMUL``);
+* ``cache`` — a ``kv_cache`` append: the stage receives one projected
+  token and commits it to the layer's growing K/V buffer in global
+  memory; consumers read the whole buffer back like a network input.
+
+A pipeline with cache stages is *extent-parameterized*: the decode
+extent (``Pipeline.extent``, current cache length) scales the dynamic
+attention work while the program structure stays fixed.  Stages whose
+output grows with the extent carry a capacity-sized ``alloc_shape``
+(sized for ``Pipeline.extent_capacity``), so buffers, tile counts and
+flow message counts are extent-invariant and only *numeric* instruction
+fields (transfer bytes, vector lengths) vary — affinely — with the
+extent.  That invariance is what :mod:`repro.compiler.stepwise` builds
+step-reusable program templates on.
 
 Identity-at-inference ops are folded away: ``flatten`` / ``reshape``
 (pure relayouts), ``dropout`` (inference no-op) and ``batchnorm`` (folded
@@ -68,7 +81,7 @@ class Stage:
     """One schedulable unit of the lowered network."""
 
     name: str
-    kind: str                       # "input" | "compute" | "aux"
+    kind: str                       # "input" | "compute" | "aux" | "cache"
     op: str                         # anchor op ("conv", "fc", "add", ...)
     out_shape: tuple[int, ...]
     edges: list[StageEdge] = field(default_factory=list)
@@ -85,6 +98,10 @@ class Stage:
     #: compiler may split its token range across a shard group of cores
     #: (``compiler.attention_shards``); see ``graph.ops.is_token_shardable``.
     shardable: bool = False
+    #: capacity-sized shape the allocator provisions for (``None``: same
+    #: as ``out_shape``).  Set on extent-scaled stages of a decode
+    #: pipeline so local-memory layout does not shift with the extent.
+    alloc_shape: tuple[int, ...] | None = None
     topo_index: int = -1
 
     @property
@@ -96,6 +113,24 @@ class Stage:
         if len(self.out_shape) == 3:
             return self.out_shape[1] * self.out_shape[2]
         return 1
+
+    @property
+    def alloc_channels(self) -> int:
+        """Channel count the allocator provisions buffers for."""
+        return (self.alloc_shape or self.out_shape)[0]
+
+    @property
+    def alloc_pixels(self) -> int:
+        """Pixel count the allocator provisions buffers for."""
+        shape = self.alloc_shape or self.out_shape
+        if len(shape) == 3:
+            return shape[1] * shape[2]
+        return 1
+
+    @property
+    def extent_scaled(self) -> bool:
+        """Whether this stage's output grows with the decode extent."""
+        return self.alloc_shape is not None
 
     @property
     def out_elements(self) -> int:
@@ -121,6 +156,10 @@ class Pipeline:
 
     network: str
     stages: list[Stage]
+    #: decode extent (current KV-cache length) and the capacity buffers
+    #: are provisioned for; ``None`` for classic fixed-extent networks.
+    extent: int | None = None
+    extent_capacity: int | None = None
 
     def __post_init__(self) -> None:
         self._by_name = {s.name: s for s in self.stages}
@@ -324,6 +363,13 @@ def build_pipeline(graph: Graph, *, operator_fusion: bool = True) -> Pipeline:
             stage = Stage(node.name, "compute", node.op, node.output.shape,
                           edges=edges, weight=weight_shape(node),
                           attrs=dict(node.attrs))
+        elif node.op == "kv_cache":
+            # The append consumes the whole (one-token) projection; the
+            # buffer itself lives in global memory, read back whole by
+            # consumers like a network input.
+            stage = Stage(node.name, "cache", node.op, node.output.shape,
+                          edges=[StageEdge(producers[0], full_input=True)],
+                          attrs=dict(node.attrs))
         elif node.op in _AUX_OPS:
             stage = Stage(node.name, "aux", node.op, node.output.shape,
                           edges=edges, attrs=dict(node.attrs),
@@ -334,8 +380,96 @@ def build_pipeline(graph: Graph, *, operator_fusion: bool = True) -> Pipeline:
         stage_order.append(node.name)
 
     pipeline = Pipeline(graph.name, [stages[n] for n in stage_order])
+    _propagate_extent(pipeline)
     _check_pipeline(pipeline)
     return pipeline
+
+
+#: element-wise aux ops that carry a producer's extent scaling through
+#: unchanged (same shape in, same shape out).
+_EXTENT_TRANSPARENT_OPS = ("softmax", "layernorm", "gelu", "relu", "add",
+                           "lrn")
+
+
+def _propagate_extent(pipeline: Pipeline) -> None:
+    """Mark extent-scaled stages of a decode pipeline with their
+    capacity-sized allocation shapes.
+
+    Starting from the cache stages (output pixels = the extent), the
+    scaling flows through the ops that can carry a runtime-growable
+    tensor: a ``transpose_b`` matmul turns a token-scaled operand B into
+    channel-scaled scores, element-wise ops pass the scaling through,
+    and a plain matmul contracts it away (context vectors are fixed
+    size).  Anything else consuming a scaled tensor cannot keep the
+    program structure extent-invariant, so it is a compile error.
+    Scaled stages are never token-sharded: their single output token
+    gives shard groups nothing to split.
+    """
+    caches = [s for s in pipeline.stages if s.kind == "cache"]
+    if not caches:
+        return
+    extents = {(s.attrs["tokens"], s.attrs["max_tokens"]) for s in caches}
+    if len(extents) > 1:
+        raise CompileError(
+            f"kv_cache stages disagree on (tokens, max_tokens): "
+            f"{sorted(extents)}")
+    tokens, capacity = extents.pop()
+    pipeline.extent = tokens
+    pipeline.extent_capacity = capacity
+    for stage in caches:
+        stage.alloc_shape = (stage.out_channels, capacity, 1)
+    scaled = {s.name for s in caches}
+    for stage in pipeline.stages:
+        if stage.kind == "cache" or not any(e.producer in scaled
+                                            for e in stage.edges):
+            continue
+        if stage.op == "matmul":
+            a_edge, b_edge = stage.edges
+            a_scaled = a_edge.producer in scaled
+            b_scaled = b_edge.producer in scaled
+            if stage.attrs.get("transpose_b"):
+                if a_scaled or not b_scaled:
+                    raise CompileError(
+                        f"matmul {stage.name!r}: only operand B (keys) may "
+                        f"carry the decode extent under transpose_b")
+                # scores (heads*extent, n, 1): channels scale with extent.
+                if stage.out_channels % tokens:
+                    raise CompileError(
+                        f"matmul {stage.name!r}: output channels "
+                        f"{stage.out_channels} not divisible by the decode "
+                        f"extent {tokens}")
+                per_token = stage.out_channels // tokens
+                stage.alloc_shape = (per_token * capacity,
+                                     *stage.out_shape[1:])
+                stage.shardable = False
+                scaled.add(stage.name)
+            else:
+                if not (a_scaled and b_scaled):
+                    raise CompileError(
+                        f"matmul {stage.name!r}: a context product over the "
+                        f"decode extent needs both operands extent-scaled "
+                        f"(scores x values)")
+                # contraction over the extent: output is fixed size.
+                stage.shardable = False
+        elif stage.op in _EXTENT_TRANSPARENT_OPS:
+            producers = [pipeline.stage(e.producer) for e in stage.edges]
+            if not all(p.name in scaled for p in producers):
+                raise CompileError(
+                    f"stage {stage.name!r} ({stage.op}) mixes extent-scaled "
+                    f"and fixed operands")
+            shapes = {p.alloc_shape for p in producers}
+            if len(shapes) != 1 or producers[0].out_shape != stage.out_shape:
+                raise CompileError(
+                    f"stage {stage.name!r} ({stage.op}) cannot carry the "
+                    f"decode extent across differing shapes")
+            stage.alloc_shape = producers[0].alloc_shape
+            stage.shardable = False
+            scaled.add(stage.name)
+        else:
+            raise CompileError(
+                f"stage {stage.name!r} ({stage.op}) cannot consume the "
+                f"extent-scaled output of a decode pipeline; supported "
+                f"consumers: matmul and {_EXTENT_TRANSPARENT_OPS}")
 
 
 def _check_pipeline(pipeline: Pipeline) -> None:

@@ -81,13 +81,23 @@ def weight_tiling(stage: Stage, xbar_rows: int, xbar_cols: int,
 
 
 def n_tiles(stage: Stage, tile_pixels: int) -> int:
-    """Number of output tiles for a stage."""
+    """Number of output tiles for a stage.
+
+    A cache stage is always one tile: its pixel count is the *runtime*
+    decode extent, and a single tile covering the whole buffer keeps the
+    program structure (instruction and message counts) extent-invariant
+    — only the transfer byte counts scale with the extent.
+    """
+    if stage.kind == "cache":
+        return 1
     return max(1, math.ceil(stage.out_pixels / tile_pixels))
 
 
 def tile_pixel_range(stage: Stage, tile_pixels: int, tile: int) -> tuple[int, int]:
     """Half-open output-pixel range covered by one tile."""
     total = stage.out_pixels
+    if stage.kind == "cache":
+        tile_pixels = max(tile_pixels, total)  # single whole-buffer tile
     lo = tile * tile_pixels
     hi = min(total, lo + tile_pixels)
     if lo >= total:
@@ -218,7 +228,7 @@ def edge_skews(pipeline: Pipeline, tile_pixels: int) -> dict[tuple[str, int], in
     skews: dict[tuple[str, int], int] = {}
 
     for pname in producers_of_interest:
-        if stage_by_name[pname].kind == "input":
+        if stage_by_name[pname].kind in ("input", "cache"):
             continue  # global-memory LOADs are not windowed
         # need[X] = per-tile max P-tile transitively required by stage X.
         need: dict[str, list[int]] = {pname: list(range(

@@ -38,6 +38,32 @@ deterministic fault-injection harness that pins all of the above in
 tests) apply to pooled execution only; in-process runs (``workers<=1``)
 execute the spec directly and never evaluate faults.
 
+Decode & serving mix
+--------------------
+
+Autoregressive decode re-runs one network at a growing KV extent.  The
+engine compiles such a network (``kv_cache`` nodes; see
+:data:`repro.models.DECODE_MODELS`) **once** into an
+extent-parameterized :class:`~repro.compiler.StepTemplate` and replays
+it per step — steps 2..N do zero compiler work, pinned by the
+``template_hits`` / ``template_misses`` counters in
+:meth:`Engine.compile_stats`, and every resolved step is field-for-field
+identical to a from-scratch compile at that extent.  Three entry points:
+
+* ``JobSpec(..., decode_steps=N, kv_tokens=T)`` — :meth:`Engine.run`
+  aggregates the N steps into one report whose ``meta["decode"]``
+  carries the per-step cycle/latency series.
+* :meth:`Engine.decode_session` — a :class:`DecodeSession` cursor for
+  step-at-a-time driving (``session.step()`` / ``session.run(n)``).
+* :meth:`Engine.serve_mix` — a continuous-batching serving mix: decode
+  specs expand into per-step unit jobs, interleaved round-robin with
+  prefill requests over the warm pool, returning a
+  :class:`~repro.runner.results.MixReport` with p50/p99 per-step
+  latency and TPOT.
+
+CLI: ``pimsim decode gpt_tiny --steps 32`` and ``pimsim decode --mix
+specs.json``; see ``examples/decode_serving.py`` for the library idiom.
+
 Serving
 -------
 
@@ -65,10 +91,12 @@ from .pool import (
     PoolUnavailable,
     WorkerPool,
 )
+from .decode import DecodeSession
 from .core import Engine
 
 __all__ = [
     "Engine",
+    "DecodeSession",
     "JobSpec",
     "JobFailed",
     "JobPoisoned",

@@ -29,12 +29,20 @@ from threading import Lock
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..arch import run_program
-from ..compiler import CompilationResult, CompileCache, compile_network
+from ..compiler import (
+    CompilationResult,
+    CompileCache,
+    StepTemplate,
+    compile_network,
+    compile_step_template,
+    config_fingerprint,
+)
 from ..config import ArchConfig, paper_chip, validate
-from ..graph import Graph
+from ..graph import Graph, kv_extent, with_kv_extent
 from ..graph.serialize import graph_digest
 from ..models import build_model
-from ..runner.results import SimReport
+from ..runner.results import MixReport, SimReport
+from .decode import DecodeSession, aggregate_step_reports
 from .pool import (
     JobFailed,
     PoolUnavailable,
@@ -102,6 +110,11 @@ class Engine:
         #: :meth:`resolve_network`); insertion-ordered, FIFO-bounded.
         self._graph_memo: dict[str, Graph] = {}
         self._graph_memo_cap = 64
+        #: (extent-normalized graph digest, config fingerprint) ->
+        #: compiled decode template (see :meth:`step_template`).
+        self._template_cache: dict[tuple[str, str], StepTemplate] = {}
+        self._template_hits = 0
+        self._template_misses = 0
         self._pool: WorkerPool | None = None
         self._last_pool_width: int | None = None
         self._lock = Lock()
@@ -174,15 +187,89 @@ class Engine:
             return self._compile_cache.get_or_compile(graph, job_config)
         return compile_network(graph, job_config)
 
+    def step_template(self, network: str | Graph,
+                      config: ArchConfig | None = None, *,
+                      mapping: str | None = None, imagenet: bool = False,
+                      attention_shards: int | None = None) -> StepTemplate:
+        """The extent-parameterized decode template for a KV-cache network.
+
+        Compiled once per ``(network contents, compiler-visible
+        configuration)`` — the key normalizes the graph to extent 1, so
+        sessions starting at different KV depths share one template —
+        then served from the engine's template cache.  The
+        ``template_hits`` / ``template_misses`` counters in
+        :meth:`compile_stats` pin the compile-once property: a decode of
+        N steps moves them by exactly one miss, never N.
+        """
+        graph = self.resolve_network(network, imagenet=imagenet)
+        spec = JobSpec(network, config, mapping=mapping, imagenet=imagenet,
+                       attention_shards=attention_shards)
+        job_config = self._job_config(spec)
+        key = (graph_digest(with_kv_extent(graph, 1)),
+               config_fingerprint(job_config))
+        template = self._template_cache.get(key)
+        if template is not None:
+            self._template_hits += 1
+            return template
+        self._template_misses += 1
+        template = compile_step_template(graph, job_config)
+        self._template_cache[key] = template
+        return template
+
+    def decode_session(self, network: str | Graph,
+                       config: ArchConfig | None = None, *,
+                       kv_tokens: int | None = None,
+                       mapping: str | None = None,
+                       rob_size: int | None = None,
+                       imagenet: bool = False,
+                       attention_shards: int | None = None) -> DecodeSession:
+        """Open a :class:`~repro.engine.DecodeSession` on this engine."""
+        return DecodeSession(self, network, config, kv_tokens=kv_tokens,
+                             mapping=mapping, rob_size=rob_size,
+                             imagenet=imagenet,
+                             attention_shards=attention_shards)
+
+    def _run_decode(self, spec: JobSpec, graph: Graph,
+                    config: ArchConfig) -> SimReport:
+        """Decode-step driver behind :meth:`run` for decode specs."""
+        if spec.batch > 1:
+            raise ValueError("decode specs cannot also set batch > 1")
+        ext = kv_extent(graph)
+        if ext is None:
+            raise ValueError(
+                f"spec sets decode_steps but network {spec.network!r} "
+                "has no kv_cache nodes")
+        template = self.step_template(
+            graph, spec.config or self.config, mapping=spec.mapping,
+            imagenet=spec.imagenet, attention_shards=spec.attention_shards)
+        start = spec.kv_tokens if spec.kv_tokens is not None else ext[0]
+        reports = []
+        for i in range(spec.decode_steps):
+            chip = template.resolve(start + i)
+            raw = run_program(chip, config, max_cycles=spec.max_cycles)
+            reports.append(SimReport.from_raw(raw, config,
+                                              chip.total_instructions))
+        return aggregate_step_reports(reports, kv_tokens=start)
+
     def run(self, spec: JobSpec, *, compile_cache: bool = True) -> SimReport:
         """Execute one spec in-process and return its report.
 
         The report's metadata carries this engine's compile-cache counters
         (``compile_cache_hits`` / ``compile_cache_misses``) and the spec's
         ``tag`` (as ``sweep_tag``), exactly like the legacy surface.
+        Decode specs (``decode_steps`` set) run the compile-once decode
+        driver and return one aggregated report (``meta["decode"]``).
         """
         graph = self.resolve_network(spec.network, imagenet=spec.imagenet)
         config = self._job_config(spec)
+        if spec.decode_steps is not None:
+            report = self._run_decode(spec, graph, config)
+            if compile_cache:
+                report.meta["compile_cache_hits"] = self._compile_cache.hits
+                report.meta["compile_cache_misses"] = self._compile_cache.misses
+            if spec.tag is not None:
+                report.meta["sweep_tag"] = spec.tag
+            return report
         if compile_cache:
             compiled = self._compile_cache.get_or_compile(graph, config)
         else:
@@ -437,11 +524,97 @@ class Engine:
                 yield _one(future.result, index_of[future], done)
         return _stream()
 
+    def serve_mix(self, specs: Iterable[JobSpec], *,
+                  workers: int | None = None,
+                  errors: str = "raise") -> "MixReport":
+        """Continuous-batching serving mix: prefill and decode together.
+
+        Each decode spec (``decode_steps`` set) expands into one unit job
+        per step at its growing KV extent; prefill specs stay whole.  The
+        units are interleaved round-robin across requests — every
+        scheduling round advances each live request by one step, the
+        continuous-batching order — and dealt over the engine
+        (:meth:`map`: in-process under ``workers <= 1``, else the warm
+        worker pool).  Per-request outcomes fold back into one
+        aggregated report each; the returned
+        :class:`~repro.runner.results.MixReport` carries the per-step
+        latency samples and their p50/p99/TPOT distribution.
+        """
+        from dataclasses import replace as _replace
+        specs = list(specs)
+        units_per_request: list[list[JobSpec]] = []
+        is_decode: list[bool] = []
+        starts: list[int] = []
+        for spec in specs:
+            if spec.decode_steps is None:
+                units_per_request.append([spec])
+                is_decode.append(False)
+                starts.append(0)
+                continue
+            graph = self.resolve_network(spec.network,
+                                         imagenet=spec.imagenet)
+            ext = kv_extent(graph)
+            if ext is None:
+                raise ValueError(
+                    f"spec sets decode_steps but network {spec.network!r} "
+                    "has no kv_cache nodes")
+            start = spec.kv_tokens if spec.kv_tokens is not None else ext[0]
+            units_per_request.append([
+                _replace(spec, network=with_kv_extent(graph, start + i),
+                         decode_steps=None, kv_tokens=None)
+                for i in range(spec.decode_steps)])
+            is_decode.append(True)
+            starts.append(start)
+
+        # Round-robin over requests: the continuous-batching schedule.
+        schedule: list[tuple[int, int]] = []  # (request, unit index)
+        cursor = [0] * len(specs)
+        live = True
+        while live:
+            live = False
+            for r, units in enumerate(units_per_request):
+                if cursor[r] < len(units):
+                    schedule.append((r, cursor[r]))
+                    cursor[r] += 1
+                    live = True
+        flat = [units_per_request[r][u] for r, u in schedule]
+        outcomes = self.map(flat, workers=workers, errors=errors)
+
+        per_request: list[list[SimReport | JobFailed]] = [
+            [None] * len(units) for units in units_per_request]
+        for (r, u), outcome in zip(schedule, outcomes):
+            per_request[r][u] = outcome
+
+        reports: list[SimReport | JobFailed] = []
+        step_seconds: list[float] = []
+        prefill_seconds: list[float] = []
+        for r, outcomes_r in enumerate(per_request):
+            failed = next((o for o in outcomes_r
+                           if isinstance(o, JobFailed)), None)
+            if failed is not None:
+                reports.append(failed)
+                continue
+            if is_decode[r]:
+                step_seconds.extend(rep.seconds for rep in outcomes_r)
+                reports.append(aggregate_step_reports(
+                    list(outcomes_r), kv_tokens=starts[r]))
+            else:
+                prefill_seconds.append(outcomes_r[0].seconds)
+                reports.append(outcomes_r[0])
+        return MixReport(reports=reports, step_seconds=step_seconds,
+                         prefill_seconds=prefill_seconds)
+
     # -- introspection / lifecycle -------------------------------------------
 
     def compile_stats(self) -> dict:
-        """This engine's compile-cache counters (hits/misses/entries)."""
-        return self._compile_cache.stats()
+        """This engine's compile-cache counters (hits/misses/entries),
+        plus the decode-template counters (``template_hits`` /
+        ``template_misses`` / ``template_entries``)."""
+        stats = dict(self._compile_cache.stats())
+        stats["template_hits"] = self._template_hits
+        stats["template_misses"] = self._template_misses
+        stats["template_entries"] = len(self._template_cache)
+        return stats
 
     def pool_stats(self) -> dict:
         """The live pool's supervision telemetry (compile_stats' sibling).
@@ -472,10 +645,13 @@ class Engine:
         return pool.size if pool is not None else 0
 
     def clear_caches(self) -> None:
-        """Drop compiled programs and memoized zoo graphs."""
+        """Drop compiled programs, decode templates and memoized graphs."""
         self._compile_cache.clear()
         self._model_cache.clear()
         self._graph_memo.clear()
+        self._template_cache.clear()
+        self._template_hits = 0
+        self._template_misses = 0
 
     def terminate(self) -> None:
         """Abort the worker pool without draining; engine stays usable.

@@ -1,0 +1,154 @@
+"""Decode sessions: compile-once, step-many autoregressive serving.
+
+A :class:`DecodeSession` drives one autoregressive request over the
+engine: the network (which must contain ``kv_cache`` nodes) is compiled
+**once** into an extent-parameterized
+:class:`~repro.compiler.StepTemplate`, then every decode step resolves
+and simulates the program at its own KV extent — zero compiler work per
+step after the first (pinned by the engine's ``template_hits`` /
+``template_misses`` counters).
+
+:func:`aggregate_step_reports` folds per-step reports into one
+:class:`~repro.runner.results.SimReport` whose ``meta["decode"]`` block
+carries the per-step cycle counts and latencies —
+:meth:`Engine.serve_mix <repro.engine.Engine.serve_mix>` and the
+``pimsim decode`` CLI build their latency distributions from it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..arch import run_program
+from ..config import ArchConfig
+from ..graph import Graph, kv_extent
+from ..runner.results import SimReport
+from .spec import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .core import Engine
+
+__all__ = ["DecodeSession", "aggregate_step_reports"]
+
+
+def aggregate_step_reports(reports: list[SimReport], *,
+                           kv_tokens: int) -> SimReport:
+    """Fold per-step decode reports into one request-level report.
+
+    Cycles, energy, per-layer busy time, NoC traffic and instruction
+    counts sum over the steps; placement-shaped fields (cores, per-core
+    stats) come from the last step.  ``meta["decode"]`` records the step
+    count, the starting KV extent and the per-step cycle/second series
+    the serving-mix percentiles are computed from.
+    """
+    if not reports:
+        raise ValueError("no step reports to aggregate")
+    last = reports[-1]
+    energy: dict[str, float] = {}
+    layer_busy: dict[str, dict[str, int]] = {}
+    noc: dict[str, int] = {}
+    for rep in reports:
+        for key, value in rep.energy_pj.items():
+            energy[key] = energy.get(key, 0.0) + value
+        for layer, busy in rep.layer_busy.items():
+            units = layer_busy.setdefault(layer, {})
+            for unit, cycles in busy.items():
+                units[unit] = units.get(unit, 0) + cycles
+        for key, value in rep.noc.items():
+            if isinstance(value, (int, float)):
+                noc[key] = noc.get(key, 0) + value
+            else:  # non-additive diagnostics (hottest links): last step's
+                noc[key] = value
+    meta = dict(last.meta)
+    meta["decode"] = {
+        "steps": len(reports),
+        "kv_tokens": kv_tokens,
+        "step_cycles": [rep.cycles for rep in reports],
+        "step_seconds": [rep.seconds for rep in reports],
+    }
+    return SimReport(
+        network=last.network,
+        config_name=last.config_name,
+        mapping=last.mapping,
+        cycles=sum(rep.cycles for rep in reports),
+        seconds=sum(rep.seconds for rep in reports),
+        energy_pj=energy,
+        layer_busy=layer_busy,
+        per_core=last.per_core,
+        noc=noc,
+        instructions=sum(rep.instructions for rep in reports),
+        cores_used=last.cores_used,
+        meta=meta,
+        vector_layer_cycles=last.vector_layer_cycles,
+    )
+
+
+class DecodeSession:
+    """One autoregressive request: a warm template stepped over a
+    growing KV cache.
+
+        >>> with Engine(small_chip()) as engine:
+        ...     session = engine.decode_session("gpt_tiny")
+        ...     first = session.step()          # extent = built-in tokens
+        ...     more = session.run(31)          # 31 further steps, 1 report
+
+    The session owns only cursor state (the next step's extent and the
+    step history); the compiled template lives in — and is shared
+    through — the engine's template cache, so two sessions over the same
+    network and configuration compile nothing twice.
+    """
+
+    def __init__(self, engine: "Engine", network: str | Graph,
+                 config: ArchConfig | None = None, *,
+                 kv_tokens: int | None = None,
+                 mapping: str | None = None,
+                 rob_size: int | None = None,
+                 imagenet: bool = False,
+                 attention_shards: int | None = None) -> None:
+        self.engine = engine
+        self.graph = engine.resolve_network(network, imagenet=imagenet)
+        ext = kv_extent(self.graph)
+        if ext is None:
+            raise ValueError(
+                "DecodeSession needs a network with kv_cache nodes "
+                "(see repro.models.DECODE_MODELS)")
+        spec = JobSpec(network, config, mapping=mapping, rob_size=rob_size,
+                       imagenet=imagenet, attention_shards=attention_shards)
+        self.config = engine._job_config(spec)
+        self.template = engine.step_template(
+            self.graph, config, mapping=mapping, imagenet=imagenet,
+            attention_shards=attention_shards)
+        #: KV extent the *next* step runs at.
+        self.extent = kv_tokens if kv_tokens is not None else ext[0]
+        if not 1 <= self.extent <= self.template.capacity:
+            raise ValueError(
+                f"kv_tokens {self.extent} outside [1, "
+                f"{self.template.capacity}]")
+        self.steps_run = 0
+        #: per-step (extent, cycles) history.
+        self.history: list[tuple[int, int]] = []
+
+    @property
+    def remaining_capacity(self) -> int:
+        """Steps left before the KV cache is full."""
+        return self.template.capacity - self.extent + 1
+
+    def step(self) -> SimReport:
+        """Simulate one decode step at the current extent, then grow."""
+        chip = self.template.resolve(self.extent)
+        raw = run_program(chip, self.config)
+        report = SimReport.from_raw(raw, self.config,
+                                    chip.total_instructions)
+        report.meta["kv_extent"] = self.extent
+        self.history.append((self.extent, report.cycles))
+        self.extent += 1
+        self.steps_run += 1
+        return report
+
+    def run(self, steps: int) -> SimReport:
+        """Run ``steps`` decode steps; one aggregated report."""
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        start = self.extent
+        reports = [self.step() for _ in range(steps)]
+        return aggregate_step_reports(reports, kv_tokens=start)

@@ -58,6 +58,15 @@ class JobSpec:
     #: (:mod:`repro.engine.faults`); trips only inside pool workers,
     #: never in-process.
     faults: dict | None = None
+    #: autoregressive decode: run this many steps over a growing KV
+    #: cache (network must contain ``kv_cache`` nodes).  The program is
+    #: compiled once as an extent-parameterized template and replayed
+    #: per step; the report aggregates all steps and carries the
+    #: per-step cycle counts in ``meta["decode"]``.
+    decode_steps: int | None = None
+    #: KV extent (tokens in the cache) at the *first* decode step;
+    #: ``None``: the token count the network was built with.
+    kv_tokens: int | None = None
 
     # -- serialization -------------------------------------------------------
 

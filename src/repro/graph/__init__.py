@@ -5,6 +5,7 @@ from .execute import execute, random_weights
 from .ir import Graph, GraphError, Node, Tensor
 from .ops import (
     OPS,
+    STATEFUL_OPS,
     TOKEN_SHARDABLE_OPS,
     conv_out_hw,
     infer_shape,
@@ -13,7 +14,14 @@ from .ops import (
     is_weight_op,
     weight_shape,
 )
-from .serialize import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    kv_extent,
+    load_graph,
+    save_graph,
+    with_kv_extent,
+)
 
 __all__ = [
     "Graph",
@@ -30,9 +38,12 @@ __all__ = [
     "is_elementwise",
     "is_token_shardable",
     "TOKEN_SHARDABLE_OPS",
+    "STATEFUL_OPS",
     "conv_out_hw",
     "graph_to_dict",
     "graph_from_dict",
     "save_graph",
     "load_graph",
+    "kv_extent",
+    "with_kv_extent",
 ]

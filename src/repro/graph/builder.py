@@ -137,6 +137,22 @@ class GraphBuilder:
         return self.op("matmul", inputs=[a, b], name=name,
                        transpose_b=transpose_b, heads=heads, scale=scale)
 
+    def kv_cache(self, tokens: int, *, max_tokens: int | None = None,
+                 after: str | None = None, name: str | None = None) -> str:
+        """Append the current (one-token) projection to a growing K/V
+        buffer and expose the whole buffer ``(dim, tokens, 1)`` downstream.
+
+        ``tokens`` is the cache extent after this step's append;
+        ``max_tokens`` (default ``tokens``) is the capacity the compiler
+        provisions, so the same compiled program replays for any extent
+        up to it (see :func:`repro.graph.serialize.with_kv_extent`).
+        """
+        attrs = {"tokens": tokens}
+        if max_tokens is not None:
+            attrs["max_tokens"] = max_tokens
+        return self.op("kv_cache", inputs=[self._resolve(after)], name=name,
+                       **attrs)
+
     def concat(self, *branches: str, name: str | None = None) -> str:
         if len(branches) < 2:
             raise GraphError("concat() needs at least two branch names")

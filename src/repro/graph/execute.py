@@ -78,17 +78,31 @@ def _conv(node: Node, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
 
 def execute(graph: Graph, input_value: np.ndarray,
             weights: dict[str, np.ndarray] | None = None,
+            state: dict[str, np.ndarray] | None = None,
             ) -> dict[str, np.ndarray]:
     """Evaluate every node; returns ``{node_name: value}``.
 
     ``weights`` defaults to :func:`random_weights(graph)`.
+
+    ``state`` carries decode state across steps: for each ``kv_cache``
+    node it maps the node name to the cache contents *before* this step
+    (``(dim, tokens-1, 1)``; absent entries default to zeros) and is
+    updated in place with the post-append cache, so calling ``execute``
+    in a loop with the same dict — advancing the graph's extent each
+    step via :func:`~repro.graph.serialize.with_kv_extent` — is a
+    functional autoregressive decode.
     """
     if weights is None:
         weights = random_weights(graph)
+    if state is None:
+        state = {}
     values: dict[str, np.ndarray] = {}
     for node in graph.topological_order():
         inputs = [values[name] for name in node.inputs]
-        values[node.name] = _eval_node(node, inputs, weights, input_value)
+        if node.op == "kv_cache":
+            values[node.name] = _kv_cache(node, inputs[0], state)
+        else:
+            values[node.name] = _eval_node(node, inputs, weights, input_value)
         expected = node.output.shape
         if values[node.name].shape != expected:
             raise GraphError(
@@ -187,6 +201,24 @@ def _eval_node(node: Node, inputs: list[np.ndarray],
     if op == "reshape":
         return inputs[0].reshape(node.attr("shape"))
     raise GraphError(f"executor cannot evaluate op {op!r}")  # pragma: no cover
+
+
+def _kv_cache(node: Node, current: np.ndarray,
+              state: dict[str, np.ndarray]) -> np.ndarray:
+    """Append this step's token to the cache held in ``state``."""
+    tokens = node.attr("tokens")
+    past = state.get(node.name)
+    if past is None:
+        past = np.zeros((current.shape[0], tokens - 1, 1))
+    if past.shape != (current.shape[0], tokens - 1, 1):
+        raise GraphError(
+            f"node {node.name!r}: cache state shape {past.shape} does not "
+            f"match ({current.shape[0]}, {tokens - 1}, 1) at extent {tokens}"
+        )
+    cache = np.concatenate([past, current.reshape(current.shape[0], 1, 1)],
+                           axis=1)
+    state[node.name] = cache
+    return cache
 
 
 def _matmul(node: Node, a: np.ndarray, b: np.ndarray) -> np.ndarray:

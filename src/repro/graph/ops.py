@@ -16,6 +16,15 @@ Transformer / attention operators:
 ``matmul`` (two *activation* operands — dynamic, so it cannot live in
 crossbars), ``layernorm``, ``gelu``, ``transpose``, ``reshape``.
 
+Autoregressive decode:
+
+``kv_cache`` — append one projected key (or value) token to a growing
+per-layer buffer and present the whole buffer downstream.  The node's
+``tokens`` attr is the *current* extent (cache length after the append)
+and ``max_tokens`` the capacity the compiler provisions for, so a decode
+step is the same graph with ``tokens`` advanced — see
+:func:`repro.graph.serialize.with_kv_extent`.
+
 Token tensors reuse the channel-first convention: a ``(tokens, dim)``
 activation is carried as a ``(dim, tokens, 1)`` feature map, so per-token
 linear projections are 1x1 convolutions (crossbar-mapped like any conv)
@@ -37,9 +46,14 @@ __all__ = [
     "is_elementwise",
     "is_token_shardable",
     "TOKEN_SHARDABLE_OPS",
+    "STATEFUL_OPS",
     "OPS",
     "conv_out_hw",
 ]
+
+#: per-layer state buffers (today: ``kv_cache``) — ops whose output is a
+#: runtime-growable tensor sized by an extent attr, not by their input.
+STATEFUL_OPS = frozenset({"kv_cache"})
 
 #: dynamic vector-unit ops whose output tokens (pixels) are mutually
 #: independent, so the compiler may shard their token range across cores:
@@ -222,6 +236,31 @@ def _matmul_shape(node: Node, inputs: list[Tensor]) -> Tensor:
     return out
 
 
+def _kv_cache_shape(node: Node, inputs: list[Tensor]) -> Tensor:
+    """Growable key/value buffer for autoregressive decode.
+
+    Input is the *current* step's projected token ``(dim, 1, 1)``; output
+    is the whole cache after the append, ``(dim, tokens, 1)``.  ``tokens``
+    is the runtime extent of this step (number of cached tokens including
+    the one appended now); ``max_tokens`` is the capacity the compiler
+    sizes buffers for, so every extent ``1..max_tokens`` replays the same
+    program structure.
+    """
+    t = _one_input(node, inputs)
+    c, n = _tokens(node, t)
+    _require(n == 1, node,
+             f"kv_cache appends one token per step; input has {n} tokens")
+    tokens = node.attr("tokens")
+    _require(tokens is not None and tokens >= 1, node,
+             "requires positive 'tokens' (current cache extent)")
+    max_tokens = node.attr("max_tokens")
+    if max_tokens is None:
+        node.attrs["max_tokens"] = max_tokens = tokens
+    _require(max_tokens >= tokens, node,
+             f"tokens={tokens} exceeds max_tokens={max_tokens}")
+    return Tensor((c, tokens, 1))
+
+
 def _transpose_shape(node: Node, inputs: list[Tensor]) -> Tensor:
     """Swap the channel and token axes: (C, N, 1) -> (N, C, 1)."""
     c, n = _tokens(node, _one_input(node, inputs))
@@ -256,6 +295,7 @@ OPS: dict[str, Callable[[Node, list[Tensor]], Tensor]] = {
     "concat": _concat_shape,
     "flatten": _flatten_shape,
     "matmul": _matmul_shape,
+    "kv_cache": _kv_cache_shape,
     "layernorm": _same_shape,
     "gelu": _same_shape,
     "transpose": _transpose_shape,

@@ -13,7 +13,7 @@ from pathlib import Path
 from .ir import Graph, GraphError, Node
 
 __all__ = ["graph_to_dict", "graph_from_dict", "graph_digest",
-           "save_graph", "load_graph"]
+           "save_graph", "load_graph", "kv_extent", "with_kv_extent"]
 
 _FORMAT_VERSION = 1
 
@@ -64,6 +64,48 @@ def graph_digest(graph: Graph) -> str:
     """
     payload = json.dumps(graph_to_dict(graph), sort_keys=True, default=str)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def kv_extent(graph: Graph) -> tuple[int, int] | None:
+    """The decode extent ``(tokens, max_tokens)`` of a graph, or ``None``.
+
+    A decode-shaped graph carries one or more ``kv_cache`` nodes; all of
+    them must agree on their extent and capacity (the compiler enforces
+    the same invariant), so the graph has *one* well-defined extent.
+    """
+    extents = {(node.attr("tokens"), node.attr("max_tokens", node.attr("tokens")))
+               for node in graph.nodes.values() if node.op == "kv_cache"}
+    if not extents:
+        return None
+    if len(extents) > 1:
+        raise GraphError(
+            f"kv_cache nodes disagree on (tokens, max_tokens): {sorted(extents)}")
+    return extents.pop()
+
+
+def with_kv_extent(graph: Graph, tokens: int) -> Graph:
+    """The same decode graph with every ``kv_cache`` extent set to
+    ``tokens`` — the graph of step ``tokens`` of an autoregressive decode.
+
+    Rebuilds through the dict form (cheap at zoo scale), so the input
+    graph is untouched and the result is finalized with re-inferred
+    shapes.  Raises if the graph has no ``kv_cache`` node or ``tokens``
+    exceeds any node's capacity.
+    """
+    extent = kv_extent(graph)
+    if extent is None:
+        raise GraphError(f"graph {graph.name!r} has no kv_cache node")
+    _, max_tokens = extent
+    if not 1 <= tokens <= max_tokens:
+        raise GraphError(
+            f"kv extent {tokens} outside 1..max_tokens={max_tokens}")
+    data = graph_to_dict(graph)
+    for entry in data["nodes"]:
+        if entry["op"] == "kv_cache":
+            attrs = entry.setdefault("attrs", {})
+            attrs["tokens"] = tokens
+            attrs.setdefault("max_tokens", max_tokens)
+    return graph_from_dict(data)
 
 
 def save_graph(graph: Graph, path: str | Path) -> None:

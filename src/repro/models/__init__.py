@@ -2,12 +2,20 @@
 
 from .alexnet import alexnet
 from .attention import bert_tiny, encoder_block, vit_tiny
+from .decode import decode_block, gpt_tiny
 from .googlenet import googlenet
 from .resnet import resnet18
 from .small import lenet5, mlp
 from .squeezenet import squeezenet
 from .vgg import vgg8, vgg16
-from .zoo import ATTENTION_MODELS, FIG3_MODELS, FIG5_MODELS, MODELS, build_model
+from .zoo import (
+    ATTENTION_MODELS,
+    DECODE_MODELS,
+    FIG3_MODELS,
+    FIG5_MODELS,
+    MODELS,
+    build_model,
+)
 
 __all__ = [
     "alexnet",
@@ -20,10 +28,13 @@ __all__ = [
     "vgg16",
     "vit_tiny",
     "bert_tiny",
+    "gpt_tiny",
     "encoder_block",
+    "decode_block",
     "MODELS",
     "build_model",
     "FIG3_MODELS",
     "FIG5_MODELS",
     "ATTENTION_MODELS",
+    "DECODE_MODELS",
 ]

@@ -1,0 +1,82 @@
+"""Autoregressive decode networks: one transformer decode step.
+
+Where :mod:`repro.models.attention` models *prefill* (all tokens at
+once), these networks model the workload that dominates LLM serving: a
+single new token (``(dim, 1, 1)`` in the channel-first token layout)
+attending over a growing key/value buffer.  Each layer's K/V projection
+feeds a ``kv_cache`` node whose ``tokens`` attr is the cache extent of
+*this* step and whose ``max_tokens`` is the capacity the compiler
+provisions, so the graph of step ``t`` is the same graph with the extent
+advanced (:func:`repro.graph.serialize.with_kv_extent`) — the property
+the step-reusable compiled programs build on
+(:func:`repro.compiler.compile_step_template`).
+
+Per decode step the crossbar work (Q/K/V/proj/MLP projections of one
+token) is constant while the dynamic vector work (scores, softmax,
+context) grows linearly with the cache extent — exactly the asymmetry
+continuous-batching schedulers exploit.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+__all__ = ["decode_block", "gpt_tiny"]
+
+
+def decode_block(b: GraphBuilder, name: str, dim: int, heads: int,
+                 kv_tokens: int, max_kv_tokens: int, *,
+                 mlp_ratio: int = 4) -> str:
+    """Append one pre-LN decode block; returns its output node name.
+
+    Expects the builder's current node to be the step's ``(dim, 1, 1)``
+    hidden state.  Structure mirrors
+    :func:`repro.models.attention.encoder_block` with the K/V
+    projections routed through ``kv_cache`` buffers, so queries are
+    seq-1 while keys/values span the whole cache.
+    """
+    if dim % heads:
+        raise ValueError(f"{name}: dim={dim} not divisible by heads={heads}")
+    inp = b.current
+    ln1 = b.layernorm(after=inp, name=f"{name}_ln1")
+    q = b.conv(dim, kernel=1, after=ln1, name=f"{name}_q")
+    k = b.conv(dim, kernel=1, after=ln1, name=f"{name}_k")
+    v = b.conv(dim, kernel=1, after=ln1, name=f"{name}_v")
+    kc = b.kv_cache(kv_tokens, max_tokens=max_kv_tokens, after=k,
+                    name=f"{name}_kcache")
+    vc = b.kv_cache(kv_tokens, max_tokens=max_kv_tokens, after=v,
+                    name=f"{name}_vcache")
+    scores = b.matmul(q, kc, transpose_b=True, heads=heads,
+                      scale=(dim // heads) ** -0.5, name=f"{name}_scores")
+    attn = b.softmax(heads=heads, after=scores, name=f"{name}_attn")
+    ctx = b.matmul(attn, vc, heads=heads, name=f"{name}_ctx")
+    proj = b.conv(dim, kernel=1, after=ctx, name=f"{name}_proj")
+    res1 = b.add(proj, inp, name=f"{name}_res1")
+    b.layernorm(after=res1, name=f"{name}_ln2")
+    b.conv(dim * mlp_ratio, kernel=1, name=f"{name}_mlp1")
+    b.gelu(name=f"{name}_gelu")
+    mlp = b.conv(dim, kernel=1, name=f"{name}_mlp2")
+    return b.add(mlp, res1, name=f"{name}_res2")
+
+
+def gpt_tiny(num_classes: int = 10, *, dim: int = 32, depth: int = 2,
+             heads: int = 2, kv_tokens: int = 8,
+             max_kv_tokens: int = 64) -> Graph:
+    """A tiny GPT-class decoder modeling one autoregressive decode step.
+
+    The input is the current token's embedding ``(dim, 1, 1)``; the body
+    is a stack of pre-LN decode blocks attending over per-layer KV
+    caches of extent ``kv_tokens`` (capacity ``max_kv_tokens``); the
+    head projects the final hidden state to ``num_classes`` logits
+    (standing in for the vocabulary).
+    """
+    if not 1 <= kv_tokens <= max_kv_tokens:
+        raise ValueError(f"kv_tokens={kv_tokens} outside "
+                         f"1..max_kv_tokens={max_kv_tokens}")
+    b = GraphBuilder("gpt_tiny", (dim, 1, 1))
+    for i in range(depth):
+        decode_block(b, f"blk{i}", dim, heads, kv_tokens, max_kv_tokens)
+    b.layernorm(name="final_ln")
+    b.flatten(name="flat")
+    b.fc(num_classes, name="head")
+    return b.build()

@@ -12,6 +12,7 @@ from typing import Callable
 from ..graph import Graph
 from .alexnet import alexnet
 from .attention import bert_tiny, vit_tiny
+from .decode import gpt_tiny
 from .googlenet import googlenet
 from .resnet import resnet18
 from .small import lenet5, mlp
@@ -19,7 +20,7 @@ from .squeezenet import squeezenet
 from .vgg import vgg16, vgg8
 
 __all__ = ["MODELS", "build_model", "FIG3_MODELS", "FIG5_MODELS",
-           "ATTENTION_MODELS"]
+           "ATTENTION_MODELS", "DECODE_MODELS"]
 
 MODELS: dict[str, Callable[..., Graph]] = {
     "alexnet": alexnet,
@@ -32,6 +33,7 @@ MODELS: dict[str, Callable[..., Graph]] = {
     "vgg16": vgg16,
     "vit_tiny": vit_tiny,
     "bert_tiny": bert_tiny,
+    "gpt_tiny": gpt_tiny,
 }
 
 #: the four networks of Fig. 3 / Fig. 4.
@@ -40,9 +42,11 @@ FIG3_MODELS = ("alexnet", "googlenet", "resnet18", "squeezenet")
 FIG5_MODELS = ("vgg8", "vgg16", "resnet18")
 #: the attention / transformer scenario (not part of the paper's figures).
 ATTENTION_MODELS = ("vit_tiny", "bert_tiny")
+#: the autoregressive decode scenario: seq-1 steps over a growing KV cache.
+DECODE_MODELS = ("gpt_tiny",)
 
 #: zoo entries that do not take an image input_shape.
-_NON_IMAGE = ("mlp", "lenet5", "bert_tiny")
+_NON_IMAGE = ("mlp", "lenet5", "bert_tiny", "gpt_tiny")
 
 
 def build_model(name: str, *, imagenet: bool = False,

@@ -1,7 +1,7 @@
 """Top-level runner: simulate(), sweeps, reports, CLI."""
 
 from .api import compile_model, resolve_network, simulate
-from .results import SimReport
+from .results import MixReport, SimReport
 from .sweep import (
     BaselineComparison,
     MappingComparison,
@@ -19,6 +19,7 @@ __all__ = [
     "compile_model",
     "resolve_network",
     "SimReport",
+    "MixReport",
     "SweepJob",
     "run_sweep",
     "sweep",

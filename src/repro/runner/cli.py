@@ -11,6 +11,8 @@ experiments::
     pimsim batch jobs.json --workers 4         # spec file -> JSONL reports
     pimsim batch jobs.json --workers 4 --output run.jsonl --resume
     pimsim serve --store jobs.store.jsonl      # durable HTTP job service
+    pimsim decode --model gpt_tiny --steps 32  # compile-once decode
+    pimsim decode --mix mix.json --workers 4   # continuous-batching mix
     pimsim models
 """
 
@@ -23,10 +25,10 @@ import sys
 import threading
 from pathlib import Path
 
-from ..analysis import ascii_bars, comm_ratios
+from ..analysis import ascii_bars, comm_ratios, step_latency_stats
 from ..config import PRESETS, ArchConfig, get_preset
-from ..engine import Engine, JobFailed, PoolUnavailable, load_specs
-from ..models import MODELS
+from ..engine import Engine, JobFailed, JobSpec, PoolUnavailable, load_specs
+from ..models import DECODE_MODELS, MODELS
 from .api import compile_model, simulate
 from .sweep import compare_mappings, compare_with_baseline, sweep_rob
 
@@ -170,6 +172,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on SIGTERM/SIGINT, seconds to let running "
                             "jobs finish before aborting them back to "
                             "the queue (default 30)")
+
+    decode = sub.add_parser(
+        "decode",
+        help="autoregressive decode: compile-once KV-cache stepping, or a "
+             "continuous-batching serving mix (--mix)")
+    decode.add_argument("--model", default=None,
+                        help="decode network "
+                             f"({', '.join(sorted(DECODE_MODELS))})")
+    decode.add_argument("--steps", type=int, default=32, metavar="N",
+                        help="decode steps to run (default 32)")
+    decode.add_argument("--kv-tokens", type=int, default=None, metavar="T",
+                        help="KV extent at the first step (default: the "
+                             "token count the model was built with)")
+    decode.add_argument("--mix", default=None, metavar="SPECFILE",
+                        help="serving mix instead of a single request: "
+                             "JSON job specs (decode requests set "
+                             "decode_steps/kv_tokens; others are prefill)")
+    decode.add_argument("--workers", type=int, default=1,
+                        help="worker processes for --mix (default: serial)")
+    decode.add_argument("--preset", default="paper",
+                        help="architecture preset "
+                             f"({', '.join(sorted(PRESETS))})")
+    decode.add_argument("--config", default=None,
+                        help="architecture configuration JSON file "
+                             "(overrides --preset)")
+    decode.add_argument("--json", default=None, metavar="PATH",
+                        help="write the report JSON here")
 
     sub.add_parser("models", help="list zoo networks")
     sub.add_parser("presets", help="list architecture presets")
@@ -466,6 +495,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return SERVE_EXIT_DRAIN_EXPIRED
 
 
+def _cmd_decode(args: argparse.Namespace) -> int:
+    if bool(args.mix) == bool(args.model):
+        print("pimsim decode: pass exactly one of --model or --mix",
+              file=sys.stderr)
+        return 2
+    config = _load_config(args)
+    with Engine(config) as engine:
+        if args.mix:
+            mix = engine.serve_mix(load_specs(args.mix),
+                                   workers=args.workers)
+            print(mix.summary())
+            if args.json:
+                Path(args.json).write_text(mix.to_json())
+                print(f"mix report written to {args.json}")
+            return 0
+        report = engine.run(JobSpec(args.model, decode_steps=args.steps,
+                                    kv_tokens=args.kv_tokens))
+        print(report.summary())
+        stats = step_latency_stats(report)
+        print(f"  decode  : {stats['steps']} steps, per-step "
+              f"p50={stats['p50_step_ms']:.4f} ms "
+              f"p99={stats['p99_step_ms']:.4f} ms "
+              f"tpot={stats['tpot_ms']:.4f} ms")
+        misses = engine.compile_stats()["template_misses"]
+        print(f"  compile : {misses} template compile(s); "
+              "steps 2..N replay the warm template")
+        if args.json:
+            report.save(args.json)
+            print(f"report written to {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "models":
@@ -484,6 +545,7 @@ def main(argv: list[str] | None = None) -> int:
         "mnsim": _cmd_mnsim,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "decode": _cmd_decode,
     }[args.command]
     return handler(args)
 

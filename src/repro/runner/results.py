@@ -9,7 +9,23 @@ from pathlib import Path
 from ..arch import RawResult
 from ..config import ArchConfig
 
-__all__ = ["SimReport"]
+__all__ = ["SimReport", "MixReport", "nearest_rank"]
+
+
+def nearest_rank(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 on no samples.
+
+    The classic ceil(q/100 * n)-th order statistic — every reported
+    percentile is a latency that actually occurred, which is the right
+    convention for the small step counts a serving mix produces.
+    """
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
 
 
 @dataclass
@@ -146,3 +162,83 @@ class SimReport:
             meta=raw.meta,
             vector_layer_cycles=raw.vector_layer_cycles,
         )
+
+
+@dataclass
+class MixReport:
+    """Outcome of a continuous-batching serving mix
+    (:meth:`Engine.serve_mix <repro.engine.Engine.serve_mix>`).
+
+    One entry per request in ``reports`` (a :class:`SimReport`, or a
+    captured failure under ``errors="capture"``), plus the flat per-step
+    decode latency samples the serving percentiles are computed from.
+    """
+
+    #: per-request outcome, in request order (decode requests aggregated).
+    reports: list
+    #: every decode step's latency in seconds, grouped by request.
+    step_seconds: list[float] = field(default_factory=list)
+    #: every prefill request's latency in seconds.
+    prefill_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.reports)
+
+    @property
+    def total_steps(self) -> int:
+        return len(self.step_seconds)
+
+    def step_percentile_ms(self, q: float) -> float:
+        """Nearest-rank percentile of per-step decode latency, in ms."""
+        return nearest_rank(self.step_seconds, q) * 1e3
+
+    @property
+    def p50_step_ms(self) -> float:
+        return self.step_percentile_ms(50)
+
+    @property
+    def p99_step_ms(self) -> float:
+        return self.step_percentile_ms(99)
+
+    @property
+    def tpot_ms(self) -> float:
+        """Mean time-per-output-token across all decode steps, in ms."""
+        if not self.step_seconds:
+            return 0.0
+        return sum(self.step_seconds) / len(self.step_seconds) * 1e3
+
+    def to_dict(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "total_steps": self.total_steps,
+            "p50_step_ms": self.p50_step_ms,
+            "p99_step_ms": self.p99_step_ms,
+            "tpot_ms": self.tpot_ms,
+            "prefill_seconds": self.prefill_seconds,
+            "step_seconds": self.step_seconds,
+            "reports": [rep.to_dict() if isinstance(rep, SimReport)
+                        else {"failed": str(rep)} for rep in self.reports],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """Human-readable serving-mix block (requests, p50/p99, TPOT)."""
+        ok = sum(1 for rep in self.reports if isinstance(rep, SimReport))
+        lines = [
+            f"serving mix: {self.n_requests} requests "
+            f"({ok} ok, {self.n_requests - ok} failed), "
+            f"{len(self.prefill_seconds)} prefill, "
+            f"{self.total_steps} decode steps",
+        ]
+        if self.step_seconds:
+            lines.append(
+                f"  per-step latency: p50={self.p50_step_ms:.4f} ms "
+                f"p99={self.p99_step_ms:.4f} ms tpot={self.tpot_ms:.4f} ms")
+        if self.prefill_seconds:
+            mean_prefill = (sum(self.prefill_seconds)
+                            / len(self.prefill_seconds) * 1e3)
+            lines.append(f"  prefill latency : mean={mean_prefill:.4f} ms")
+        return "\n".join(lines)

@@ -91,6 +91,32 @@ class TestSubcommands:
                      "--shards", "1"]) == 0
         capsys.readouterr()
 
+    def test_decode_single_request(self, tmp_path, capsys):
+        path = tmp_path / "decode.json"
+        assert main(["decode", "--model", "gpt_tiny", "--preset", "tiny",
+                     "--steps", "4", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 steps" in out
+        assert "p50=" in out and "p99=" in out
+        assert "1 template compile(s)" in out
+        data = json.loads(path.read_text())
+        assert len(data["meta"]["decode"]["step_cycles"]) == 4
+
+    def test_decode_mix_from_spec_file(self, tmp_path, capsys):
+        specs = [JobSpec("gpt_tiny", decode_steps=3), JobSpec("mlp")]
+        save_specs(specs, tmp_path / "mix.json")
+        assert main(["decode", "--mix", str(tmp_path / "mix.json"),
+                     "--preset", "tiny", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 requests" in out
+        assert "3 decode steps" in out
+        assert "p50=" in out and "p99=" in out
+
+    def test_decode_requires_model_xor_mix(self, capsys):
+        assert main(["decode", "--preset", "tiny"]) == 2
+        err = capsys.readouterr().err
+        assert "exactly one of --model or --mix" in err
+
 
 class TestBatch:
     """``pimsim batch``: spec file in, one JSON report per line out."""

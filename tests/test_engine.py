@@ -113,7 +113,9 @@ class TestEngineIsolation:
     def test_clear_caches(self, engine):
         engine.simulate("mlp")
         engine.clear_caches()
-        assert engine.compile_stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert engine.compile_stats() == {
+            "hits": 0, "misses": 0, "entries": 0,
+            "template_hits": 0, "template_misses": 0, "template_entries": 0}
 
 
 class TestEngineMap:

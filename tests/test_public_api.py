@@ -35,6 +35,7 @@ ROOT_ALL = [
 ]
 
 ENGINE_ALL = [
+    "DecodeSession",
     "Engine",
     "JobFailed",
     "JobPoisoned",
@@ -51,6 +52,7 @@ ENGINE_ALL = [
 RUNNER_ALL = [
     "BaselineComparison",
     "MappingComparison",
+    "MixReport",
     "RobSweep",
     "SimReport",
     "SweepJob",
@@ -86,14 +88,35 @@ ENGINE_METHODS = [
     "close",
     "compile",
     "compile_stats",
+    "decode_session",
     "map",
     "pool_size",
     "pool_stats",
     "resolve_network",
     "run",
+    "serve_mix",
     "simulate",
+    "step_template",
     "submit",
     "terminate",
+]
+
+#: every JobSpec field, in declaration order — the JSON schema of
+#: ``pimsim batch`` / ``pimsim serve`` job files.
+JOBSPEC_FIELDS = [
+    "network",
+    "config",
+    "mapping",
+    "rob_size",
+    "imagenet",
+    "batch",
+    "max_cycles",
+    "tag",
+    "attention_shards",
+    "timeout",
+    "faults",
+    "decode_steps",
+    "kv_tokens",
 ]
 
 #: every pool-telemetry key ``Engine.pool_stats()`` reports, pooled or
@@ -157,3 +180,8 @@ def test_pool_stats_keys_pinned():
 
 def test_sweepjob_is_a_jobspec():
     assert issubclass(repro.SweepJob, repro.JobSpec)
+
+
+def test_jobspec_fields_pinned():
+    from dataclasses import fields
+    assert [f.name for f in fields(repro.JobSpec)] == JOBSPEC_FIELDS

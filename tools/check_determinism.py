@@ -33,16 +33,25 @@ def _sharded(config, shards: int):
         config.compiler, attention_shards=shards))
 
 
-#: name -> (network, config) simulation points.
+#: name -> (network, config[, decode steps]) simulation points.
 POINTS = {
     "vgg8": lambda: ("vgg8", small_chip()),
     "vit_tiny": lambda: ("vit_tiny", small_chip()),
     "vit_tiny_sharded4": lambda: ("vit_tiny", _sharded(small_chip(), 4)),
+    # the extent-parameterized decode path (template resolve + replay)
+    "gpt_tiny_decode8": lambda: ("gpt_tiny", small_chip(), 8),
 }
 
 
-def report_json(network, config, *, compile_cache: bool) -> str:
-    report = simulate(network, config, compile_cache=compile_cache)
+def report_json(network, config, *, compile_cache: bool,
+                decode_steps: int | None = None) -> str:
+    if decode_steps:
+        from repro.engine import Engine, JobSpec  # noqa: E402
+        with Engine(config) as engine:
+            report = engine.run(JobSpec(network, decode_steps=decode_steps),
+                                compile_cache=compile_cache)
+    else:
+        report = simulate(network, config, compile_cache=compile_cache)
     data = json.loads(report.to_json())
     # cache counters legitimately differ between runs
     for key in ("compile_cache_hits", "compile_cache_misses"):
@@ -55,12 +64,17 @@ def main(argv: list[str]) -> int:
     failures = []
     for name in names:
         try:
-            network, config = POINTS[name]()
+            point = POINTS[name]()
         except KeyError:
             raise SystemExit(f"unknown point {name!r}; known: {sorted(POINTS)}")
-        first = report_json(network, config, compile_cache=True)
-        second = report_json(network, config, compile_cache=True)
-        fresh = report_json(network, config, compile_cache=False)
+        network, config = point[0], point[1]
+        steps = point[2] if len(point) > 2 else None
+        first = report_json(network, config, compile_cache=True,
+                            decode_steps=steps)
+        second = report_json(network, config, compile_cache=True,
+                             decode_steps=steps)
+        fresh = report_json(network, config, compile_cache=False,
+                            decode_steps=steps)
         if first == second == fresh:
             print(f"ok   {name}: {len(first)}-byte report stable "
                   f"(cached rerun + fresh compile)")
