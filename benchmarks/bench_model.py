@@ -197,3 +197,40 @@ def test_model_simulate_only_gpt_tiny_decode(benchmark):
                                 rounds=9, iterations=1, warmup_rounds=1)
     assert result.cycles > 0
     assert chip.meta["kv_extent"] == 32
+
+
+def test_model_simulate_only_vgg8_fast(benchmark):
+    """Fast-fidelity trajectory metric (ISSUE 9): the vgg8/small
+    simulate-only phase under the batched analytic executor — the same
+    program as ``test_model_simulate_only_vgg8``, so the pair measures
+    the fidelity="fast" speedup on the acceptance point.  Tagged via
+    ``extra_info`` so the BENCH record and its --check gate never compare
+    it against a cycle-mode baseline."""
+    benchmark.extra_info["fidelity"] = "fast"
+    config = small_chip()
+    fast = config.with_fidelity("fast")
+    compiled = compile_model("vgg8", config)
+    cycles = run_program(compiled.program, config).cycles
+    result = benchmark.pedantic(run_program, args=(compiled.program, fast),
+                                rounds=9, iterations=1, warmup_rounds=1)
+    assert result.cycles > 0
+    assert abs(result.cycles - cycles) <= 0.02 * cycles
+
+
+def test_model_simulate_only_gpt_tiny_decode_fast(benchmark):
+    """Fast-fidelity decode-step trajectory metric (ISSUE 9): the
+    gpt_tiny step replay under the analytic executor — the per-step cost
+    a serving loop pays when it opts into fidelity="fast"."""
+    from repro.compiler import compile_step_template
+    from repro.models import build_model
+
+    benchmark.extra_info["fidelity"] = "fast"
+    config = small_chip()
+    fast = config.with_fidelity("fast")
+    template = compile_step_template(build_model("gpt_tiny"), config)
+    chip = template.resolve(32)
+    cycles = run_program(chip, config).cycles
+    result = benchmark.pedantic(run_program, args=(chip, fast),
+                                rounds=9, iterations=1, warmup_rounds=1)
+    assert result.cycles > 0
+    assert abs(result.cycles - cycles) <= 0.02 * cycles

@@ -46,9 +46,13 @@ Output-record fields::
                            the simulate-only trajectory metrics
                            ``test_model_simulate_only_vgg8``, the
                            attention-heavy
-                           ``test_model_simulate_only_vit_tiny`` and the
+                           ``test_model_simulate_only_vit_tiny``, the
                            decode-step replay
-                           ``test_model_simulate_only_gpt_tiny_decode``)
+                           ``test_model_simulate_only_gpt_tiny_decode``,
+                           and their fast-fidelity twins
+                           ``*_vgg8_fast`` / ``*_gpt_tiny_decode_fast``;
+                           every entry carries a ``fidelity`` tag and
+                           --check only compares same-fidelity pairs)
     baseline              the baseline's benchmarks (with --baseline)
     speedup_vs_baseline   {test name: baseline mean / new mean}
 """
@@ -83,6 +87,10 @@ def _simplify(pytest_benchmark_data: dict) -> dict:
             "stddev_s": stats["stddev"],
             "rounds": stats["rounds"],
             "ops_per_sec": stats["ops"],
+            # Execution mode the numbers were taken under (benchmarks tag
+            # non-default modes via ``benchmark.extra_info``); the --check
+            # gate only ever compares same-fidelity entries.
+            "fidelity": bench.get("extra_info", {}).get("fidelity", "cycle"),
         }
     return out
 
@@ -118,12 +126,18 @@ def check_regressions(benchmarks: dict, baseline: dict,
     the baseline (only benchmarks present in both are gated).
 
     Compares min times when both records carry them (robust to host
-    noise on shared CPUs), falling back to means otherwise.
+    noise on shared CPUs), falling back to means otherwise.  Entries
+    whose execution fidelity changed since the baseline are skipped —
+    comparing a fast-mode time against a cycle-mode baseline (or vice
+    versa) would gate on the mode switch, not on a code regression.
+    Baselines predating the fidelity tag count as ``"cycle"``.
     """
     failures = []
     for name, entry in benchmarks.items():
         base = baseline.get(name)
         if not base:
+            continue
+        if entry.get("fidelity", "cycle") != base.get("fidelity", "cycle"):
             continue
         if entry.get("min_s") and base.get("min_s"):
             new, old = entry["min_s"], base["min_s"]

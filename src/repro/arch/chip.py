@@ -69,11 +69,16 @@ class ChipModel:
         self.trace: list[tuple[int, int, str, str]] | None = (
             [] if config.sim.trace else None)
         self._trace_limit = 200_000
-        self.cores: dict[int, CoreModel] = {
-            core_id: CoreModel(self, core_program)
+        self.cores = {
+            core_id: self._make_core(core_program)
             for core_id, core_program in sorted(program.programs.items())
         }
         self._finished = False
+
+    def _make_core(self, program):
+        """Core-model factory; the fast-fidelity chip overrides this to
+        substitute analytic walker cores where they apply."""
+        return CoreModel(self, program)
 
     # -- hooks used by units ---------------------------------------------------
 
@@ -168,5 +173,15 @@ class ChipModel:
 
 def run_program(program: ChipProgram, config: ArchConfig, *,
                 max_cycles: int | None = None) -> RawResult:
-    """Simulate a compiled chip program to completion."""
+    """Simulate a compiled chip program to completion.
+
+    ``config.sim.fidelity`` selects the execution mode: ``"cycle"``
+    (default) is the bit-exact event-driven model; ``"fast"`` dispatches
+    to the batched analytic executor (:mod:`repro.arch.fast`,
+    ROADMAP 3a), which is bounded-error on cycles (gated at 2% by
+    ``tools/check_fidelity.py``) but substantially faster.
+    """
+    if config.sim.fidelity == "fast":
+        from .fast import FastChipModel
+        return FastChipModel(program, config).run(max_cycles=max_cycles)
     return ChipModel(program, config).run(max_cycles=max_cycles)

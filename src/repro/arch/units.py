@@ -41,7 +41,54 @@ from .rob import RobEntry
 if TYPE_CHECKING:  # pragma: no cover
     from .core import CoreModel
 
-__all__ = ["MatrixUnit", "VectorUnit", "TransferUnit", "ScalarUnit"]
+__all__ = ["MatrixUnit", "VectorUnit", "TransferUnit", "ScalarUnit",
+           "unit_latency", "run_latency"]
+
+
+def unit_latency(inst, config, groups) -> int:
+    """Pure issue-to-completion latency of one instruction on its unit.
+
+    The closed-form twin of the unit loops below (kept in one place so
+    the fast-fidelity walker, the compiler's per-run metadata and tests
+    agree on the arithmetic).  For transfers this covers only the
+    deterministic local-memory drain/fill cycles — flow-window, mesh and
+    global-memory time is decided by the event kernel at run time.
+    ``groups`` is the core's group table dict (``GroupTable.groups``);
+    only MVMs consult it.
+    """
+    core = config.core
+    read_bw = core.local_memory_read_bytes_per_cycle
+    write_bw = core.local_memory_write_bytes_per_cycle
+    unit = inst.unit
+    if unit == "matrix":
+        count = inst.count
+        in_bytes = count * groups[inst.group].rows * config.compiler.activation_bytes
+        stream = -(-in_bytes // read_bw) + -(-inst.dst_bytes // write_bw)
+        return max(count * config.crossbar.mvm_cycles(), stream)
+    if unit == "vector":
+        length = inst.length
+        if inst.n_sources == 2:
+            read_bytes = inst.src_bytes + (inst.src2_bytes or inst.src_bytes)
+        else:
+            read_bytes = inst.src_bytes
+        if inst.op in VECTOR_SPECIAL_OPS:
+            alu = -(-length * core.vector_special_cycles_per_element
+                    // core.vector_lanes)
+        else:  # plain element-wise ops and VMATMUL both retire lanes/cycle
+            alu = -(-length // core.vector_lanes)
+        stream = max(-(-read_bytes // read_bw), -(-inst.dst_bytes // write_bw))
+        return core.vector_issue_cycles + max(alu, stream)
+    if unit == "transfer":
+        if inst.op in ("SEND", "STORE"):
+            return math.ceil(inst.bytes / read_bw)
+        return math.ceil(inst.bytes / write_bw)  # RECV / LOAD fill
+    return max(1, core.scalar_cycles)  # scalar
+
+
+def run_latency(instructions, config, groups) -> int:
+    """Summed :func:`unit_latency` over one straight-line run — the
+    serialized lower bound the compiler records per run segment."""
+    return sum(unit_latency(inst, config, groups) for inst in instructions)
 
 
 class _UnitBase:

@@ -10,6 +10,7 @@ from .presets import (
     tiny_chip,
 )
 from .schema import (
+    FIDELITIES,
     ArchConfig,
     ChipConfig,
     CompilerConfig,
@@ -32,6 +33,7 @@ __all__ = [
     "CompilerConfig",
     "SimSettings",
     "ConfigError",
+    "FIDELITIES",
     "validate",
     "paper_chip",
     "small_chip",

@@ -29,6 +29,7 @@ __all__ = [
     "SimSettings",
     "ArchConfig",
     "ConfigError",
+    "FIDELITIES",
 ]
 
 
@@ -186,6 +187,12 @@ class CompilerConfig:
     attention_shards: int = 1
 
 
+#: Valid execution fidelities: ``"cycle"`` is the bit-exact event-driven
+#: simulator; ``"fast"`` batch-executes straight-line instruction runs
+#: analytically (bounded-error, validated by ``tools/check_fidelity.py``).
+FIDELITIES = ("cycle", "fast")
+
+
 @dataclass
 class SimSettings:
     """Simulator settings block of the configuration file."""
@@ -194,6 +201,12 @@ class SimSettings:
     max_cycles: int | None = None
     collect_unit_stats: bool = True
     trace: bool = False
+    #: execution fidelity: one of :data:`FIDELITIES`.  ``"cycle"`` (the
+    #: default) is the cycle-accurate event simulator; ``"fast"`` is the
+    #: batched analytic executor (ROADMAP 3a) — same programs, same
+    #: energy accounting, cycle counts within the check_fidelity gate's
+    #: bound instead of bit-exact.
+    fidelity: str = "cycle"
 
     @property
     def cycle_seconds(self) -> float:
@@ -262,6 +275,10 @@ class ArchConfig:
         """Copy with only the attention shard count changed (PR 4 knob)."""
         return self.replaced(compiler=dataclasses.replace(
             self.compiler, attention_shards=attention_shards))
+
+    def with_fidelity(self, fidelity: str) -> "ArchConfig":
+        """Copy with only the execution fidelity changed (ROADMAP 3a knob)."""
+        return self.replaced(sim=dataclasses.replace(self.sim, fidelity=fidelity))
 
 
 def _from_dict(cls: type, data: Any, context: str) -> Any:

@@ -7,7 +7,7 @@ loudly before any compilation or simulation starts.
 
 from __future__ import annotations
 
-from .schema import ArchConfig, ConfigError
+from .schema import FIDELITIES, ArchConfig, ConfigError
 
 __all__ = ["validate"]
 
@@ -110,6 +110,10 @@ def validate(config: ArchConfig) -> ArchConfig:
     _positive(errors, "sim", frequency_mhz=sim.frequency_mhz)
     if sim.max_cycles is not None and sim.max_cycles <= 0:
         errors.append(f"sim.max_cycles must be positive when set, got {sim.max_cycles}")
+    if sim.fidelity not in FIDELITIES:
+        errors.append(
+            f"sim.fidelity must be one of {FIDELITIES}, got {sim.fidelity!r}"
+        )
 
     if errors:
         raise ConfigError(

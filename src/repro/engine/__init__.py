@@ -64,6 +64,33 @@ identical to a from-scratch compile at that extent.  Three entry points:
 CLI: ``pimsim decode gpt_tiny --steps 32`` and ``pimsim decode --mix
 specs.json``; see ``examples/decode_serving.py`` for the library idiom.
 
+Fidelity
+--------
+
+Every job runs at one of two execution fidelities (``repro.config.
+FIDELITIES``), selected by a single knob threaded through the whole
+surface:
+
+* ``"cycle"`` (default) — the bit-exact event-driven model.  Golden
+  traces, the determinism gate and every published number pin this mode.
+* ``"fast"`` — the batched analytic executor (``repro.arch.fast``):
+  straight-line instruction runs advance in one arithmetic step each,
+  entering the event kernel only at transfer/synchronization boundaries
+  (cross-core flows, NoC and global memory stay event-driven, so
+  contention and backpressure remain modeled).  Contract: total cycles
+  within 2% of cycle mode across the model zoo (CI gate
+  ``tools/check_fidelity.py``; currently exact on every zoo model),
+  several times faster on compute-heavy networks.  Cores the analysis
+  cannot cover (branchy programs, shared-ADC arbitration, tracing) fall
+  back to the cycle-accurate core inside the same chip.
+
+Precedence mirrors ``timeout``: ``JobSpec.fidelity`` beats
+``Engine(fidelity=...)`` beats the configuration's ``sim.fidelity``.
+Reports carry ``report.fidelity`` plus (fast mode only) the
+``analytic_runs`` / ``fallback_events`` counters, through batch JSONL
+and the HTTP service alike.  CLI: ``--fidelity fast`` on ``pimsim
+run`` / ``batch`` / ``decode`` / ``serve``.
+
 Serving
 -------
 

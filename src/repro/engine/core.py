@@ -37,7 +37,7 @@ from ..compiler import (
     compile_step_template,
     config_fingerprint,
 )
-from ..config import ArchConfig, paper_chip, validate
+from ..config import FIDELITIES, ArchConfig, ConfigError, paper_chip, validate
 from ..graph import Graph, kv_extent, with_kv_extent
 from ..graph.serialize import graph_digest
 from ..models import build_model
@@ -85,6 +85,11 @@ class Engine:
     retry_backoff:
         Scale (seconds) of the jittered delay before a blamed job is
         resubmitted after a worker crash.
+    fidelity:
+        Default execution fidelity for jobs that do not carry their own
+        (``"cycle"`` or ``"fast"``).  ``JobSpec.fidelity`` overrides it
+        per job, exactly like ``timeout``; ``None`` (default) defers to
+        the configuration's ``sim.fidelity``.
     compile_cache / model_cache:
         Share existing caches (the process-wide default engine is wired
         to the historical globals this way).  Omit both to give the
@@ -96,9 +101,14 @@ class Engine:
                  max_retries: int = 1,
                  job_timeout: float | None = None,
                  retry_backoff: float = 0.05,
+                 fidelity: str | None = None,
                  compile_cache: CompileCache | None = None,
                  model_cache: dict[tuple[str, bool], Graph] | None = None):
+        if fidelity is not None and fidelity not in FIDELITIES:
+            raise ConfigError(
+                f"fidelity must be one of {FIDELITIES}, got {fidelity!r}")
         self._config = config
+        self._fidelity = fidelity
         self._default_workers = workers
         self._max_retries = max_retries
         self._job_timeout = job_timeout
@@ -170,7 +180,24 @@ class Engine:
         if spec.attention_shards is not None:
             config = validate(
                 config.with_attention_shards(spec.attention_shards))
+        fidelity = spec.fidelity if spec.fidelity is not None \
+            else self._fidelity
+        if fidelity is not None and fidelity != config.sim.fidelity:
+            config = validate(config.with_fidelity(fidelity))
         return config
+
+    def _stamp_fidelity(self, spec: JobSpec) -> JobSpec:
+        """Materialize the engine-level fidelity default into a spec.
+
+        Pooled workers rebuild an ``Engine(config)`` from the
+        configuration alone, so an engine-level default must ride the
+        spec across the process boundary (the pool's ``default_timeout``
+        plays the same role for ``timeout``).
+        """
+        if self._fidelity is None or spec.fidelity is not None:
+            return spec
+        from dataclasses import replace as _replace
+        return _replace(spec, fidelity=self._fidelity)
 
     # -- one job -------------------------------------------------------------
 
@@ -293,6 +320,7 @@ class Engine:
                  imagenet: bool = False, batch: int = 1,
                  max_cycles: int | None = None,
                  attention_shards: int | None = None,
+                 fidelity: str | None = None,
                  tag: Any = None,
                  compile_cache: bool = True) -> SimReport:
         """Compile + simulate one job in-process (accepts a spec directly)."""
@@ -300,7 +328,8 @@ class Engine:
             overrides = {"config": config, "mapping": mapping,
                          "rob_size": rob_size, "imagenet": imagenet,
                          "batch": batch, "max_cycles": max_cycles,
-                         "attention_shards": attention_shards, "tag": tag}
+                         "attention_shards": attention_shards,
+                         "fidelity": fidelity, "tag": tag}
             defaults = {f.name: f.default for f in dataclass_fields(JobSpec)}
             stray = [key for key, value in overrides.items()
                      if value != defaults[key]]
@@ -312,7 +341,8 @@ class Engine:
             spec = JobSpec(network, config, mapping=mapping,
                            rob_size=rob_size, imagenet=imagenet, batch=batch,
                            max_cycles=max_cycles, tag=tag,
-                           attention_shards=attention_shards)
+                           attention_shards=attention_shards,
+                           fidelity=fidelity)
         return self.run(spec, compile_cache=compile_cache)
 
     # -- many jobs -----------------------------------------------------------
@@ -373,6 +403,7 @@ class Engine:
         (its ``workers`` argument; the last pool's width after a
         ``close()``; all CPUs otherwise).
         """
+        spec = self._stamp_fidelity(spec)
         # A concurrent map() may replace the pool between our read and
         # the pool-level submit; retry against the replacement rather
         # than surfacing a spurious "pool is closed" on a healthy engine.
@@ -406,6 +437,7 @@ class Engine:
         pool = self._ensure_pool(lanes)
         lanes = min(lanes, pool.size)
         entries: list[Future | JobFailed] = []
+        specs = [self._stamp_fidelity(spec) for spec in specs]
         for i, spec in enumerate(specs):
             try:
                 entries.append(pool.submit(spec, worker=i % lanes))

@@ -60,6 +60,9 @@ def aggregate_step_reports(reports: list[SimReport], *,
             else:  # non-additive diagnostics (hottest links): last step's
                 noc[key] = value
     meta = dict(last.meta)
+    if last.fidelity != "cycle":  # fast-only counters sum over the steps
+        meta["analytic_runs"] = sum(rep.analytic_runs for rep in reports)
+        meta["fallback_events"] = sum(rep.fallback_events for rep in reports)
     meta["decode"] = {
         "steps": len(reports),
         "kv_tokens": kv_tokens,
@@ -80,6 +83,7 @@ def aggregate_step_reports(reports: list[SimReport], *,
         cores_used=last.cores_used,
         meta=meta,
         vector_layer_cycles=last.vector_layer_cycles,
+        fidelity=last.fidelity,
     )
 
 

@@ -67,6 +67,12 @@ class JobSpec:
     #: KV extent (tokens in the cache) at the *first* decode step;
     #: ``None``: the token count the network was built with.
     kv_tokens: int | None = None
+    #: execution fidelity override: ``"cycle"`` (bit-exact) or ``"fast"``
+    #: (batched analytic executor, bounded-error); ``None`` falls back to
+    #: the engine default, then the configuration's ``sim.fidelity``
+    #: (same precedence as ``timeout``).  Appended last so job ids of
+    #: specs that never set it are unchanged.
+    fidelity: str | None = None
 
     # -- serialization -------------------------------------------------------
 

@@ -73,6 +73,36 @@ class Program:
             counts[inst.unit] += 1
         return counts
 
+    def run_segments(self) -> tuple[tuple[int, int], ...]:
+        """Maximal straight-line compute runs as ``(start, stop)`` index
+        pairs (``stop`` exclusive), split at transfer and control
+        instructions.
+
+        These are the spans the fast-fidelity executor (ROADMAP 3a)
+        advances in one analytic step each; the compiler records their
+        count and serialized latency per core so run shape is inspectable
+        without simulating.  Cached after the first call (programs are
+        sealed before anything consumes this).
+        """
+        cached = getattr(self, "_run_segments", None)
+        if cached is not None:
+            return cached
+        segments: list[tuple[int, int]] = []
+        start: int | None = None
+        for index, inst in enumerate(self.instructions):
+            boundary = inst.unit == "transfer" or (
+                isinstance(inst, ScalarInst) and inst.is_control)
+            if boundary:
+                if start is not None:
+                    segments.append((start, index))
+                    start = None
+            elif start is None:
+                start = index
+        if start is not None:
+            segments.append((start, len(self.instructions)))
+        self._run_segments = out = tuple(segments)
+        return out
+
     def static_blockers(self, window: int) -> tuple | None:
         """Per-instruction static hazard predecessors under a ``window``-entry
         ROB, or ``None`` when the program branches.

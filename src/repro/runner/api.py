@@ -65,13 +65,17 @@ def simulate(network: str | Graph, config: ArchConfig | None = None, *,
              imagenet: bool = False, batch: int = 1,
              max_cycles: int | None = None,
              attention_shards: int | None = None,
+             fidelity: str | None = None,
              compile_cache: bool = True) -> SimReport:
-    """Compile and cycle-accurately simulate a network; returns the report.
+    """Compile and simulate a network; returns the report.
 
     ``mapping`` / ``rob_size`` override the corresponding configuration
     fields — the two knobs the paper's evaluation sweeps (Figs. 3 and 4);
     ``attention_shards`` overrides the token-sharded dynamic-attention
-    width the same way.  ``batch > 1`` unrolls the program for a stream of
+    width the same way.  ``fidelity`` selects the execution mode:
+    ``"cycle"`` (default) is bit-exact event-driven simulation, ``"fast"``
+    the batched analytic executor (bounded-error cycles, same report
+    shape; see the Fidelity section of :mod:`repro.engine`).  ``batch > 1`` unrolls the program for a stream of
     images (pipelined throughput mode); the report's cycles cover the
     whole stream and its metadata records the batch for throughput math.
 
@@ -89,4 +93,5 @@ def simulate(network: str | Graph, config: ArchConfig | None = None, *,
                               rob_size=rob_size, imagenet=imagenet,
                               batch=batch, max_cycles=max_cycles,
                               attention_shards=attention_shards,
+                              fidelity=fidelity,
                               compile_cache=compile_cache)

@@ -26,7 +26,7 @@ import threading
 from pathlib import Path
 
 from ..analysis import ascii_bars, comm_ratios, step_latency_stats
-from ..config import PRESETS, ArchConfig, get_preset
+from ..config import FIDELITIES, PRESETS, ArchConfig, get_preset, validate
 from ..engine import Engine, JobFailed, JobSpec, PoolUnavailable, load_specs
 from ..models import DECODE_MODELS, MODELS
 from .api import compile_model, simulate
@@ -69,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shards", type=int, default=None,
                      help="compiler.attention_shards override (token-sharded "
                           "dynamic attention)")
+    run.add_argument("--fidelity", choices=list(FIDELITIES), default=None,
+                     help="execution mode: cycle (bit-exact, default) or "
+                          "fast (batched analytic, bounded-error)")
     run.add_argument("--json", default=None, help="write the report as JSON")
     run.add_argument("--comm-ratios", action="store_true",
                      help="print per-layer communication ratios")
@@ -128,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-job wall-clock timeout enforced by the "
                             "pool watchdog; overridden by a spec's own "
                             "timeout (pooled runs; default: none)")
+    batch.add_argument("--fidelity", choices=list(FIDELITIES), default=None,
+                       help="default execution mode for jobs that do not "
+                            "set their own (cycle: bit-exact; fast: "
+                            "batched analytic, bounded-error)")
     batch.add_argument("--progress", action="store_true",
                        help="print per-job completions to stderr")
 
@@ -167,6 +174,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="server crashes a job may be caught running "
                             "through before the store quarantines it as "
                             "poisoned (default 1)")
+    serve.add_argument("--fidelity", choices=list(FIDELITIES), default=None,
+                       help="default execution mode for jobs that do not "
+                            "set their own (applied to the preset "
+                            "configuration; a job's fidelity field wins)")
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        metavar="SECONDS",
                        help="on SIGTERM/SIGINT, seconds to let running "
@@ -197,6 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
     decode.add_argument("--config", default=None,
                         help="architecture configuration JSON file "
                              "(overrides --preset)")
+    decode.add_argument("--fidelity", choices=list(FIDELITIES), default=None,
+                        help="execution mode: cycle (bit-exact, default) "
+                             "or fast (batched analytic, bounded-error)")
     decode.add_argument("--json", default=None, metavar="PATH",
                         help="write the report JSON here")
 
@@ -209,7 +223,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = _load_config(args)
     report = simulate(args.model, config, mapping=args.mapping,
                       rob_size=args.rob, imagenet=args.imagenet,
-                      batch=args.batch, attention_shards=args.shards)
+                      batch=args.batch, attention_shards=args.shards,
+                      fidelity=args.fidelity)
     if args.full_report:
         from ..analysis import full_report
         print(full_report(report))
@@ -365,13 +380,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     pool_stats: dict = {}
     try:
         with Engine(get_preset(args.preset), max_retries=args.max_retries,
-                    job_timeout=args.timeout) as engine:
+                    job_timeout=args.timeout,
+                    fidelity=args.fidelity) as engine:
             for position, outcome in engine.as_completed(
                     [spec for _index, spec in pending],
                     workers=args.workers, errors="capture"):
                 index = pending[position][0]
                 spec_dict = specs[index].to_dict()
                 spec_dict.setdefault("config", args.preset)
+                if args.fidelity is not None:
+                    # like the preset: make the engine-level default
+                    # explicit so the JSONL line reproduces standalone
+                    spec_dict.setdefault("fidelity", args.fidelity)
                 record: dict = {"index": index, "spec": spec_dict}
                 if isinstance(outcome, JobFailed):
                     failures += 1
@@ -438,7 +458,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serve: cannot open store {args.store}: {exc}",
               file=sys.stderr)
         return SERVE_EXIT_FATAL
-    service = ServeService(store, config=get_preset(args.preset),
+    config = get_preset(args.preset)
+    if args.fidelity is not None:
+        config = validate(config.with_fidelity(args.fidelity))
+    service = ServeService(store, config=config,
                            workers=args.workers,
                            max_retries=args.max_retries,
                            job_timeout=args.timeout,
@@ -501,7 +524,7 @@ def _cmd_decode(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     config = _load_config(args)
-    with Engine(config) as engine:
+    with Engine(config, fidelity=args.fidelity) as engine:
         if args.mix:
             mix = engine.serve_mix(load_specs(args.mix),
                                    workers=args.workers)

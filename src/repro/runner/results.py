@@ -50,6 +50,10 @@ class SimReport:
     #: ``layer_busy``'s vector column; see
     #: :func:`repro.analysis.attention_shard_balance`).
     vector_layer_cycles: dict[int, dict[str, int]] = field(default_factory=dict)
+    #: execution fidelity the run used: ``"cycle"`` (bit-exact event
+    #: simulation) or ``"fast"`` (batched analytic executor; cycle counts
+    #: within the ``tools/check_fidelity.py`` bound).
+    fidelity: str = "cycle"
 
     # -- derived metrics ------------------------------------------------------
 
@@ -81,6 +85,18 @@ class SimReport:
     def compile_cache_misses(self) -> int:
         """Process-wide compile-cache misses at the time of this run."""
         return int(self.meta.get("compile_cache_misses", 0))
+
+    @property
+    def analytic_runs(self) -> int:
+        """Straight-line runs advanced analytically (fast mode; 0 in cycle)."""
+        return int(self.meta.get("analytic_runs", 0))
+
+    @property
+    def fallback_events(self) -> int:
+        """Instructions the fast mode executed through the event kernel
+        (transfer boundaries + cycle-accurate fallback cores; 0 in cycle
+        mode)."""
+        return int(self.meta.get("fallback_events", 0))
 
     def comm_ratio(self, layer: str) -> float:
         """Communication share of one layer's activity.
@@ -114,6 +130,7 @@ class SimReport:
             "noc": self.noc,
             "instructions": self.instructions,
             "cores_used": self.cores_used,
+            "fidelity": self.fidelity,
             "vector_layer_cycles": {str(cid): dict(layers) for cid, layers
                                     in self.vector_layer_cycles.items()},
             "meta": {k: v for k, v in self.meta.items()
@@ -161,6 +178,7 @@ class SimReport:
             cores_used=len(raw.per_core),
             meta=raw.meta,
             vector_layer_cycles=raw.vector_layer_cycles,
+            fidelity=raw.meta.get("fidelity", "cycle"),
         )
 
 

@@ -11,6 +11,7 @@ Public surface:
 * :mod:`~repro.sim.stats` — statistics collectors.
 """
 
+from .analytic import AnalyticWindow, PendingCompletion
 from .channel import ChannelError, Fifo, Mutex, Rendezvous, Resource
 from .kernel import (
     AllOf,
@@ -36,6 +37,8 @@ __all__ = [
     "Mutex",
     "Resource",
     "ChannelError",
+    "PendingCompletion",
+    "AnalyticWindow",
     "Counter",
     "Accumulator",
     "TimeWeighted",

@@ -1,0 +1,108 @@
+"""Analytic scheduling primitives for the fast-fidelity executor.
+
+``fidelity="fast"`` (ROADMAP 3a) replaces each straight-line core's five
+kernel processes (issue loop + four execution units) with ONE walker
+generator that advances whole compute runs in pure integer arithmetic and
+only enters the event kernel at transfer boundaries.  The two primitives
+the walker needs on the kernel side live here; the architecture binding
+is :mod:`repro.arch.fast`.
+
+* :class:`PendingCompletion` — the completion time of an instruction
+  whose finish the event kernel decides (an in-flight SEND pushing
+  through the credit window and the mesh): an int once resolved, and a
+  lazily-created :class:`~repro.sim.Event` to block on before that.
+* :class:`AnalyticWindow` — the ROB's analytic twin: a ring of
+  completion times over the last ``2*size-1`` instructions supporting
+  the static-blocker lookups and the in-order retirement frontier (the
+  running prefix max of completion times) that the front-end recurrence
+  needs.  Ring sizing and indexing mirror
+  :class:`~repro.arch.rob.ReorderBuffer`'s table mode exactly.
+"""
+
+from __future__ import annotations
+
+from .kernel import Event, Simulator
+
+__all__ = ["PendingCompletion", "AnalyticWindow"]
+
+
+class PendingCompletion:
+    """A completion time not yet known to the analytic walker.
+
+    Stored in an :class:`AnalyticWindow` ring slot in place of an int;
+    any reader that truly needs the value blocks on :meth:`event` until
+    the kernel-side process (a flow drainer) calls :meth:`resolve`.
+    """
+
+    __slots__ = ("sim", "name", "done_at", "_event")
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        #: resolved completion cycle, or ``None`` while in flight.
+        self.done_at: int | None = None
+        self._event: Event | None = None
+
+    def event(self) -> Event:
+        """The event notified at resolution (lazily created, so sends
+        nobody waits on cost no Event object)."""
+        event = self._event
+        if event is None:
+            event = self._event = Event(self.sim, self.name)
+        return event
+
+    def resolve(self, now: int) -> None:
+        self.done_at = now
+        event = self._event
+        if event is not None and event._waiters:
+            event.notify()
+
+
+class AnalyticWindow:
+    """Completion-time ring + in-order retirement frontier.
+
+    ``ring[index & mask]`` holds instruction ``index``'s completion
+    cycle (an int, or a :class:`PendingCompletion` while the kernel still
+    owns it).  While instruction ``i`` is awaited, instructions through
+    ``i + size - 1`` may complete, so — exactly like the ROB's static
+    table mode — the ring covers ``2*size - 1`` consecutive indices
+    without collision.
+
+    ``retire_frontier`` is the prefix max of completion times through
+    the highest index folded by :meth:`advance_frontier`: because
+    retirement is in order, instruction ``i`` may allocate no earlier
+    than the frontier over indices ``<= i - size``.
+    """
+
+    __slots__ = ("ring", "mask", "retire_frontier", "_retired")
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"window size must be >= 1, got {size}")
+        ring_size = 1 << (2 * size - 1).bit_length()
+        self.ring: list = [0] * ring_size
+        self.mask = ring_size - 1
+        #: prefix max of completion times through index ``_retired``.
+        self.retire_frontier = 0
+        self._retired = -1
+
+    def advance_frontier(self, upto: int):
+        """Fold completion times through index ``upto`` into the
+        frontier.  Returns an unresolved :class:`PendingCompletion` the
+        caller must wait on (then call again), or ``None`` once the
+        frontier covers ``upto``."""
+        ring, mask = self.ring, self.mask
+        r, fmax = self._retired, self.retire_frontier
+        while r < upto:
+            done = ring[(r + 1) & mask]
+            if type(done) is not int:
+                if done.done_at is None:
+                    self._retired, self.retire_frontier = r, fmax
+                    return done
+                done = done.done_at
+                ring[(r + 1) & mask] = done
+            r += 1
+            if done > fmax:
+                fmax = done
+        self._retired, self.retire_frontier = r, fmax
+        return None

@@ -1,0 +1,163 @@
+"""Fast-fidelity executor (ROADMAP 3a): bounded error, one knob, same API.
+
+``fidelity="fast"`` replaces each straight-line core's event-driven
+processes with one analytic walker (``repro.arch.fast``).  Its contract:
+
+* total cycles within 2% of cycle-accurate on every zoo model (the CI
+  gate ``tools/check_fidelity.py`` sweeps the full zoo; here a
+  representative cross-section runs under pytest);
+* energy within float-reassociation distance (the charges are the same
+  formulas, summed in a different order);
+* the same report shape, fault-tolerance behaviour and API surface —
+  a fast job is just a job.
+"""
+
+import math
+
+import pytest
+
+from repro import Engine, JobSpec, simulate
+from repro.config import ConfigError, small_chip, tiny_chip, validate
+from repro.engine import JobPoisoned
+
+#: relative cycle tolerance of the fast executor (same bound as the CI
+#: gate).  The walker is exact on the current zoo; the slack only covers
+#: the documented pending-SEND-wait deviation.
+TOLERANCE = 0.02
+
+#: (model, config factory, attention_shards) cross-section: small CNN,
+#: tiny-chip MLP, both transformers, and token-sharded variants.
+POINTS = [
+    ("mlp", tiny_chip, None),
+    ("lenet5", tiny_chip, None),
+    ("squeezenet", small_chip, None),
+    ("vgg8", small_chip, None),
+    ("vit_tiny", small_chip, None),
+    ("vit_tiny", small_chip, 4),
+    ("bert_tiny", small_chip, None),
+    ("bert_tiny", small_chip, 4),
+]
+
+
+def _pair(model, config_factory, shards):
+    """(cycle report, fast report) for one zoo point."""
+    config = config_factory()
+    cycle = simulate(model, config, attention_shards=shards)
+    fast = simulate(model, config, attention_shards=shards,
+                    fidelity="fast")
+    return cycle, fast
+
+
+class TestBoundedError:
+    @pytest.mark.parametrize("model,config_factory,shards", POINTS,
+                             ids=[f"{m}-sh{s or 1}" for m, _c, s in POINTS])
+    def test_cycles_within_tolerance(self, model, config_factory, shards):
+        cycle, fast = _pair(model, config_factory, shards)
+        assert cycle.cycles > 0
+        err = abs(fast.cycles - cycle.cycles) / cycle.cycles
+        assert err <= TOLERANCE, (
+            f"{model} shards={shards}: fast={fast.cycles} "
+            f"cycle={cycle.cycles} err={err:.4%}")
+
+    def test_decode_steps_within_tolerance(self):
+        with Engine(small_chip()) as engine:
+            cycle = engine.run(JobSpec("gpt_tiny", decode_steps=4))
+            fast = engine.run(JobSpec("gpt_tiny", decode_steps=4,
+                                      fidelity="fast"))
+        err = abs(fast.cycles - cycle.cycles) / cycle.cycles
+        assert err <= TOLERANCE
+        assert fast.fidelity == "fast"
+        assert fast.analytic_runs > 0  # summed across the 4 steps
+
+    def test_energy_close(self):
+        cycle, fast = _pair("vgg8", small_chip, None)
+        for key, pj in cycle.energy_pj.items():
+            assert math.isclose(fast.energy_pj[key], pj,
+                                rel_tol=1e-9, abs_tol=1e-6), key
+
+
+class TestReportPlumbing:
+    def test_cycle_is_the_default_and_unmarked(self):
+        report = simulate("mlp", tiny_chip())
+        assert report.fidelity == "cycle"
+        assert report.analytic_runs == 0
+        assert report.fallback_events == 0
+        assert "fidelity" not in report.meta
+
+    def test_fast_report_carries_counters(self):
+        report = simulate("mlp", tiny_chip(), fidelity="fast")
+        assert report.fidelity == "fast"
+        assert report.analytic_runs > 0
+        # every transfer instruction is a kernel fallback event
+        assert report.fallback_events > 0
+        data = report.to_dict()
+        assert data["fidelity"] == "fast"
+        assert data["meta"]["analytic_runs"] == report.analytic_runs
+
+    def test_compile_cache_shared_across_fidelities(self):
+        # config_fingerprint drops the sim section, so switching
+        # fidelity must not recompile.
+        with Engine(tiny_chip()) as engine:
+            first = engine.run(JobSpec("mlp"))
+            second = engine.run(JobSpec("mlp", fidelity="fast"))
+        assert first.compile_cache_misses == 1
+        assert second.compile_cache_misses == 1
+        assert second.compile_cache_hits >= 1
+
+
+class TestKnobPrecedence:
+    def test_spec_overrides_engine_default(self):
+        with Engine(tiny_chip(), fidelity="fast") as engine:
+            defaulted = engine.run(JobSpec("mlp"))
+            pinned = engine.run(JobSpec("mlp", fidelity="cycle"))
+        assert defaulted.fidelity == "fast"
+        assert pinned.fidelity == "cycle"
+
+    def test_config_level_fidelity_applies(self):
+        config = validate(tiny_chip().with_fidelity("fast"))
+        assert simulate("mlp", config).fidelity == "fast"
+
+    def test_invalid_config_fidelity_rejected(self):
+        with pytest.raises(ConfigError, match="fidelity"):
+            validate(tiny_chip().with_fidelity("approximate"))
+
+    def test_invalid_engine_fidelity_rejected(self):
+        with pytest.raises(ConfigError, match="fidelity"):
+            Engine(tiny_chip(), fidelity="approximate")
+
+    def test_invalid_spec_fidelity_rejected(self):
+        with Engine(tiny_chip()) as engine:
+            with pytest.raises(ConfigError, match="fidelity"):
+                engine.run(JobSpec("mlp", fidelity="approximate"))
+
+
+class TestFaultToleranceParity:
+    """A fast job rides the same retry / quarantine machinery."""
+
+    def test_fast_job_crash_is_retried(self):
+        with Engine(tiny_chip(), fidelity="fast", max_retries=1) as engine:
+            clean = engine.map([JobSpec("mlp", tag=i) for i in range(3)],
+                               workers=2)
+            chaos = [JobSpec("mlp", tag=0),
+                     JobSpec("mlp", tag=1,
+                             faults={"mode": "crash", "attempts": [0]}),
+                     JobSpec("mlp", tag=2)]
+            out = engine.map(chaos, workers=2, errors="capture")
+            assert [r.cycles for r in out] == [r.cycles for r in clean]
+            assert all(r.fidelity == "fast" for r in out)
+            stats = engine.pool_stats()
+            assert stats["retries"] >= 1
+            assert stats["poisoned"] == 0
+
+    def test_fast_job_poisons_identically(self):
+        with Engine(tiny_chip(), max_retries=1) as engine:
+            out = engine.map(
+                [JobSpec("mlp", tag="a", fidelity="fast"),
+                 JobSpec("mlp", tag="bad", fidelity="fast",
+                         faults={"mode": "crash"}),
+                 JobSpec("mlp", tag="c", fidelity="fast")],
+                workers=2, errors="capture")
+            assert out[0].cycles > 0 and out[0].fidelity == "fast"
+            assert isinstance(out[1], JobPoisoned)
+            assert out[2].cycles > 0 and out[2].fidelity == "fast"
+            assert engine.pool_stats()["poisoned"] == 1

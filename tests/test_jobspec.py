@@ -46,6 +46,11 @@ class TestToDict:
         assert "timeout" not in data
         assert "faults" not in data
 
+    def test_fidelity_omitted_by_default(self):
+        # Unset fidelity must not appear: job ids of pre-fidelity spec
+        # files stay stable.
+        assert "fidelity" not in JobSpec("mlp").to_dict()
+
 
 class TestRoundTrip:
     def test_name_spec_dataclass_equality(self):
@@ -63,6 +68,13 @@ class TestRoundTrip:
         assert rebuilt == spec
         assert rebuilt.timeout == 2.5
         assert rebuilt.faults == {"mode": "crash", "attempts": [0]}
+
+    def test_fidelity_round_trip(self):
+        spec = JobSpec("mlp", tiny_chip(), fidelity="fast")
+        rebuilt = JobSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.fidelity == "fast"
+        assert JobSpec.from_json(spec.to_json()).to_dict()["fidelity"] == "fast"
 
     def test_preset_name_accepted_for_config(self):
         spec = JobSpec.from_dict({"network": "mlp", "config": "tiny"})

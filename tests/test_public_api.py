@@ -117,6 +117,7 @@ JOBSPEC_FIELDS = [
     "faults",
     "decode_steps",
     "kv_tokens",
+    "fidelity",
 ]
 
 #: every pool-telemetry key ``Engine.pool_stats()`` reports, pooled or
@@ -185,3 +186,18 @@ def test_sweepjob_is_a_jobspec():
 def test_jobspec_fields_pinned():
     from dataclasses import fields
     assert [f.name for f in fields(repro.JobSpec)] == JOBSPEC_FIELDS
+
+
+def test_fidelities_pinned():
+    """The fidelity enum is API surface: job files, CLI flags and the
+    config schema all validate against it."""
+    from repro.config import FIDELITIES
+    assert FIDELITIES == ("cycle", "fast")
+
+
+def test_simreport_carries_fidelity():
+    from dataclasses import fields
+    names = [f.name for f in fields(repro.SimReport)]
+    assert "fidelity" in names
+    for prop in ("analytic_runs", "fallback_events"):
+        assert isinstance(getattr(repro.SimReport, prop), property), prop

@@ -53,6 +53,10 @@ def report_json(network, config, *, compile_cache: bool,
     else:
         report = simulate(network, config, compile_cache=compile_cache)
     data = json.loads(report.to_json())
+    # This gate pins the *cycle-accurate* contract: nothing on the
+    # default path may silently reroute through the fast executor.
+    assert data.get("fidelity", "cycle") == "cycle", \
+        f"determinism gate saw a {data.get('fidelity')!r} report"
     # cache counters legitimately differ between runs
     for key in ("compile_cache_hits", "compile_cache_misses"):
         data.get("meta", {}).pop(key, None)

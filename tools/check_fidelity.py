@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CI fidelity gate: fast-mode cycles must track cycle-accurate cycles.
+
+``fidelity="fast"`` (ROADMAP 3a) batches straight-line instruction runs
+through an analytic executor instead of the event kernel.  Its contract
+is bounded error, not bit-exactness: this script simulates every zoo
+model — CNNs, transformers (unsharded and token-sharded), and the
+autoregressive decode path — in both modes and fails if fast-mode total
+cycles deviate from cycle-accurate by more than ``TOLERANCE`` anywhere.
+
+It also reports the wall-clock speedup on the acceptance point
+(simulate-only vgg8 on the small chip), measured A/B-interleaved so a
+noisy shared machine biases both sides equally.
+
+    python tools/check_fidelity.py [model ...]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.arch.chip import run_program                      # noqa: E402
+from repro.compiler import compile_step_template             # noqa: E402
+from repro.config import small_chip, tiny_chip, validate     # noqa: E402
+from repro.models import (                                   # noqa: E402
+    ATTENTION_MODELS,
+    DECODE_MODELS,
+    MODELS,
+    build_model,
+)
+from repro.runner.api import compile_model                   # noqa: E402
+
+#: maximum relative total-cycle deviation of fast mode (the acceptance
+#: bound; the current executor is exact on the whole zoo, so any slack
+#: consumed here is a regression worth reading about in the CI log).
+TOLERANCE = 0.02
+
+#: models small enough for the 2x2 tiny chip (everything else needs the
+#: 4x4 small chip's crossbar capacity).
+_TINY_OK = frozenset({"lenet5", "mlp"})
+
+
+def _configs(name: str):
+    base = tiny_chip() if name in _TINY_OK else small_chip()
+    cycle = validate(base)
+    return cycle, validate(cycle.with_fidelity("fast"))
+
+
+def _check(label: str, program, cycle_cfg, fast_cfg, failures: list) -> None:
+    raw_c = run_program(program, cycle_cfg)
+    raw_f = run_program(program, fast_cfg)
+    base = max(raw_c.cycles, 1)
+    err = abs(raw_f.cycles - raw_c.cycles) / base
+    status = "ok  " if err <= TOLERANCE else "FAIL"
+    print(f"{status} {label:22s} cycle={raw_c.cycles:>10,} "
+          f"fast={raw_f.cycles:>10,} err={err:.4%}")
+    if err > TOLERANCE:
+        failures.append(label)
+    assert raw_f.meta.get("fidelity") == "fast"
+    assert "fidelity" not in raw_c.meta  # cycle-mode reports stay unmarked
+
+
+def _speedup() -> float:
+    """A/B-interleaved wall-clock ratio on simulate-only vgg8/small."""
+    cycle_cfg, fast_cfg = _configs("vgg8")
+    program = compile_model("vgg8", cycle_cfg).program
+    run_program(program, cycle_cfg)  # warm both paths before timing
+    run_program(program, fast_cfg)
+    cycle_s = fast_s = 0.0
+    for _ in range(5):
+        t0 = time.perf_counter()
+        run_program(program, cycle_cfg)
+        t1 = time.perf_counter()
+        run_program(program, fast_cfg)
+        t2 = time.perf_counter()
+        cycle_s += t1 - t0
+        fast_s += t2 - t1
+    return cycle_s / fast_s
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(MODELS)
+    unknown = [n for n in names if n not in MODELS]
+    if unknown:
+        raise SystemExit(
+            f"unknown model(s) {unknown}; known: {sorted(MODELS)}")
+    failures: list[str] = []
+    for name in names:
+        cycle_cfg, fast_cfg = _configs(name)
+        if name in DECODE_MODELS:
+            template = compile_step_template(build_model(name), cycle_cfg)
+            for tokens in (1, 32):
+                _check(f"{name}@{tokens}tok", template.resolve(tokens),
+                       cycle_cfg, fast_cfg, failures)
+            continue
+        _check(name, compile_model(name, cycle_cfg).program,
+               cycle_cfg, fast_cfg, failures)
+        if name in ATTENTION_MODELS:
+            sharded = compile_model(name, cycle_cfg,
+                                    attention_shards=4).program
+            _check(f"{name}_sharded4", sharded, cycle_cfg, fast_cfg,
+                   failures)
+    speedup = _speedup()
+    print(f"\nsimulate-only vgg8/small speedup (A/B interleaved, 5 "
+          f"rounds): {speedup:.1f}x")
+    if failures:
+        print(f"\nfidelity check failed (> {TOLERANCE:.0%} deviation): "
+              f"{', '.join(failures)}")
+        return 1
+    print(f"fidelity check ok (every model within {TOLERANCE:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
