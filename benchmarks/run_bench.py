@@ -49,10 +49,12 @@ Output-record fields::
                            ``test_model_simulate_only_vit_tiny``, the
                            decode-step replay
                            ``test_model_simulate_only_gpt_tiny_decode``,
-                           and their fast-fidelity twins
-                           ``*_vgg8_fast`` / ``*_gpt_tiny_decode_fast``;
-                           every entry carries a ``fidelity`` tag and
-                           --check only compares same-fidelity pairs)
+                           their fast-fidelity twins
+                           ``*_vgg8_fast`` / ``*_gpt_tiny_decode_fast``,
+                           and the autotuned point
+                           ``test_tune_best_vit_tiny``; every entry
+                           carries a ``fidelity`` tag and --check only
+                           compares same-fidelity pairs)
     baseline              the baseline's benchmarks (with --baseline)
     speedup_vs_baseline   {test name: baseline mean / new mean}
 """

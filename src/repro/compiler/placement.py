@@ -223,6 +223,13 @@ def assign_shard_groups(pipeline: Pipeline, placement: Placement, config,
     tie-break — deterministic), capped by the stage's tile count: a
     shard with no tiles would be pure overhead.
 
+    ``compiler.shard_placement="load_aware"`` adds a static-crossbar-load
+    penalty (one mesh hop per full relative load) to each neighbour's
+    distance, so cores already hot with crossbar work are skipped when an
+    idle core is at most a hop farther — the fix for the scaling-curve
+    tail where the nearest neighbour is also the busiest core.  The
+    default ``"distance"`` keeps the classic ordering bit-identical.
+
     Stores the groups on ``placement.shard_groups`` (home first); stages
     keep the classic single-core lowering when the effective group is 1.
     """
@@ -230,6 +237,9 @@ def assign_shard_groups(pipeline: Pipeline, placement: Placement, config,
     if shards <= 1:
         return
     n_cores = config.chip.n_cores
+    load_aware = config.compiler.shard_placement == "load_aware"
+    loads = placement.crossbars_per_core() if load_aware else {}
+    max_load = max(loads.values(), default=0)
     for stage in pipeline:
         if stage.kind != "aux" or not stage.shardable:
             continue
@@ -245,8 +255,18 @@ def assign_shard_groups(pipeline: Pipeline, placement: Placement, config,
             x, y = config.core_xy(core)
             return abs(x - hx) + abs(y - hy)
 
+        def score(core: int) -> float:
+            # Load-aware placement: a fully loaded core costs as much as
+            # one extra mesh hop, so sharding trades at most one hop of
+            # gather distance to land on an idle core.  Deterministic:
+            # the penalty is a pure function of the static placement,
+            # and ties fall back to distance then core id.
+            if not load_aware or max_load == 0:
+                return float(distance(core))
+            return distance(core) + loads.get(core, 0) / max_load
+
         order = sorted(range(n_cores),
-                       key=lambda c: (c != home, distance(c), c))
+                       key=lambda c: (c != home, score(c), distance(c), c))
         placement.shard_groups[stage.name] = order[:n]
 
 

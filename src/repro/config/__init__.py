@@ -11,6 +11,7 @@ from .presets import (
 )
 from .schema import (
     FIDELITIES,
+    SHARD_PLACEMENTS,
     ArchConfig,
     ChipConfig,
     CompilerConfig,
@@ -34,6 +35,7 @@ __all__ = [
     "SimSettings",
     "ConfigError",
     "FIDELITIES",
+    "SHARD_PLACEMENTS",
     "validate",
     "paper_chip",
     "small_chip",

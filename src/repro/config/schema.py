@@ -30,6 +30,7 @@ __all__ = [
     "ArchConfig",
     "ConfigError",
     "FIDELITIES",
+    "SHARD_PLACEMENTS",
 ]
 
 
@@ -185,12 +186,25 @@ class CompilerConfig:
     #: with partial gathers back to the home core); 1 = home-core only,
     #: the classic lowering.
     attention_shards: int = 1
+    #: how shard-group cores are chosen: one of :data:`SHARD_PLACEMENTS`.
+    #: ``"distance"`` (the default, bit-identical to the classic PR 4
+    #: behaviour) takes the home core's nearest mesh neighbours;
+    #: ``"load_aware"`` additionally penalizes cores already hot with
+    #: static crossbar work, trading up to one extra hop to shard onto
+    #: an idle core.
+    shard_placement: str = "distance"
 
 
 #: Valid execution fidelities: ``"cycle"`` is the bit-exact event-driven
 #: simulator; ``"fast"`` batch-executes straight-line instruction runs
 #: analytically (bounded-error, validated by ``tools/check_fidelity.py``).
 FIDELITIES = ("cycle", "fast")
+
+#: Valid shard-group placement policies: ``"distance"`` picks the home
+#: core's nearest mesh neighbours (Manhattan distance, core-id
+#: tie-break); ``"load_aware"`` adds a per-core static-crossbar-load
+#: penalty so hot cores are skipped when an idle one is nearby.
+SHARD_PLACEMENTS = ("distance", "load_aware")
 
 
 @dataclass
@@ -275,6 +289,11 @@ class ArchConfig:
         """Copy with only the attention shard count changed (PR 4 knob)."""
         return self.replaced(compiler=dataclasses.replace(
             self.compiler, attention_shards=attention_shards))
+
+    def with_shard_placement(self, shard_placement: str) -> "ArchConfig":
+        """Copy with only the shard-placement policy changed (tuner knob)."""
+        return self.replaced(compiler=dataclasses.replace(
+            self.compiler, shard_placement=shard_placement))
 
     def with_fidelity(self, fidelity: str) -> "ArchConfig":
         """Copy with only the execution fidelity changed (ROADMAP 3a knob)."""

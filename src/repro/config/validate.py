@@ -7,7 +7,7 @@ loudly before any compilation or simulation starts.
 
 from __future__ import annotations
 
-from .schema import FIDELITIES, ArchConfig, ConfigError
+from .schema import FIDELITIES, SHARD_PLACEMENTS, ArchConfig, ConfigError
 
 __all__ = ["validate"]
 
@@ -105,6 +105,11 @@ def validate(config: ArchConfig) -> ArchConfig:
         errors.append(
             f"compiler.attention_shards ({comp.attention_shards}) exceeds "
             f"the chip's {chip.n_cores} cores"
+        )
+    if comp.shard_placement not in SHARD_PLACEMENTS:
+        errors.append(
+            f"compiler.shard_placement must be one of {SHARD_PLACEMENTS}, "
+            f"got {comp.shard_placement!r}"
         )
 
     _positive(errors, "sim", frequency_mhz=sim.frequency_mhz)

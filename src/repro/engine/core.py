@@ -214,6 +214,25 @@ class Engine:
             return self._compile_cache.get_or_compile(graph, job_config)
         return compile_network(graph, job_config)
 
+    def compile_for(self, spec: JobSpec, *, cache: bool = True,
+                    ) -> tuple[CompilationResult, ArchConfig]:
+        """Resolve a spec exactly like :meth:`run` and compile it — only.
+
+        Returns the :class:`~repro.compiler.CompilationResult` together
+        with the fully resolved configuration (spec overrides applied in
+        the same precedence as :meth:`run`), without simulating.  This is
+        the per-candidate compile metadata the ``repro.tune`` cost model
+        scores from: crossbar loads, flow tables, per-core run shapes —
+        everything the compiler records — at compile-cache cost, so a
+        design-space search can rank thousands of candidates before the
+        first simulation.
+        """
+        graph = self.resolve_network(spec.network, imagenet=spec.imagenet)
+        config = self._job_config(spec)
+        if cache:
+            return self._compile_cache.get_or_compile(graph, config), config
+        return compile_network(graph, config), config
+
     def step_template(self, network: str | Graph,
                       config: ArchConfig | None = None, *,
                       mapping: str | None = None, imagenet: bool = False,

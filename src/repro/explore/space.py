@@ -19,8 +19,9 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from ..config import ArchConfig, scaled, validate
-from ..engine import Engine, JobFailed, JobSpec, resolve_engine
+from ..engine import Engine, JobFailed, JobSpec
 from ..runner import SimReport
+from ..tune.search import evaluate_jobs
 
 __all__ = ["ExplorationPoint", "Exploration", "explore", "with_param",
            "pareto_front"]
@@ -31,18 +32,36 @@ def with_param(config: ArchConfig, path: str, value: Any) -> ArchConfig:
 
     ``"core.rob_size"`` addresses ``config.core.rob_size``; the special
     path ``"chip.cores"`` rescales the mesh to a square of that many
-    cores.
+    cores.  A path that does not resolve raises :class:`ValueError`
+    naming the full dotted path and the valid keys at the segment that
+    failed, so a typo in a sweep grid dies loudly instead of as a bare
+    ``KeyError`` three frames deep.
     """
     if path == "chip.cores":
         return scaled(config, cores=value)
-    section_name, _, fieldname = path.partition(".")
-    if not fieldname:
-        return validate(dataclasses.replace(config, **{section_name: value}))
-    section = getattr(config, section_name, None)
-    if section is None or not hasattr(section, fieldname):
-        raise KeyError(f"no configuration field {path!r}")
-    new_section = dataclasses.replace(section, **{fieldname: value})
-    return validate(dataclasses.replace(config, **{section_name: new_section}))
+    parts = path.split(".")
+
+    def rebuild(node: Any, depth: int) -> Any:
+        if not dataclasses.is_dataclass(node):
+            where = ".".join(parts[:depth])
+            raise ValueError(
+                f"no configuration field {path!r}: {where!r} is a "
+                f"{type(node).__name__} leaf with no sub-fields"
+            )
+        valid = sorted(f.name for f in dataclasses.fields(node))
+        name = parts[depth]
+        if name not in valid:
+            where = ".".join(parts[:depth + 1])
+            raise ValueError(
+                f"no configuration field {path!r}: unknown segment "
+                f"{name!r} at {where!r}; valid keys here: {valid}"
+            )
+        if depth == len(parts) - 1:
+            return dataclasses.replace(node, **{name: value})
+        return dataclasses.replace(
+            node, **{name: rebuild(getattr(node, name), depth + 1)})
+
+    return validate(rebuild(config, 0))
 
 
 @dataclass(frozen=True)
@@ -66,19 +85,31 @@ class ExplorationPoint:
 
 def pareto_front(points: Iterable[ExplorationPoint],
                  ) -> list[ExplorationPoint]:
-    """Non-dominated points for (minimize latency, minimize energy)."""
-    points = list(points)
-    front = []
-    for candidate in points:
-        dominated = any(
+    """Non-dominated points for (minimize latency, minimize energy).
+
+    Points tied on both objectives contribute exactly one representative
+    — the first in input order — so a grid where many design points
+    collapse to the same measurement yields a front without duplicates.
+    Deterministic: dedup keeps input order, the front is sorted by
+    (latency, energy), and after dedup those keys are unique.
+    """
+    unique: list[ExplorationPoint] = []
+    seen: set[tuple] = set()
+    for point in points:
+        key = (point.latency, point.energy)
+        if key not in seen:
+            seen.add(key)
+            unique.append(point)
+    front = [
+        candidate for candidate in unique
+        if not any(
             (other.latency <= candidate.latency
              and other.energy <= candidate.energy
              and (other.latency < candidate.latency
                   or other.energy < candidate.energy))
-            for other in points
+            for other in unique
         )
-        if not dominated:
-            front.append(candidate)
+    ]
     front.sort(key=lambda p: (p.latency, p.energy))
     return front
 
@@ -149,8 +180,7 @@ def explore(network: str, base_config: ArchConfig,
 
     jobs = [JobSpec(network, config, mapping=mapping)
             for _, config in grid]
-    outcomes = resolve_engine(engine).map(jobs, workers=workers,
-                                          errors="capture")
+    outcomes = evaluate_jobs(jobs, engine=engine, workers=workers)
     for (params, _), outcome in zip(grid, outcomes):
         if isinstance(outcome, JobFailed):
             exploration.failures.append((params, outcome.message))

@@ -13,6 +13,7 @@ experiments::
     pimsim serve --store jobs.store.jsonl      # durable HTTP job service
     pimsim decode --model gpt_tiny --steps 32  # compile-once decode
     pimsim decode --mix mix.json --workers 4   # continuous-batching mix
+    pimsim tune vit_tiny --budget 8            # cost-model-guided autotune
     pimsim models
 """
 
@@ -93,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
     mappings.add_argument("--rob", type=int, default=1)
     mappings.add_argument("--workers", type=int, default=1,
                           help="simulate sweep points on N worker processes")
+    mappings.add_argument("--fidelity", choices=list(FIDELITIES), default=None,
+                          help="execution mode for both runs: cycle "
+                               "(bit-exact, default) or fast (batched "
+                               "analytic, bounded-error)")
 
     rob = sub.add_parser("rob", help="sweep ROB sizes (Fig. 4)")
     _add_common(rob)
@@ -100,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="simulate sweep points on N worker processes")
     rob.add_argument("--sizes", default="1,4,8,12,16",
                      help="comma-separated ROB sizes")
+    rob.add_argument("--fidelity", choices=list(FIDELITIES), default=None,
+                     help="execution mode for every point: cycle "
+                          "(bit-exact, default) or fast (batched "
+                          "analytic, bounded-error)")
 
     mnsim = sub.add_parser("mnsim",
                            help="compare with the MNSIM2.0-style baseline "
@@ -214,6 +223,36 @@ def build_parser() -> argparse.ArgumentParser:
     decode.add_argument("--json", default=None, metavar="PATH",
                         help="write the report JSON here")
 
+    tune = sub.add_parser(
+        "tune",
+        help="cost-model-guided autotune over mapping / ROB / shard knobs")
+    tune.add_argument("network",
+                      help=f"network name ({', '.join(sorted(MODELS))})")
+    tune.add_argument("--preset", default="paper",
+                      help=f"base preset ({', '.join(sorted(PRESETS))})")
+    tune.add_argument("--config", default=None,
+                      help="base architecture configuration JSON file "
+                           "(overrides --preset)")
+    tune.add_argument("--budget", type=int, default=8, metavar="N",
+                      help="candidates measured at fast fidelity after "
+                           "cost-model pruning (default 8)")
+    tune.add_argument("--objective", choices=["latency", "energy", "edp"],
+                      default="latency",
+                      help="what the tuner minimizes (default latency)")
+    tune.add_argument("--top-k", type=int, default=2, metavar="K",
+                      help="measured leaders re-verified at cycle "
+                           "fidelity (default 2)")
+    tune.add_argument("--workers", type=int, default=1,
+                      help="measure candidates on N worker processes")
+    tune.add_argument("--output", default=None, metavar="PATH",
+                      help="stream measurements to this JSONL journal "
+                           "(doubles as the --resume journal)")
+    tune.add_argument("--resume", action="store_true",
+                      help="replay measurements already in --output "
+                           "instead of re-running them")
+    tune.add_argument("--report", default=None, metavar="PATH",
+                      help="write the full TuneReport JSON here")
+
     sub.add_parser("models", help="list zoo networks")
     sub.add_parser("presets", help="list architecture presets")
     return parser
@@ -258,7 +297,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 def _cmd_mappings(args: argparse.Namespace) -> int:
     config = _load_config(args)
     cmp = compare_mappings(args.model, config, rob_size=args.rob,
-                           workers=args.workers)
+                           workers=args.workers, fidelity=args.fidelity)
     print(f"{args.model}: utilization-first {cmp.utilization.cycles:,} cycles, "
           f"performance-first {cmp.performance.cycles:,} cycles")
     print(ascii_bars({
@@ -274,7 +313,7 @@ def _cmd_rob(args: argparse.Namespace) -> int:
     config = _load_config(args)
     sizes = tuple(int(s) for s in args.sizes.split(","))
     sweep = sweep_rob(args.model, config, sizes=sizes,
-                      workers=args.workers)
+                      workers=args.workers, fidelity=args.fidelity)
     print(ascii_bars(
         {f"ROB {size:>2}": value
          for size, value in sweep.normalized_latency().items()},
@@ -550,6 +589,36 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Search the design space; print the winner and its speedups.
+
+    Measurements stream to ``--output`` as JSONL while the search runs;
+    ``--resume`` against the same journal replays what a previous
+    (interrupted) run already measured, exactly like ``pimsim batch``.
+    """
+    from ..tune import Tuner
+
+    if args.resume and not args.output:
+        print("tune: --resume requires --output (the journal file)",
+              file=sys.stderr)
+        return BATCH_EXIT_FATAL
+    config = _load_config(args)
+    try:
+        with Engine(config) as engine:
+            tuner = Tuner(args.network, config, objective=args.objective,
+                          budget=args.budget, top_k=args.top_k,
+                          engine=engine, workers=args.workers)
+            report = tuner.tune(journal=args.output, resume=args.resume)
+    except PoolUnavailable as exc:
+        print(f"tune: worker pool unrecoverable: {exc}", file=sys.stderr)
+        return BATCH_EXIT_FATAL
+    print(report.summary())
+    if args.report:
+        report.save(args.report)
+        print(f"tune report written to {args.report}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "models":
@@ -569,6 +638,7 @@ def main(argv: list[str] | None = None) -> int:
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "decode": _cmd_decode,
+        "tune": _cmd_tune,
     }[args.command]
     return handler(args)
 

@@ -117,12 +117,20 @@ class MappingComparison:
 def compare_mappings(network: str | Graph, config: ArchConfig | None = None, *,
                      rob_size: int = 1,
                      workers: int | None = 1,
+                     fidelity: str | None = None,
                      engine=None) -> MappingComparison:
-    """Run both mapping policies (paper setting: ROB size 1)."""
+    """Run both mapping policies (paper setting: ROB size 1).
+
+    ``fidelity`` overrides the execution fidelity of both runs
+    (``"cycle"`` or ``"fast"``; ``None`` keeps the engine/config
+    default) — the comparison itself is mapping-to-mapping either way.
+    """
     config = (config or paper_chip()).with_rob_size(rob_size)
     utilization, performance = run_sweep(
-        [JobSpec(network, config, mapping="utilization_first"),
-         JobSpec(network, config, mapping="performance_first")],
+        [JobSpec(network, config, mapping="utilization_first",
+                 fidelity=fidelity),
+         JobSpec(network, config, mapping="performance_first",
+                 fidelity=fidelity)],
         workers=workers, engine=engine)
     return MappingComparison(
         network=network if isinstance(network, str) else network.name,
@@ -147,17 +155,20 @@ class RobSweep:
 def sweep_rob(network: str | Graph, config: ArchConfig | None = None, *,
               sizes: tuple[int, ...] = (1, 4, 8, 12, 16),
               workers: int | None = 1,
+              fidelity: str | None = None,
               engine=None) -> RobSweep:
     """Simulate across ROB sizes (performance-first, as in Fig. 4).
 
     The compiled program is independent of ROB capacity, so with the
     compile cache on (the default) the network is compiled once and only
-    re-simulated per size.
+    re-simulated per size.  ``fidelity`` overrides the execution
+    fidelity of every point (``None``: engine/config default).
     """
     config = config or paper_chip()
     result = RobSweep(network if isinstance(network, str) else network.name)
     reports = run_sweep(
-        [JobSpec(network, config, rob_size=size) for size in sizes],
+        [JobSpec(network, config, rob_size=size, fidelity=fidelity)
+         for size in sizes],
         workers=workers, engine=engine)
     for size, report in zip(sizes, reports):
         result.reports[size] = report

@@ -1,0 +1,23 @@
+"""Design-space autotuning: cost model, candidate search, tune reports.
+
+``repro.tune`` turns the simulator from a measurement instrument into an
+optimizer: :class:`CostModel` scores compiled candidates analytically
+(no simulation), :class:`Tuner` searches the mapping / ROB / shard /
+placement knob space under a measurement budget, and :class:`TuneReport`
+records the full cost-vs-measured table with the winning configuration
+delta.  ``pimsim tune`` is the CLI front end.
+"""
+
+from .costmodel import OBJECTIVES, CostEstimate, CostModel
+from .search import Candidate, Tuner, TuneEntry, TuneReport, evaluate_jobs
+
+__all__ = [
+    "CostModel",
+    "CostEstimate",
+    "OBJECTIVES",
+    "Candidate",
+    "Tuner",
+    "TuneEntry",
+    "TuneReport",
+    "evaluate_jobs",
+]

@@ -21,8 +21,28 @@ class TestWithParam:
         assert cfg.chip.n_cores == 4
 
     def test_unknown_field_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="core.flux"):
             with_param(small_chip(), "core.flux", 1)
+
+    def test_unknown_field_error_names_path_and_valid_keys(self):
+        with pytest.raises(ValueError) as excinfo:
+            with_param(small_chip(), "core.flux", 1)
+        message = str(excinfo.value)
+        assert "'core.flux'" in message          # the full dotted path
+        assert "'flux'" in message               # the failing segment
+        assert "rob_size" in message             # valid keys at that level
+        assert "vector_lanes" in message
+
+    def test_unknown_section_error_names_sections(self):
+        with pytest.raises(ValueError) as excinfo:
+            with_param(small_chip(), "cor.rob_size", 1)
+        message = str(excinfo.value)
+        assert "'cor.rob_size'" in message
+        assert "compiler" in message and "crossbar" in message
+
+    def test_path_through_leaf_rejected(self):
+        with pytest.raises(ValueError, match="leaf"):
+            with_param(small_chip(), "core.rob_size.bits", 1)
 
     def test_invalid_value_rejected_by_validation(self):
         with pytest.raises(ConfigError):
@@ -58,10 +78,34 @@ class TestParetoFront:
         front = pareto_front([fast, frugal])
         assert set(map(id, front)) == {id(fast), id(frugal)}
 
-    def test_duplicate_points_kept(self):
+    def test_duplicate_points_one_representative(self):
         a = _fake_point(10, 10.0)
         b = _fake_point(10, 10.0)
-        assert len(pareto_front([a, b])) == 2
+        front = pareto_front([a, b])
+        assert len(front) == 1
+        assert front[0] is a  # first in input order wins, deterministically
+
+    def test_empty_input_empty_front(self):
+        assert pareto_front([]) == []
+
+    def test_all_dominated_single_survivor(self):
+        best = _fake_point(1, 1.0)
+        pts = [_fake_point(10, 10.0), best, _fake_point(5, 5.0),
+               _fake_point(2, 2.0)]
+        assert pareto_front(pts) == [best]
+
+    def test_all_ties_single_representative(self):
+        pts = [_fake_point(7, 3.0) for _ in range(5)]
+        front = pareto_front(pts)
+        assert len(front) == 1
+        assert front[0] is pts[0]
+
+    def test_deterministic_across_orders(self):
+        a, b, c = (_fake_point(10, 100.0), _fake_point(100, 10.0),
+                   _fake_point(10, 100.0))
+        first = [(p.latency, p.energy) for p in pareto_front([a, b, c])]
+        second = [(p.latency, p.energy) for p in pareto_front([c, b, a])]
+        assert first == second == [(10, 100.0), (100, 10.0)]
 
     def test_front_sorted_by_latency(self):
         pts = [_fake_point(100, 10.0), _fake_point(10, 100.0),

@@ -66,6 +66,17 @@ RUNNER_ALL = [
     "sweep_rob",
 ]
 
+TUNE_ALL = [
+    "Candidate",
+    "CostEstimate",
+    "CostModel",
+    "OBJECTIVES",
+    "TuneEntry",
+    "TuneReport",
+    "Tuner",
+    "evaluate_jobs",
+]
+
 SERVE_ALL = [
     "Draining",
     "JobRecord",
@@ -87,6 +98,7 @@ ENGINE_METHODS = [
     "clear_caches",
     "close",
     "compile",
+    "compile_for",
     "compile_stats",
     "decode_session",
     "map",
@@ -159,6 +171,17 @@ def test_engine_names_resolve():
 
 def test_serve_all_pinned():
     assert sorted(repro.serve.__all__) == sorted(SERVE_ALL)
+
+
+def test_tune_all_pinned():
+    import repro.tune
+    assert sorted(repro.tune.__all__) == sorted(TUNE_ALL)
+
+
+def test_tune_names_resolve():
+    import repro.tune
+    for name in repro.tune.__all__:
+        assert getattr(repro.tune, name) is not None, name
 
 
 def test_serve_names_resolve():

@@ -1,0 +1,395 @@
+"""Tests for ``repro.tune``: cost-model contracts, the tuner, journaling.
+
+The cost model's contract is *rank* fidelity — it must order design
+points like the simulator does, not predict absolute cycles — so the
+pinned gates are Spearman rank correlation against measured cycles,
+monotonicity in the shard knob, and the load-aware-placement win on a
+contended chip.  The tuner's contract is the acceptance bar of ROADMAP
+item 4: beat both built-in mappings at their default placements on
+measured cycles, re-verify the winner at cycle fidelity, and never
+recompile a structure after round one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import ConfigError, scaled, small_chip, validate
+from repro.engine import Engine, JobSpec
+from repro.tune import Candidate, CostModel, TuneReport, Tuner
+from repro.tune.search import MAPPINGS, _read_tune_journal
+
+
+# -- rank-correlation helper (average ranks for ties) -------------------------
+
+
+def _ranks(values):
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) \
+                and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        i = j + 1
+    return ranks
+
+
+def spearman(xs, ys):
+    rx, ry = _ranks(list(xs)), _ranks(list(ys))
+    n = len(rx)
+    mx, my = sum(rx) / n, sum(ry) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    return cov / (vx * vy) ** 0.5
+
+
+def test_spearman_helper():
+    assert spearman([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+    assert spearman([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    with Engine(small_chip()) as eng:
+        yield eng
+
+
+# -- cost-model contracts -----------------------------------------------------
+
+
+class TestCostModelRanking:
+    @pytest.mark.parametrize("model,shard_options", [
+        ("vgg8", (1,)),          # CNN: the shard knob is inert
+        ("vit_tiny", (1, 4)),
+        ("bert_tiny", (1, 4)),
+    ])
+    def test_rank_correlation_vs_measured(self, engine, model,
+                                          shard_options):
+        """Estimates must order (mapping, rob, shards) points like the
+        simulator measures them: Spearman >= 0.8 per model."""
+        base = small_chip()
+        model_cost = CostModel()
+        estimated, measured = [], []
+        for mapping in MAPPINGS:
+            for rob in (1, 8, 32):
+                for shards in shard_options:
+                    cand = Candidate(mapping, rob, shards)
+                    compiled, cfg = engine.compile_for(
+                        cand.spec(model, base))
+                    estimated.append(
+                        model_cost.estimate(compiled, cfg).cycles)
+                    measured.append(engine.run(
+                        cand.spec(model, base, fidelity="fast")).cycles)
+        assert spearman(estimated, measured) >= 0.8
+
+    def test_estimate_monotone_in_shards_vit(self, engine):
+        """vit_tiny has enough shardable tiles that every extra shard
+        strictly helps — the estimate must reflect that."""
+        base = small_chip()
+        cycles = []
+        for shards in (1, 2, 4):
+            cand = Candidate("performance_first", 8, shards)
+            compiled, cfg = engine.compile_for(cand.spec("vit_tiny", base))
+            cycles.append(CostModel().estimate(compiled, cfg).cycles)
+        assert cycles[0] > cycles[1] > cycles[2]
+
+    def test_estimate_monotone_in_shards_bert(self, engine):
+        """bert_tiny's shard groups cap at its tile count, so estimates
+        are non-increasing (shards 2 and 4 may coincide), never worse."""
+        base = small_chip()
+        cycles = []
+        for shards in (1, 2, 4):
+            cand = Candidate("performance_first", 8, shards)
+            compiled, cfg = engine.compile_for(cand.spec("bert_tiny", base))
+            cycles.append(CostModel().estimate(compiled, cfg).cycles)
+        assert cycles[0] >= cycles[1] >= cycles[2]
+        assert cycles[0] > cycles[2]
+
+    def test_estimate_reports_per_core_and_flows(self, engine):
+        compiled, cfg = engine.compile_for(
+            Candidate("performance_first", 8).spec("vit_tiny", small_chip()))
+        est = CostModel().estimate(compiled, cfg)
+        assert est.cycles == max(est.per_core_cycles.values())
+        assert est.flow_cycles > 0
+        assert est.energy_pj > 0
+
+    def test_objective_scalars(self, engine):
+        compiled, cfg = engine.compile_for(
+            Candidate("performance_first", 8).spec("mlp", small_chip()))
+        est = CostModel().estimate(compiled, cfg)
+        assert est.objective("latency") == float(est.cycles)
+        assert est.objective("energy") == est.energy_pj
+        assert est.objective("edp") == est.cycles * est.energy_pj
+        with pytest.raises(ValueError, match="objective"):
+            est.objective("throughput")
+
+
+class TestLoadAwarePlacement:
+    def test_beats_distance_on_contended_chip(self, engine):
+        """On a 9-core chip every neighbour of the attention home core is
+        hot with crossbar work; trading one hop for an idle core must be
+        a measured win, not just a modelled one."""
+        contended = validate(scaled(small_chip(), cores=9))
+        cycles = {}
+        for placement in ("distance", "load_aware"):
+            cand = Candidate("performance_first", 8, 4, placement)
+            cycles[placement] = engine.run(
+                cand.spec("vit_tiny", contended, fidelity="fast")).cycles
+        assert cycles["load_aware"] < cycles["distance"]
+
+    def test_distance_default_matches_explicit(self, engine):
+        base = small_chip()
+        explicit = Candidate("performance_first", 8, 4, "distance")
+        compiled_explicit, _ = engine.compile_for(
+            explicit.spec("vit_tiny", base))
+        compiled_default, _ = engine.compile_for(
+            JobSpec("vit_tiny", config=base, mapping="performance_first",
+                    rob_size=8, attention_shards=4))
+        assert (compiled_explicit.placement.shard_groups
+                == compiled_default.placement.shard_groups)
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(ConfigError, match="shard_placement"):
+            validate(small_chip().with_shard_placement("random"))
+
+
+# -- candidate generation -----------------------------------------------------
+
+
+class TestCandidates:
+    def test_key_and_round_trip(self):
+        cand = Candidate("performance_first", 16, 4, "load_aware")
+        assert cand.key() == "performance_first/rob16/shards4/load_aware"
+        assert Candidate.from_dict(cand.to_dict()) == cand
+
+    def test_shards_capped_at_core_count(self):
+        tuner = Tuner("vit_tiny", shard_counts=(1, 8, 64))
+        cands = tuner.candidates(validate(scaled(small_chip(), cores=4)),
+                                 shardable=True)
+        assert max(c.attention_shards for c in cands) == 4
+
+    def test_non_shardable_network_collapses_shard_knobs(self):
+        tuner = Tuner("vgg8")
+        cands = tuner.candidates(small_chip(), shardable=False)
+        assert {c.attention_shards for c in cands} == {1}
+        assert {c.shard_placement for c in cands} == {"distance"}
+        # 2 mappings x 5 ROB sizes, nothing else
+        assert len(cands) == 10
+
+    def test_placements_collapse_at_one_shard(self):
+        tuner = Tuner("vit_tiny", shard_counts=(1, 4))
+        cands = tuner.candidates(small_chip(), shardable=True)
+        singles = [c for c in cands if c.attention_shards == 1]
+        assert all(c.shard_placement == "distance" for c in singles)
+        sharded = [c for c in cands if c.attention_shards == 4]
+        assert {c.shard_placement for c in sharded} \
+            == {"distance", "load_aware"}
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            Tuner("mlp", objective="goodness")
+        with pytest.raises(ValueError, match="budget"):
+            Tuner("mlp", budget=0)
+        with pytest.raises(ValueError, match="top_k"):
+            Tuner("mlp", top_k=0)
+        with pytest.raises(ValueError, match="placements"):
+            Tuner("mlp", placements=("random",))
+
+
+# -- the tuner ----------------------------------------------------------------
+
+
+class TestTuner:
+    @pytest.mark.parametrize("model", ["vgg8", "vit_tiny"])
+    def test_beats_both_builtin_mappings(self, engine, model):
+        """Acceptance: the tuned point beats BOTH built-in mappings at
+        the base configuration's defaults, on cycle-verified cycles —
+        for a CNN and for an attention model."""
+        tuner = Tuner(model, small_chip(), budget=4, top_k=1,
+                      engine=engine)
+        report = tuner.tune()
+        assert report.winner is not None
+        assert report.winner_measured["fidelity"] == "cycle"
+        for mapping in MAPPINGS:
+            assert mapping in report.baselines
+            assert report.baselines[mapping]["fidelity"] == "cycle"
+            assert (report.winner_measured["cycles"]
+                    < report.baselines[mapping]["cycles"])
+            assert report.speedups[mapping] > 1.0
+
+    def test_pruning_respects_budget(self, engine):
+        tuner = Tuner("vit_tiny", small_chip(), budget=3, top_k=1,
+                      engine=engine)
+        report = tuner.tune()
+        assert report.evaluated == 3
+        assert report.pruned == report.considered - 3
+        assert report.budget == 3
+
+    def test_config_delta_names_changed_knobs(self, engine):
+        tuner = Tuner("vit_tiny", small_chip(), budget=4, top_k=1,
+                      engine=engine)
+        report = tuner.tune()
+        base = small_chip()
+        for path, delta in report.config_delta.items():
+            section, _, leaf = path.partition(".")
+            assert delta["base"] == getattr(
+                getattr(base, section), leaf)
+        winner = report.winner
+        if winner.rob_size != base.core.rob_size:
+            assert report.config_delta["core.rob_size"]["tuned"] \
+                == winner.rob_size
+
+    def test_zero_recompile_after_round_one(self):
+        """Pinned: compile misses == unique program structures (mapping x
+        effective shard knobs); every measurement — fast, cycle re-verify,
+        baselines — reuses round one's artifacts, and a second tune run
+        compiles nothing at all."""
+        with Engine(small_chip()) as eng:
+            tuner = Tuner("vit_tiny", small_chip(), budget=4, top_k=1,
+                          rob_sizes=(8, 16), shard_counts=(1, 4),
+                          engine=eng, workers=1)
+            tuner.tune()
+            stats = eng.compile_stats()
+            # structures: 2 mappings x (shards1 + shards4 x 2 placements);
+            # ROB size and fidelity share one compile entry per structure.
+            assert stats["misses"] == 6
+            tuner.tune()
+            after = eng.compile_stats()
+            assert after["misses"] == 6
+            assert after["hits"] > stats["hits"]
+
+    def test_objective_edp_picks_a_winner(self, engine):
+        tuner = Tuner("mlp", small_chip(), objective="edp", budget=2,
+                      top_k=1, engine=engine)
+        report = tuner.tune()
+        assert report.objective == "edp"
+        assert report.winner is not None
+        assert report.winner_measured["energy_pj"] > 0
+
+
+class TestJournal:
+    def test_streams_and_resumes(self, tmp_path):
+        journal = tmp_path / "tune.jsonl"
+        with Engine(small_chip()) as eng:
+            tuner = Tuner("vit_tiny", small_chip(), budget=3, top_k=1,
+                          rob_sizes=(8, 16), shard_counts=(1, 4),
+                          engine=eng)
+            first = tuner.tune(journal=journal)
+        lines = [json.loads(line)
+                 for line in journal.read_text().splitlines()]
+        # 3 fast + 1 cycle + 2 baselines + summary
+        assert sum(1 for r in lines if "key" in r) == 4
+        assert sum(1 for r in lines if "baseline" in r) == 2
+        assert lines[-1]["summary"]["winner"] == first.winner.key()
+
+        with Engine(small_chip()) as eng:
+            tuner = Tuner("vit_tiny", small_chip(), budget=3, top_k=1,
+                          rob_sizes=(8, 16), shard_counts=(1, 4),
+                          engine=eng)
+            second = tuner.tune(journal=journal, resume=True)
+        assert second.resumed == 6  # every measurement replayed
+        assert second.winner == first.winner
+        assert second.winner_measured == first.winner_measured
+        assert second.baselines == first.baselines
+
+    def test_torn_tail_terminated_not_concatenated(self, tmp_path):
+        journal = tmp_path / "tune.jsonl"
+        journal.write_text('{"key": "torn-and-unfinish')  # no newline
+        with Engine(small_chip()) as eng:
+            tuner = Tuner("mlp", small_chip(), budget=1, top_k=1,
+                          rob_sizes=(8,), engine=eng)
+            tuner.tune(journal=journal, resume=True)
+        lines = journal.read_text().splitlines()
+        assert lines[0] == '{"key": "torn-and-unfinish'
+        for line in lines[1:]:
+            json.loads(line)  # every appended record parses
+
+    def test_reader_skips_foreign_and_torn_lines(self, tmp_path):
+        journal = tmp_path / "tune.jsonl"
+        journal.write_text("\n".join([
+            json.dumps({"key": "a/rob1/shards1/distance",
+                        "fidelity": "fast", "report": {"cycles": 1}}),
+            "not json at all",
+            json.dumps({"unrelated": True}),
+            json.dumps({"baseline": "performance_first",
+                        "report": {"cycles": 2}}),
+            '{"key": "torn',
+        ]))
+        done = _read_tune_journal(journal)
+        assert ("a/rob1/shards1/distance", "fast") in done
+        assert ("baseline", "performance_first") in done
+        assert len(done) == 2
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        assert _read_tune_journal(tmp_path / "absent.jsonl") == {}
+
+
+class TestTuneReport:
+    def test_json_round_trip(self, engine):
+        tuner = Tuner("vit_tiny", small_chip(), budget=2, top_k=1,
+                      rob_sizes=(8, 16), shard_counts=(1, 4),
+                      engine=engine)
+        report = tuner.tune()
+        restored = TuneReport.from_json(report.to_json())
+        assert restored.to_dict() == report.to_dict()
+        assert restored.winner == report.winner
+        assert restored.considered == report.considered
+        assert restored.pruned == report.pruned
+
+    def test_save_load(self, engine, tmp_path):
+        tuner = Tuner("mlp", small_chip(), budget=1, top_k=1,
+                      rob_sizes=(8,), engine=engine)
+        report = tuner.tune()
+        path = tmp_path / "report.json"
+        report.save(path)
+        assert TuneReport.load(path).to_dict() == report.to_dict()
+
+    def test_summary_readable(self, engine):
+        tuner = Tuner("mlp", small_chip(), budget=2, top_k=1,
+                      rob_sizes=(1, 8), engine=engine)
+        report = tuner.tune()
+        text = report.summary()
+        assert "winner:" in text
+        assert report.winner.key() in text
+        assert "baseline performance_first" in text
+        assert "pruned" in text
+
+
+class TestTuneCLI:
+    def test_smoke_writes_report_and_journal(self, tmp_path, capsys):
+        from repro.runner.cli import main
+        report_path = tmp_path / "report.json"
+        journal_path = tmp_path / "journal.jsonl"
+        code = main(["tune", "mlp", "--preset", "tiny", "--budget", "2",
+                     "--top-k", "1", "--report", str(report_path),
+                     "--output", str(journal_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        report = TuneReport.load(report_path)
+        assert report.winner is not None
+        records = [json.loads(line)
+                   for line in journal_path.read_text().splitlines()]
+        assert "summary" in records[-1]
+
+    def test_resume_requires_output(self, capsys):
+        from repro.runner.cli import main
+        assert main(["tune", "mlp", "--preset", "tiny", "--resume"]) == 2
+        assert "--resume requires --output" in capsys.readouterr().err
+
+    def test_fidelity_flags_on_mappings_and_rob(self, capsys):
+        from repro.runner.cli import main
+        assert main(["mappings", "--model", "mlp", "--preset", "tiny",
+                     "--fidelity", "fast"]) == 0
+        assert main(["rob", "--model", "mlp", "--preset", "tiny",
+                     "--sizes", "1,8", "--fidelity", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized" in out
